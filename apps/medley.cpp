@@ -1,0 +1,293 @@
+//===-- apps/medley.cpp - Command-line driver -----------------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line front end:
+//
+//   medley list
+//       Programs, policies and scenarios available.
+//   medley speedup --target cg --policy mixture --scenario large/low
+//       Speedup of a policy over the OpenMP default in a paper scenario.
+//   medley coexec --target cg --policy mixture --workload bt,is,art
+//                 [--cores 32] [--period 20] [--timeline]
+//       One co-execution run with an explicit workload; optionally prints
+//       the decision timeline.
+//   medley experts [--num 4]
+//       The trained experts: split, sample counts, weights.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ExpertIo.h"
+#include "exp/Driver.h"
+#include "exp/PolicySet.h"
+#include "exp/Reporter.h"
+#include "policy/Features.h"
+#include "runtime/CoExecution.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+#include <map>
+#include <sstream>
+
+using namespace medley;
+
+namespace {
+
+/// Trivial --key value / --flag argument map.
+class Args {
+public:
+  Args(int Argc, char **Argv) {
+    for (int I = 2; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument '" << Arg << "'\n";
+        Ok = false;
+        continue;
+      }
+      std::string Key = Arg.substr(2);
+      if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0)
+        Values[Key] = Argv[++I];
+      else
+        Values[Key] = "";
+    }
+  }
+
+  bool valid() const { return Ok; }
+  bool has(const std::string &Key) const { return Values.count(Key) != 0; }
+
+  std::string get(const std::string &Key,
+                  const std::string &Default = "") const {
+    auto It = Values.find(Key);
+    return It == Values.end() ? Default : It->second;
+  }
+
+  unsigned getUnsigned(const std::string &Key, unsigned Default) const {
+    auto It = Values.find(Key);
+    return It == Values.end() ? Default
+                              : static_cast<unsigned>(std::stoul(It->second));
+  }
+
+  double getDouble(const std::string &Key, double Default) const {
+    auto It = Values.find(Key);
+    return It == Values.end() ? Default : std::stod(It->second);
+  }
+
+private:
+  std::map<std::string, std::string> Values;
+  bool Ok = true;
+};
+
+std::vector<std::string> splitList(const std::string &Csv) {
+  std::vector<std::string> Out;
+  std::istringstream SS(Csv);
+  std::string Item;
+  while (std::getline(SS, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+exp::Scenario scenarioByName(const std::string &Name) {
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios())
+    if (S.Name == Name)
+      return S;
+  if (Name == exp::Scenario::isolatedStatic().Name)
+    return exp::Scenario::isolatedStatic();
+  if (Name == exp::Scenario::liveStudy().Name)
+    return exp::Scenario::liveStudy();
+  std::cerr << "unknown scenario '" << Name
+            << "' (try: isolated/static, small/low, small/high, "
+               "large/low, large/high, live-study)\n";
+  std::exit(1);
+}
+
+int cmdList() {
+  std::cout << "policies:  default online offline analytic mixture\n";
+  std::cout << "scenarios: isolated/static";
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios())
+    std::cout << ' ' << S.Name;
+  std::cout << " live-study\n\nprograms:\n";
+  Table T;
+  T.addRow({"name", "suite", "serial work", "iterations", "ws (MB)"});
+  for (const workload::ProgramSpec &Spec :
+       workload::Catalog::allPrograms()) {
+    T.addRow();
+    T.addCell(Spec.Name);
+    T.addCell(Spec.Suite);
+    T.addCell(Spec.totalWork(), 0);
+    T.addCell(Spec.Iterations);
+    T.addCell(Spec.WorkingSetMb, 0);
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+int cmdSpeedup(const Args &A) {
+  std::string Target = A.get("target", "cg");
+  std::string Policy = A.get("policy", "mixture");
+  exp::Scenario Scen = scenarioByName(A.get("scenario", "large/low"));
+  if (!workload::Catalog::contains(Target)) {
+    std::cerr << "unknown target '" << Target << "'\n";
+    return 1;
+  }
+
+  exp::DriverOptions Options;
+  Options.Repeats = A.getUnsigned("repeats", 3);
+  exp::Driver Driver(Options);
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  double S = Driver.speedup(Target, Policies.factory(Policy), Scen);
+  std::cout << Target << " under '" << Policy << "' in " << Scen.Name
+            << ": " << formatDouble(S, 2) << "x over the OpenMP default\n";
+  return 0;
+}
+
+int cmdCoexec(const Args &A) {
+  std::string Target = A.get("target", "cg");
+  std::string Policy = A.get("policy", "mixture");
+  std::vector<std::string> Workload =
+      splitList(A.get("workload", "bt,is"));
+  for (const std::string &Name : Workload)
+    if (!workload::Catalog::contains(Name)) {
+      std::cerr << "unknown workload program '" << Name << "'\n";
+      return 1;
+    }
+
+  runtime::CoExecutionConfig Config;
+  unsigned Cores = A.getUnsigned("cores", 32);
+  Config.Machine = sim::MachineConfig::evaluationPlatform();
+  Config.Machine.TotalCores = Cores;
+  Config.Machine.MemoryBandwidth = 0.45 * Cores;
+  double Period = A.getDouble("period", 20.0);
+  uint64_t Seed = A.getUnsigned("seed", 42);
+  Config.Availability = [Cores, Period, Seed] {
+    return sim::PeriodicAvailability::standardLadder(Cores, Period, Seed);
+  };
+  Config.WorkloadSeed = Seed;
+  Config.WorkloadMaxThreads = std::max(2u, Cores * 5 / 16);
+
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  auto P = Policies.factory(Policy)();
+  runtime::CoExecutionResult R =
+      runCoExecution(Config, workload::Catalog::byName(Target), *P,
+                     runtime::patternWorkload(Workload));
+
+  std::cout << "target " << Target << " under '" << Policy << "' with {"
+            << join(Workload, ", ") << "} on " << Cores << " cores:\n";
+  std::cout << "  completion: " << formatDouble(R.TargetTime, 1) << " s ("
+            << R.TargetRegions << " region executions)\n";
+  std::cout << "  workload throughput: "
+            << formatDouble(R.WorkloadThroughput, 2) << " work units/s\n";
+
+  if (A.has("timeline")) {
+    std::cout << "\n  t(s)  threads\n";
+    double Last = -1e9;
+    for (const runtime::Decision &D : R.TargetDecisions) {
+      if (D.Time - Last < 2.0)
+        continue;
+      Last = D.Time;
+      std::cout << "  " << padLeft(formatDouble(D.Time, 1), 5) << "  "
+                << padLeft(std::to_string(D.Threads), 7) << "  "
+                << asciiBar(D.Threads, 1.5) << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmdExperts(const Args &A) {
+  // Load pre-trained experts from a file instead of training.
+  if (A.has("load")) {
+    auto Loaded = core::loadExpertsFromFile(A.get("load"));
+    if (!Loaded) {
+      std::cerr << "failed to load experts from '" << A.get("load") << "'\n";
+      return 1;
+    }
+    Table T;
+    T.addRow({"expert", "regime", "mean ||e||", "w R2", "m R2"});
+    for (const core::Expert &E : *Loaded) {
+      T.addRow();
+      T.addCell(E.name());
+      T.addCell(E.description());
+      T.addCell(E.meanTrainingEnv());
+      T.addCell(E.threadModel()->trainingR2());
+      T.addCell(E.envModel()->trainingR2());
+    }
+    T.print(std::cout);
+    return 0;
+  }
+
+  unsigned K = A.getUnsigned("num", 4);
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  const auto &Built = Policies.builtExperts(K);
+
+  if (A.has("save")) {
+    std::vector<core::Expert> Experts;
+    for (const core::BuiltExpert &B : Built)
+      Experts.push_back(B.E);
+    if (!core::saveExpertsToFile(A.get("save"), Experts)) {
+      std::cerr << "failed to save experts to '" << A.get("save") << "'\n";
+      return 1;
+    }
+    std::cout << "saved " << Experts.size() << " experts to "
+              << A.get("save") << '\n';
+    return 0;
+  }
+
+  Table T;
+  T.addRow({"expert", "regime", "thread samples", "env samples",
+            "mean ||e||", "w R2", "m R2"});
+  for (const core::BuiltExpert &B : Built) {
+    T.addRow();
+    T.addCell(B.E.name());
+    T.addCell(B.E.description());
+    T.addCell(static_cast<unsigned>(B.ThreadData.size()));
+    T.addCell(static_cast<unsigned>(B.EnvData.size()));
+    T.addCell(B.E.meanTrainingEnv());
+    T.addCell(B.E.threadModel()->trainingR2());
+    T.addCell(B.E.envModel()->trainingR2());
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout
+      << "medley — mixture-of-experts thread mapping (PLDI 2015 repro)\n\n"
+         "usage:\n"
+         "  medley list\n"
+         "  medley speedup --target cg --policy mixture "
+         "--scenario large/low [--repeats 3]\n"
+         "  medley coexec  --target cg --policy mixture "
+         "--workload bt,is,art\n"
+         "                 [--cores 32] [--period 20] [--seed 42] "
+         "[--timeline]\n"
+         "  medley experts [--num 4] [--save FILE | --load FILE]\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string Command = Argv[1];
+  Args A(Argc, Argv);
+  if (!A.valid()) {
+    usage();
+    return 1;
+  }
+  if (Command == "list")
+    return cmdList();
+  if (Command == "speedup")
+    return cmdSpeedup(A);
+  if (Command == "coexec")
+    return cmdCoexec(A);
+  if (Command == "experts")
+    return cmdExperts(A);
+  usage();
+  return Command == "help" || Command == "--help" ? 0 : 1;
+}

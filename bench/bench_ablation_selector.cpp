@@ -1,0 +1,60 @@
+//===-- bench/bench_ablation_selector.cpp - Selector ablation -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Beyond the paper: an ablation over the online expert-selector design.
+// All selectors learn from the same signal (last-timestep environment
+// error); they differ in how they partition the feature space and whether
+// they gate hard or blend. "random" is the control: any learned selector
+// must beat it for the selection mechanism to be doing work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+int main() {
+  bench::printBanner(
+      "Selector ablation (DESIGN.md design-choice validation)",
+      "the regime-gated accuracy selector is the default; every learned "
+      "selector must beat random selection");
+
+  exp::Driver Driver;
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  const std::vector<std::string> Kinds = {
+      "regime", "accuracy", "binned", "perceptron", "hyperplane", "random"};
+
+  Table T("Speedup over OpenMP default (hmean over all benchmarks)");
+  T.addRow();
+  T.addCell("selector");
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios())
+    T.addCell(S.Name);
+  T.addCell("overall");
+
+  for (const std::string &Kind : Kinds) {
+    T.addRow();
+    T.addCell(Kind);
+    std::vector<double> All;
+    for (const exp::Scenario &S : exp::Scenario::dynamicScenarios()) {
+      std::vector<double> V;
+      for (const std::string &Target :
+           workload::Catalog::evaluationTargets())
+        V.push_back(
+            Driver.speedup(Target, Policies.mixtureFactory(4, Kind), S));
+      All.insert(All.end(), V.begin(), V.end());
+      T.addCell(harmonicMean(V));
+    }
+    T.addCell(harmonicMean(All));
+  }
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===-- bench/bench_ext_data_vs_experts.cpp - Data-size trade-off ---------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper Section 9 (future work): "the trade-off in number of experts vs
+// training data size". With a fixed total corpus, more experts means
+// fewer samples per expert: this bench sweeps corpus fractions x expert
+// counts in the large/low scenario to chart where specialisation stops
+// paying for the data it costs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/MixtureOfExperts.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+namespace {
+
+policy::PolicyFactory
+mixtureOf(std::vector<core::BuiltExpert> Built, const FeatureScaler &Scaler) {
+  auto Experts = std::make_shared<std::vector<core::Expert>>();
+  std::vector<int> Tags;
+  for (core::BuiltExpert &B : Built) {
+    Experts->push_back(B.E);
+    const std::string &D = B.E.description();
+    Tags.push_back(D.rfind("uncontended", 0) == 0   ? 0
+                   : D.rfind("contended", 0) == 0 ? 1
+                                                  : -1);
+  }
+  (void)Scaler;
+  std::shared_ptr<const std::vector<core::Expert>> Shared = Experts;
+  return [Shared, Tags]() {
+    return std::make_unique<core::MixtureOfExperts>(
+        Shared, std::make_unique<core::RegimeSelector>(Tags));
+  };
+}
+
+} // namespace
+
+int main() {
+  bench::printBanner(
+      "Extension: experts vs training-data size (Section 9)",
+      "with a fixed corpus, more experts fragment the data; the sweet spot "
+      "shifts with how much data is available");
+
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  core::ExpertBuilder &Builder = Policies.builder();
+  FeatureScaler Scaler = Builder.featureScaler();
+  exp::Scenario S = exp::Scenario::largeLow();
+
+  Table T("Speedup over OpenMP default (hmean over all benchmarks, "
+          "large/low)");
+  T.addRow({"corpus", "1 expert", "2 experts", "4 experts", "8 experts"});
+  for (double Fraction : {0.1, 0.25, 1.0}) {
+    T.addRow();
+    T.addCell(formatDouble(100.0 * Fraction, 0) + "% (" +
+              std::to_string(static_cast<unsigned>(
+                  Fraction * Builder.samples().size())) +
+              " samples)");
+    for (unsigned K : {1u, 2u, 4u, 8u}) {
+      exp::Driver Driver;
+      auto Factory =
+          mixtureOf(Builder.buildSubsampled(K, Fraction), Scaler);
+      std::vector<double> V;
+      for (const std::string &Target :
+           workload::Catalog::evaluationTargets())
+        V.push_back(Driver.speedup(Target, Factory, S));
+      T.addCell(harmonicMean(V));
+    }
+  }
+  T.print(std::cout);
+  return 0;
+}

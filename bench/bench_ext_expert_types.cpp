@@ -1,0 +1,107 @@
+//===-- bench/bench_ext_expert_types.cpp - Other modelling techniques -----------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper Section 9 (future work): "investigate whether other modeling
+// techniques such as SVMs trained on the same data or hand written
+// analytic models can be selected by a mixtures approach". This bench adds
+// two non-linear experts to the standard four:
+//   * a k-NN (instance-based) expert trained on the same corpus, and
+//   * a hand-written analytic expert whose environment predictor is
+//     learned online from the mixture's feedback (Section 4.1's retrofit
+//     path for experts that ship without one).
+// The selector decides, per decision, whether the newcomers' expertise
+// applies — nothing is retrained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/ExternalExperts.h"
+#include "core/MixtureOfExperts.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+namespace {
+
+double hmeanOverTargets(exp::Driver &D, const policy::PolicyFactory &F,
+                        const exp::Scenario &S) {
+  std::vector<double> V;
+  for (const std::string &Target : workload::Catalog::evaluationTargets())
+    V.push_back(D.speedup(Target, F, S));
+  return harmonicMean(V);
+}
+
+policy::PolicyFactory
+mixtureOf(std::shared_ptr<const std::vector<core::Expert>> Experts) {
+  return [Experts]() {
+    return std::make_unique<core::MixtureOfExperts>(
+        Experts, std::make_unique<core::AccuracySelector>(Experts->size()));
+  };
+}
+
+} // namespace
+
+int main() {
+  bench::printBanner(
+      "Extension: other expert modelling techniques (Section 9)",
+      "the mixture should accept and exploit non-linear and hand-written "
+      "experts without retraining the existing ones");
+
+  exp::Driver Driver;
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  sim::MachineConfig Machine = sim::MachineConfig::evaluationPlatform();
+
+  core::Expert Knn = core::makeKnnExpert(Policies.builder(), "E-knn");
+  core::Expert Svr = core::makeSvrExpert(Policies.builder(), "E-svr");
+  core::Expert Hand = core::makeHandcraftedExpert(Machine, "E-hand");
+
+  auto Linear4 = Policies.experts(4);
+  auto Plus = std::make_shared<std::vector<core::Expert>>(*Linear4);
+  Plus->push_back(Knn);
+  Plus->push_back(Svr);
+  Plus->push_back(Hand);
+  auto KnnOnly = std::make_shared<std::vector<core::Expert>>(
+      std::vector<core::Expert>{Knn});
+  auto SvrOnly = std::make_shared<std::vector<core::Expert>>(
+      std::vector<core::Expert>{Svr});
+  auto HandOnly = std::make_shared<std::vector<core::Expert>>(
+      std::vector<core::Expert>{Hand});
+
+  Table T("Speedup over OpenMP default (hmean over all benchmarks)");
+  T.addRow();
+  T.addCell("expert set");
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios())
+    T.addCell(S.Name);
+
+  struct Row {
+    const char *Label;
+    policy::PolicyFactory Factory;
+  };
+  std::vector<Row> Rows;
+  Rows.push_back({"k-NN expert alone", mixtureOf(KnnOnly)});
+  Rows.push_back({"SVR expert alone", mixtureOf(SvrOnly)});
+  Rows.push_back({"hand-written expert alone", mixtureOf(HandOnly)});
+  Rows.push_back({"4 linear experts", Policies.mixtureFactory(4, "accuracy")});
+  Rows.push_back({"4 linear + kNN + SVR + hand", mixtureOf(Plus)});
+
+  for (Row &R : Rows) {
+    T.addRow();
+    T.addCell(R.Label);
+    for (const exp::Scenario &S : exp::Scenario::dynamicScenarios())
+      T.addCell(hmeanOverTargets(Driver, R.Factory, S));
+  }
+  T.print(std::cout);
+
+  std::cout << "\nThe hand-written expert started with no environment "
+               "predictor;\nits online model was built from the mixture's "
+               "own feedback.\n";
+  return 0;
+}

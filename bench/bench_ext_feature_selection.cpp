@@ -1,0 +1,152 @@
+//===-- bench/bench_ext_feature_selection.cpp - Section 5.2.2 -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5.2.2: "During the training phase 134 features were collected
+// ... From these, 10 features were chosen that were found to be critical
+// to the models based on the quality of information gain." This bench
+// reruns that selection over our extended candidate sweep (40 candidates:
+// the deployed ten, derived compiler/OS counters, and deliberately
+// uninformative ones) and reports where the deployed features rank.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Oracle.h"
+#include "ml/FeatureSelection.h"
+#include "policy/ExtendedFeatures.h"
+#include "sim/Simulation.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+#include "workload/ThreadPattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+using namespace medley;
+
+namespace {
+
+/// Collects (extended features -> best thread count) samples from a few
+/// co-execution runs, mirroring ExpertBuilder's harness but with the wide
+/// candidate vector.
+Dataset collectExtendedCorpus() {
+  Dataset Data(policy::extendedFeatureNames());
+  sim::MachineConfig Machine = sim::MachineConfig::evaluationPlatform();
+
+  uint64_t Seed = 0x134;
+  for (const std::string &Target : workload::Catalog::trainingPrograms())
+    for (const char *Workload : {"cg", "ep", "ft"}) {
+      if (Target == Workload)
+        continue;
+      Seed = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+
+      sim::Simulation Simulation(
+          Machine,
+          sim::PeriodicAvailability::standardLadder(32, 8.0, Seed ^ 0xA),
+          0.1);
+      Simulation.addTask(std::make_shared<workload::Program>(
+          workload::Catalog::byName(Workload),
+          workload::ThreadPattern::makeChooser(Seed ^ 0xB, 2, 48, 5.0), 32,
+          /*Looping=*/true));
+
+      auto Generator = std::make_shared<Rng>(Seed ^ 0xC);
+      auto Chooser = [&Data, Generator,
+                      Machine](const workload::RegionContext &Context) {
+        core::OracleEnv Env;
+        Env.AvailableCores = std::max(
+            1u, static_cast<unsigned>(std::lround(Context.Env.Processors)));
+        Env.ExternalThreads = static_cast<unsigned>(
+            std::lround(Context.Env.WorkloadThreads));
+        Env.ExternalMemDemand = 0.5 * Context.Env.WorkloadThreads;
+        unsigned Label = core::empiricalBestThreads(*Context.Region, Env,
+                                                    Machine, *Generator);
+        Data.add(policy::buildExtendedFeatures(Context, 32),
+                 static_cast<double>(Label), Context.Program->Name);
+        return static_cast<unsigned>(Generator->uniformInt(1, 32));
+      };
+      auto Target2 = std::make_shared<workload::Program>(
+          workload::Catalog::byName(Target), Chooser, 32, /*Looping=*/true);
+      Simulation.addTask(Target2);
+      Simulation.runUntil([] { return false; }, 60.0);
+    }
+  return Data;
+}
+
+} // namespace
+
+int main() {
+  bench::printBanner(
+      "Extension: information-gain feature selection (Section 5.2.2)",
+      "the paper collected 134 candidate features and kept the 10 with the "
+      "highest information gain; the deployed ten should dominate our "
+      "40-candidate sweep and the uninformative counters should sink");
+
+  Dataset Corpus = collectExtendedCorpus();
+  std::cout << "corpus: " << Corpus.size() << " decisions, "
+            << Corpus.numFeatures() << " candidate features\n\n";
+
+  auto Ranked = rankFeaturesByInformationGain(Corpus);
+  Table T("Information-gain ranking (top 20 of " +
+          std::to_string(Ranked.size()) + ")");
+  T.addRow({"rank", "feature", "gain", "deployed?"});
+  const auto &Deployed = policy::deployedFeatureIndices();
+  for (size_t R = 0; R < std::min<size_t>(20, Ranked.size()); ++R) {
+    T.addRow();
+    T.addCell(static_cast<unsigned>(R + 1));
+    T.addCell(Ranked[R].Name);
+    T.addCell(Ranked[R].Gain, 3);
+    bool IsDeployed =
+        std::find(Deployed.begin(), Deployed.end(), Ranked[R].Index) !=
+        Deployed.end();
+    T.addCell(IsDeployed ? "yes" : "");
+  }
+  T.print(std::cout);
+
+  // Summary statistics of the reproduction claim.
+  size_t DeployedInTop15 = 0;
+  for (size_t R = 0; R < std::min<size_t>(15, Ranked.size()); ++R)
+    if (std::find(Deployed.begin(), Deployed.end(), Ranked[R].Index) !=
+        Deployed.end())
+      ++DeployedInTop15;
+  double WorstUseless = 0.0;
+  for (const FeatureScore &S : Ranked)
+    if (S.Name.find("const") != std::string::npos ||
+        S.Name.find("zero") != std::string::npos)
+      WorstUseless = std::max(WorstUseless, S.Gain);
+
+  std::cout << "\ndeployed features in the top 15: " << DeployedInTop15
+            << " of 10\n";
+  std::cout << "best gain among the constant/zero counters: "
+            << WorstUseless << " (should be ~0)\n";
+
+  // Where each deployed (Table 1) feature lands in the full ranking. Many
+  // derived candidates are transforms of the deployed signals, so they
+  // crowd the top ranks — exactly why the paper needed a selection step.
+  Table D("Rank of each deployed feature among all 40 candidates");
+  D.addRow({"feature", "rank", "gain"});
+  for (size_t Index : Deployed)
+    for (size_t R = 0; R < Ranked.size(); ++R)
+      if (Ranked[R].Index == Index) {
+        D.addRow();
+        D.addCell(Ranked[R].Name);
+        D.addCell(static_cast<unsigned>(R + 1));
+        D.addCell(Ranked[R].Gain, 3);
+      }
+  std::cout << '\n';
+  D.print(std::cout);
+
+  std::cout
+      << "\nNote: information gain is univariate — the environment "
+         "features score low\nhere because the best thread count varies "
+         "strongly with the loop's code at\nany fixed environment, yet "
+         "Figure 6's model-based impact (pi) shows\n'processors' is the "
+         "single most important feature once a model holds the\nother "
+         "features fixed. Selecting on gain alone would still keep them "
+         "over\nthe constant/noise counters, which score exactly zero.\n";
+  return 0;
+}

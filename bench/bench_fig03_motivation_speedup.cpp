@@ -1,0 +1,69 @@
+//===-- bench/bench_fig03_motivation_speedup.cpp - Figure 3 ---------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 3: "Selecting an optimal policy at runtime improves program
+// performance" — the Figure-2 scenario's end-to-end performance for the
+// OpenMP default, the analytic model, the two single experts and the
+// two-expert mixture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "runtime/CoExecution.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+namespace {
+
+runtime::CoExecutionConfig figure3Config() {
+  runtime::CoExecutionConfig Config;
+  Config.Machine = sim::MachineConfig::evaluationPlatform();
+  Config.Availability = [] {
+    return std::make_unique<sim::TraceAvailability>(
+        std::vector<std::pair<double, unsigned>>{
+            {0.0, 32}, {15.0, 16}, {35.0, 32}, {50.0, 8}, {65.0, 24}});
+  };
+  Config.WorkloadSeed = 0xF162;
+  Config.WorkloadMaxThreads = 12;
+  Config.MaxTime = 600.0;
+  return Config;
+}
+
+double runTime(const policy::PolicyFactory &Factory) {
+  auto Policy = Factory();
+  return runCoExecution(figure3Config(), workload::Catalog::byName("lu"),
+                        *Policy, runtime::patternWorkload({"mg"}))
+      .TargetTime;
+}
+
+} // namespace
+
+int main() {
+  bench::printBanner(
+      "Figure 3 (motivation performance bars)",
+      "analytic improves over the default but both single experts beat it; "
+      "dynamically switching experts improves further still");
+
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  double Default = runTime(Policies.factory("default"));
+
+  std::vector<std::string> Labels = {"default", "analytic", "expert E1",
+                                     "expert E2", "mixture"};
+  std::vector<double> Speedups = {
+      1.0,
+      Default / runTime(Policies.factory("analytic")),
+      Default / runTime(Policies.singleExpertFactory(2, 0)),
+      Default / runTime(Policies.singleExpertFactory(2, 1)),
+      Default / runTime(Policies.mixtureFactory(2, "regime")),
+  };
+  exp::printBars(std::cout, "Speedup over OpenMP default (lu vs mg)",
+                 Labels, Speedups);
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===-- bench/bench_fig08_summary.cpp - Figure 8 --------------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 8: the headline summary — speedup per scheme for each of the four
+// dynamic workload/hardware scenarios, averaged over all benchmarks.
+// Paper: online 1.23x, offline 1.33x, analytic 1.39x, mixture 1.66x mean
+// (1.54x median).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+int main() {
+  bench::printBanner(
+      "Figure 8 (summary across dynamic scenarios)",
+      "online 1.23x, offline 1.33x, analytic 1.39x, mixture 1.66x mean "
+      "(1.54x median) over the OpenMP default");
+
+  exp::Driver Driver;
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  const auto &PolicyNames = exp::PolicySet::standardPolicies();
+
+  Table T("Speedup over OpenMP default (hmean over all benchmarks)");
+  T.addRow();
+  T.addCell("scenario");
+  for (const std::string &P : PolicyNames)
+    T.addCell(P);
+
+  // Per-policy collection of every (scenario, target) speedup for the
+  // overall mean/median row.
+  std::vector<std::vector<double>> All(PolicyNames.size());
+
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios()) {
+    exp::SpeedupMatrix M = exp::computeSpeedupMatrix(
+        Driver, Policies, workload::Catalog::evaluationTargets(),
+        PolicyNames, S);
+    auto H = M.hmeanPerPolicy();
+    T.addRow();
+    T.addCell(S.Name);
+    for (size_t P = 0; P < PolicyNames.size(); ++P) {
+      T.addCell(H[P]);
+      for (size_t R = 0; R < M.Targets.size(); ++R)
+        All[P].push_back(M.Values[R][P]);
+    }
+  }
+
+  T.addRow();
+  T.addCell("overall hmean");
+  for (auto &V : All)
+    T.addCell(harmonicMean(V));
+  T.addRow();
+  T.addCell("overall median");
+  for (auto &V : All)
+    T.addCell(median(V));
+  T.print(std::cout);
+
+  std::cout << "\npaper shape check: mixture must be the best policy in "
+               "every scenario row.\n";
+  return 0;
+}

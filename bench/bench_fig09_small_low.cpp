@@ -1,0 +1,21 @@
+//===-- bench/bench_fig09_small_low.cpp - Figure 9 ------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 9 (small workload, low-frequency hardware change). Paper: mixture 1.5x over default, 1.3x over online, 1.22x over offline, 1.09x over analytic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace medley;
+
+int main() {
+  bench::runSpeedupFigure(
+      "Figure 9 (small workload, low-frequency hardware change)",
+      "mixture 1.5x over default, 1.3x over online, 1.22x over offline, 1.09x over analytic",
+      exp::Scenario::smallLow());
+  return 0;
+}

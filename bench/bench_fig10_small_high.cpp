@@ -1,0 +1,21 @@
+//===-- bench/bench_fig10_small_high.cpp - Figure 10 ------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 10 (small workload, high-frequency hardware change). Paper: mixture 1.51x over default, 1.41x over online, 1.19x over offline, 1.12x over analytic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace medley;
+
+int main() {
+  bench::runSpeedupFigure(
+      "Figure 10 (small workload, high-frequency hardware change)",
+      "mixture 1.51x over default, 1.41x over online, 1.19x over offline, 1.12x over analytic",
+      exp::Scenario::smallHigh());
+  return 0;
+}

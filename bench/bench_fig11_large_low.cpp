@@ -1,0 +1,21 @@
+//===-- bench/bench_fig11_large_low.cpp - Figure 11 ------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 11 (large workload, low-frequency hardware change). Paper: mixture 1.74x over default, 1.31x over online, 1.23x over offline, 1.13x over analytic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace medley;
+
+int main() {
+  bench::runSpeedupFigure(
+      "Figure 11 (large workload, low-frequency hardware change)",
+      "mixture 1.74x over default, 1.31x over online, 1.23x over offline, 1.13x over analytic",
+      exp::Scenario::largeLow());
+  return 0;
+}

@@ -1,0 +1,21 @@
+//===-- bench/bench_fig12_large_high.cpp - Figure 12 ------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 12 (large workload, high-frequency hardware change). Paper: mixture 1.62x over default, 1.34x over online, 1.22x over offline, 1.15x over analytic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace medley;
+
+int main() {
+  bench::runSpeedupFigure(
+      "Figure 12 (large workload, high-frequency hardware change)",
+      "mixture 1.62x over default, 1.34x over online, 1.22x over offline, 1.15x over analytic",
+      exp::Scenario::largeHigh());
+  return 0;
+}

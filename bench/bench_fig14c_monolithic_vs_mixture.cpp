@@ -1,0 +1,68 @@
+//===-- bench/bench_fig14c_monolithic_vs_mixture.cpp - Figure 14(c) -------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 14(c): "Evaluation of monolithic model vs mixture of experts" —
+// one aggregate model trained on the union of all the experts' training
+// data against the 4-expert mixture. Paper: the mixture improves 1.22x
+// over the aggregate; the one-size-fits-all model fails to cover the
+// regimes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "policy/OfflinePolicy.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+int main() {
+  bench::printBanner(
+      "Figure 14(c) (monolithic aggregate model vs mixture)",
+      "a single model with the same total training data loses 22% to the "
+      "mixture — the failure of one-size-fits-all");
+
+  exp::Driver Driver;
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+
+  // The aggregate model: one thread predictor over the experts' full
+  // corpus (both platforms, dynamic availability).
+  LinearModel Aggregate = Policies.builder().monolithicThreadModel();
+  policy::PolicyFactory AggregateFactory = [Aggregate] {
+    return std::make_unique<policy::OfflinePolicy>(Aggregate, "aggregate");
+  };
+  policy::PolicyFactory Mixture = Policies.factory("mixture");
+
+  Table T("Speedup over OpenMP default (hmean over all benchmarks)");
+  T.addRow({"scenario", "aggregate", "mixture", "mixture/aggregate"});
+  std::vector<double> AggAll, MixAll;
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios()) {
+    std::vector<double> Agg, Mix;
+    for (const std::string &Target :
+         workload::Catalog::evaluationTargets()) {
+      Agg.push_back(Driver.speedup(Target, AggregateFactory, S));
+      Mix.push_back(Driver.speedup(Target, Mixture, S));
+    }
+    AggAll.insert(AggAll.end(), Agg.begin(), Agg.end());
+    MixAll.insert(MixAll.end(), Mix.begin(), Mix.end());
+    T.addRow();
+    T.addCell(S.Name);
+    T.addCell(harmonicMean(Agg));
+    T.addCell(harmonicMean(Mix));
+    T.addCell(harmonicMean(Mix) / harmonicMean(Agg));
+  }
+  T.addRow();
+  T.addCell("overall");
+  T.addCell(harmonicMean(AggAll));
+  T.addCell(harmonicMean(MixAll));
+  T.addCell(harmonicMean(MixAll) / harmonicMean(AggAll));
+  T.print(std::cout);
+  return 0;
+}

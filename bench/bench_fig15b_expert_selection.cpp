@@ -1,0 +1,66 @@
+//===-- bench/bench_fig15b_expert_selection.cpp - Figure 15(b) ------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 15(b): how often each expert is chosen in each scenario. Paper:
+// one expert dominates each scenario (60%+), yet every expert is selected
+// at some point in every scenario — experts transfer to scenarios they
+// were not trained for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+int main() {
+  bench::printBanner(
+      "Figure 15(b) (expert selection frequency per scenario)",
+      "a different expert dominates each scenario, but all experts are "
+      "selected at some point everywhere");
+
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  const auto &Built = Policies.builtExperts(4);
+
+  Table T("Fraction of decisions attributed to each expert");
+  T.addRow();
+  T.addCell("scenario");
+  for (const core::BuiltExpert &B : Built)
+    T.addCell(B.E.name());
+  T.addCell("dominant");
+
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios()) {
+    auto Stats = std::make_shared<core::MoeStats>(4);
+    auto Factory = Policies.mixtureFactory(4, "regime", Stats);
+    exp::Driver Driver;
+    for (const std::string &Target : workload::Catalog::evaluationTargets())
+      for (const workload::WorkloadSet &Set : S.workloadSets())
+        Driver.measure(Target, Factory, S, &Set);
+
+    T.addRow();
+    T.addCell(S.Name);
+    size_t Dominant = 0;
+    for (size_t K = 0; K < 4; ++K) {
+      T.addCell(Stats->selectionFrequency(K), 3);
+      if (Stats->selectionFrequency(K) >
+          Stats->selectionFrequency(Dominant))
+        Dominant = K;
+    }
+    T.addCell(Built[Dominant].E.name() + " (" +
+              Built[Dominant].E.description() + ")");
+  }
+  T.print(std::cout);
+
+  std::cout << "\nexpert roles:";
+  for (const core::BuiltExpert &B : Built)
+    std::cout << "  " << B.E.name() << "=" << B.E.description();
+  std::cout << "\n";
+  return 0;
+}

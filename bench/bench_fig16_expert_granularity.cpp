@@ -1,0 +1,78 @@
+//===-- bench/bench_fig16_expert_granularity.cpp - Figure 16 --------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 16: finer expert granularity (Section 8.4) — the monolithic
+// model against mixtures of 2, 4 and 8 experts. Paper (small/low):
+// monolithic < 4 experts (1.55x) < 8 experts (1.63x). We report all four
+// dynamic scenarios: the benefit of granularity concentrates where the
+// regimes are most diverse (large workloads, fast hardware change).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+namespace {
+
+double hmeanOverTargets(exp::Driver &D, const policy::PolicyFactory &F,
+                        const exp::Scenario &S) {
+  std::vector<double> V;
+  for (const std::string &Target : workload::Catalog::evaluationTargets())
+    V.push_back(D.speedup(Target, F, S));
+  return harmonicMean(V);
+}
+
+} // namespace
+
+int main() {
+  bench::printBanner(
+      "Figure 16 (expert granularity: 1 vs 2 vs 4 vs 8 experts)",
+      "more, finer-grained experts help: monolithic < 4 experts (1.55x) < "
+      "8 experts (1.63x)");
+
+  exp::Driver Driver;
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+
+  Table T("Speedup over OpenMP default (hmean over all benchmarks)");
+  T.addRow();
+  T.addCell("experts");
+  for (const exp::Scenario &S : exp::Scenario::dynamicScenarios())
+    T.addCell(S.Name);
+  T.addCell("overall");
+
+  struct Config {
+    const char *Label;
+    unsigned K;
+    const char *Selector;
+  };
+  const Config Configs[] = {
+      {"monolithic (1)", 1, "accuracy"},
+      {"2 experts", 2, "regime"},
+      {"4 experts", 4, "regime"},
+      {"8 experts", 8, "regime"},
+  };
+  for (const Config &C : Configs) {
+    T.addRow();
+    T.addCell(C.Label);
+    std::vector<double> All;
+    for (const exp::Scenario &S : exp::Scenario::dynamicScenarios()) {
+      double V = hmeanOverTargets(
+          Driver, Policies.mixtureFactory(C.K, C.Selector), S);
+      All.push_back(V);
+      T.addCell(V);
+    }
+    T.addCell(harmonicMean(All));
+  }
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===-- bench/bench_fig17_thread_distribution.cpp - Figure 17 -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 17: the distribution of thread numbers predicted by each expert
+// and by the mixture, per scenario. Paper: experts' predicted ranges
+// differ systematically (one prefers large teams, another small) and the
+// mixture picks the appropriate one per case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "workload/Catalog.h"
+
+#include <iostream>
+
+using namespace medley;
+
+int main() {
+  bench::printBanner(
+      "Figure 17 (distribution of predicted thread numbers)",
+      "experts predict systematically different thread ranges; the mixture "
+      "follows whichever suits the scenario");
+
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  const auto &Built = Policies.builtExperts(4);
+
+  for (const exp::Scenario &S :
+       {exp::Scenario::smallLow(), exp::Scenario::largeHigh()}) {
+    auto Stats = std::make_shared<core::MoeStats>(4);
+    auto Factory = Policies.mixtureFactory(4, "regime", Stats);
+    exp::Driver Driver;
+    for (const std::string &Target : workload::Catalog::evaluationTargets())
+      for (const workload::WorkloadSet &Set : S.workloadSets())
+        Driver.measure(Target, Factory, S, &Set);
+
+    Table T("Thread-count buckets, scenario " + S.Name);
+    T.addRow({"predictor", "1-8", "9-16", "17-24", "25-32", "mean"});
+    auto addRow = [&](const std::string &Label, const Histogram &H) {
+      std::vector<size_t> B = H.bucketize(8, 32);
+      T.addRow();
+      T.addCell(Label);
+      for (size_t Count : B)
+        T.addCell(formatDouble(
+            H.total() ? 100.0 * double(Count) / double(H.total()) : 0.0,
+            1) + "%");
+      T.addCell(H.meanValue());
+    };
+    for (size_t K = 0; K < 4; ++K)
+      addRow(Built[K].E.name() + " (" + Built[K].E.description() + ")",
+             Stats->ExpertThreads[K]);
+    addRow("mixture M", Stats->MixtureThreads);
+    T.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

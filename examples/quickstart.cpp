@@ -1,0 +1,51 @@
+//===-- examples/quickstart.cpp - Medley in five minutes ----------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: train the experts, co-execute a NAS target with an external
+// workload on a dynamic 32-core machine, and compare the mixture-of-experts
+// policy against the OpenMP default and the adaptive baselines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Driver.h"
+#include "exp/PolicySet.h"
+#include "exp/Reporter.h"
+
+#include <iostream>
+
+using namespace medley;
+
+int main() {
+  std::cout << "Medley quickstart\n=================\n\n";
+
+  // 1. Train the experts (one-off; NAS programs on 12- and 32-core
+  //    platforms, split by scaling behaviour as in the paper's Figure 5).
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  std::cout << "Trained experts (4-expert mixture):\n";
+  for (const core::Expert &E : *Policies.experts(4))
+    std::cout << "  " << E.name() << ": " << E.description()
+              << "  (mean training ||e|| = " << E.meanTrainingEnv() << ")\n";
+  std::cout << '\n';
+
+  // 2. Pick a dynamic scenario: the target co-executes with a small
+  //    external workload while processor availability changes every 20 s.
+  exp::Driver Driver;
+  exp::Scenario Scen = exp::Scenario::smallLow();
+
+  // 3. Compare policies on one target program.
+  const std::string Target = "lu";
+  std::vector<std::string> Names = {"online", "offline", "analytic",
+                                    "mixture"};
+  std::vector<double> Speedups;
+  for (const std::string &Name : Names)
+    Speedups.push_back(
+        Driver.speedup(Target, Policies.factory(Name), Scen));
+
+  std::cout << "Speedup over the OpenMP default for target '" << Target
+            << "' (" << Scen.Name << "):\n";
+  exp::printBars(std::cout, "", Names, Speedups);
+  return 0;
+}

@@ -1,0 +1,156 @@
+//===-- core/ExpertIo.cpp - Expert (de)serialisation ----------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ExpertIo.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+using namespace medley;
+using namespace medley::core;
+
+namespace {
+
+constexpr const char *Magic = "medley-experts";
+constexpr int Version = 1;
+
+void writeVec(std::ostream &OS, const Vec &V) {
+  for (double X : V)
+    OS << ' ' << X;
+}
+
+bool readVec(std::istream &IS, size_t N, Vec &Out) {
+  Out.resize(N);
+  for (size_t I = 0; I < N; ++I)
+    if (!(IS >> Out[I]))
+      return false;
+  return true;
+}
+
+/// Expects the literal token \p Expected next on the stream.
+bool expectToken(std::istream &IS, const std::string &Expected) {
+  std::string Token;
+  return (IS >> Token) && Token == Expected;
+}
+
+void writeModel(std::ostream &OS, const char *Tag, const LinearModel &M) {
+  OS << Tag << " means";
+  writeVec(OS, M.scaler().means());
+  OS << " scales";
+  writeVec(OS, M.scaler().scales());
+  OS << " weights";
+  writeVec(OS, M.weights());
+  OS << " intercept " << M.intercept() << " r2 " << M.trainingR2() << '\n';
+}
+
+std::optional<LinearModel> readModel(std::istream &IS, const char *Tag,
+                                     size_t Dim, const std::string &Name) {
+  if (!expectToken(IS, Tag) || !expectToken(IS, "means"))
+    return std::nullopt;
+  Vec Means, Scales, Weights;
+  if (!readVec(IS, Dim, Means))
+    return std::nullopt;
+  if (!expectToken(IS, "scales") || !readVec(IS, Dim, Scales))
+    return std::nullopt;
+  if (!expectToken(IS, "weights") || !readVec(IS, Dim, Weights))
+    return std::nullopt;
+  double Intercept = 0.0, R2 = 0.0;
+  if (!expectToken(IS, "intercept") || !(IS >> Intercept))
+    return std::nullopt;
+  if (!expectToken(IS, "r2") || !(IS >> R2))
+    return std::nullopt;
+  for (double S : Scales)
+    if (S <= 0.0)
+      return std::nullopt;
+
+  LinearFit Fit;
+  Fit.Weights = std::move(Weights);
+  Fit.Intercept = Intercept;
+  Fit.R2 = R2;
+  return LinearModel(
+      FeatureScaler::fromMoments(std::move(Means), std::move(Scales)),
+      std::move(Fit), Name);
+}
+
+} // namespace
+
+bool medley::core::writeExperts(std::ostream &OS,
+                                const std::vector<Expert> &Experts) {
+  if (Experts.empty())
+    return false;
+  size_t Dim = policy::NumFeatures;
+  for (const Expert &E : Experts)
+    if (!E.threadModel() || !E.envModel())
+      return false; // External experts cannot round-trip.
+
+  OS << Magic << ' ' << Version << '\n';
+  OS << "experts " << Experts.size() << " features " << Dim << '\n';
+  OS << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const Expert &E : Experts) {
+    OS << "expert " << E.name() << ' ' << E.meanTrainingEnv() << '\n';
+    OS << "description " << E.description() << '\n';
+    writeModel(OS, "w", *E.threadModel());
+    writeModel(OS, "m", *E.envModel());
+  }
+  return static_cast<bool>(OS);
+}
+
+std::optional<std::vector<Expert>> medley::core::readExperts(std::istream &IS) {
+  std::string Token;
+  int FileVersion = 0;
+  if (!(IS >> Token) || Token != Magic || !(IS >> FileVersion) ||
+      FileVersion != Version)
+    return std::nullopt;
+
+  size_t Count = 0, Dim = 0;
+  if (!expectToken(IS, "experts") || !(IS >> Count))
+    return std::nullopt;
+  if (!expectToken(IS, "features") || !(IS >> Dim))
+    return std::nullopt;
+  if (Count == 0 || Count > 1024 || Dim != policy::NumFeatures)
+    return std::nullopt;
+
+  std::vector<Expert> Experts;
+  Experts.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    std::string Name;
+    double MeanEnv = 0.0;
+    if (!expectToken(IS, "expert") || !(IS >> Name) || !(IS >> MeanEnv))
+      return std::nullopt;
+    if (!expectToken(IS, "description"))
+      return std::nullopt;
+    std::string Description;
+    std::getline(IS >> std::ws, Description);
+
+    std::optional<LinearModel> W = readModel(IS, "w", Dim, "w:" + Name);
+    if (!W)
+      return std::nullopt;
+    std::optional<LinearModel> M = readModel(IS, "m", Dim, "m:" + Name);
+    if (!M)
+      return std::nullopt;
+    Experts.emplace_back(Name, Description, std::move(*W), std::move(*M),
+                         MeanEnv);
+  }
+  return Experts;
+}
+
+bool medley::core::saveExpertsToFile(const std::string &Path,
+                                     const std::vector<Expert> &Experts) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  return writeExperts(OS, Experts);
+}
+
+std::optional<std::vector<Expert>>
+medley::core::loadExpertsFromFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return std::nullopt;
+  return readExperts(IS);
+}

@@ -1,0 +1,54 @@
+//===-- core/ExpertIo.h - Expert (de)serialisation --------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text (de)serialisation of trained linear experts. Training is a one-off
+/// cost (Section 5.2.1); saving the resulting (w, m) pairs makes that
+/// literal across process boundaries — a runtime can ship with a trained
+/// expert file and never retrain. The format is a line-oriented,
+/// whitespace-tokenised text format (stable, diffable, no dependencies):
+///
+///   medley-experts 1
+///   experts <count> features <dim>
+///   expert <name-token> <meanTrainingEnv>
+///   description <free text to end of line>
+///   w means <dim doubles> scales <dim doubles> weights <dim doubles>
+///     intercept <double> r2 <double>
+///   m ... (same shape)
+///
+/// Only linear experts round-trip; external/function-backed experts are
+/// rejected by writeExperts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_CORE_EXPERTIO_H
+#define MEDLEY_CORE_EXPERTIO_H
+
+#include "core/Expert.h"
+
+#include <iosfwd>
+#include <optional>
+
+namespace medley::core {
+
+/// Serialises \p Experts to \p OS. Returns false (writing nothing useful)
+/// if any expert is not linear.
+bool writeExperts(std::ostream &OS, const std::vector<Expert> &Experts);
+
+/// Parses experts previously written by writeExperts. Returns std::nullopt
+/// on any malformed input (wrong magic, truncated numbers, arity
+/// mismatches).
+std::optional<std::vector<Expert>> readExperts(std::istream &IS);
+
+/// Convenience file wrappers; false / nullopt on I/O failure.
+bool saveExpertsToFile(const std::string &Path,
+                       const std::vector<Expert> &Experts);
+std::optional<std::vector<Expert>>
+loadExpertsFromFile(const std::string &Path);
+
+} // namespace medley::core
+
+#endif // MEDLEY_CORE_EXPERTIO_H

@@ -1,0 +1,440 @@
+//===-- core/ExpertSelector.cpp - Online expert selection ----------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ExpertSelector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::core;
+
+ExpertSelector::ExpertSelector(size_t NumExperts) : NumExperts(NumExperts) {
+  assert(NumExperts >= 1 && "selector needs at least one expert");
+}
+
+ExpertSelector::~ExpertSelector() = default;
+
+size_t ExpertSelector::winnerOf(const Vec &Errors) {
+  assert(!Errors.empty() && "empty error vector");
+  return static_cast<size_t>(
+      std::min_element(Errors.begin(), Errors.end()) - Errors.begin());
+}
+
+bool ExpertSelector::blendWeights(const Vec &, Vec &) { return false; }
+
+Vec ExpertSelector::softmaxOfErrors(const Vec &Errors) {
+  assert(!Errors.empty() && "empty error vector");
+  double Mean = 0.0;
+  for (double E : Errors)
+    Mean += E;
+  Mean /= static_cast<double>(Errors.size());
+  double Tau = std::max(1e-9, 0.3 * Mean);
+
+  Vec Weights(Errors.size());
+  double Sum = 0.0;
+  double MinError = *std::min_element(Errors.begin(), Errors.end());
+  for (size_t K = 0; K < Errors.size(); ++K) {
+    Weights[K] = std::exp(-(Errors[K] - MinError) / Tau);
+    Sum += Weights[K];
+  }
+  for (double &W : Weights)
+    W /= Sum;
+  return Weights;
+}
+
+//===----------------------------------------------------------------------===//
+// HyperplaneSelector
+//===----------------------------------------------------------------------===//
+
+HyperplaneSelector::HyperplaneSelector(size_t NumExperts, FeatureScaler Scaler,
+                                       double LearningRate)
+    : ExpertSelector(NumExperts), Scaler(std::move(Scaler)),
+      LearningRate(LearningRate) {
+  assert(LearningRate > 0.0 && LearningRate <= 1.0 && "invalid learning rate");
+  initBoundaries();
+}
+
+void HyperplaneSelector::initBoundaries() {
+  // "We initially partition the space evenly": the norm of a standardised
+  // d-vector concentrates around sqrt(d), so spread the K regions across
+  // [0, 2 sqrt(d)].
+  Boundaries.assign(NumExperts > 0 ? NumExperts - 1 : 0, 0.0);
+  double Span = 2.0 * std::sqrt(static_cast<double>(Scaler.dimension()));
+  for (size_t I = 0; I + 1 < NumExperts; ++I)
+    Boundaries[I] = Span * static_cast<double>(I + 1) /
+                    static_cast<double>(NumExperts);
+}
+
+double HyperplaneSelector::project(const Vec &Features) const {
+  return norm2(Scaler.transform(Features));
+}
+
+size_t HyperplaneSelector::select(const Vec &Features) {
+  double S = project(Features);
+  // Region k is (Boundaries[k-1], Boundaries[k]]; the last region is open.
+  for (size_t K = 0; K + 1 < NumExperts; ++K)
+    if (S <= Boundaries[K])
+      return K;
+  return NumExperts - 1;
+}
+
+void HyperplaneSelector::update(const Vec &Features, const Vec &Errors) {
+  assert(Errors.size() == NumExperts && "error vector arity mismatch");
+  size_t BestExpert = winnerOf(Errors);
+  size_t Predicted = select(Features);
+  if (Predicted == BestExpert)
+    return;
+
+  // Move the boundary between the predicted and correct regions toward the
+  // misclassified point so it lands on the correct side next time.
+  double S = project(Features);
+  if (BestExpert < Predicted) {
+    // The point should be in a lower region: raise the boundary below the
+    // predicted region above S.
+    size_t B = Predicted - 1;
+    Boundaries[B] += LearningRate * (S - Boundaries[B]) + 1e-6;
+  } else {
+    // The point should be in a higher region: push the boundary above the
+    // predicted region below S.
+    size_t B = Predicted;
+    Boundaries[B] += LearningRate * (S - Boundaries[B]) - 1e-6;
+  }
+  // Keep boundaries ordered.
+  for (size_t I = 1; I < Boundaries.size(); ++I)
+    Boundaries[I] = std::max(Boundaries[I], Boundaries[I - 1]);
+}
+
+void HyperplaneSelector::reset() { initBoundaries(); }
+
+std::unique_ptr<ExpertSelector> HyperplaneSelector::clone() const {
+  return std::make_unique<HyperplaneSelector>(NumExperts, Scaler,
+                                              LearningRate);
+}
+
+const std::string &HyperplaneSelector::name() const {
+  static const std::string Name = "hyperplane";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// PerceptronSelector
+//===----------------------------------------------------------------------===//
+
+PerceptronSelector::PerceptronSelector(size_t NumExperts, FeatureScaler Scaler,
+                                       double LearningRate)
+    : ExpertSelector(NumExperts), Scaler(std::move(Scaler)),
+      LearningRate(LearningRate) {
+  assert(LearningRate > 0.0 && "invalid learning rate");
+  reset();
+}
+
+Vec PerceptronSelector::augmented(const Vec &Features) const {
+  Vec X = Scaler.transform(Features);
+  X.push_back(1.0); // Bias term.
+  return X;
+}
+
+size_t PerceptronSelector::select(const Vec &Features) {
+  if (!Trained) {
+    // Before any supervision, fall back to the expert with the most recent
+    // wins (all equal initially, so expert 0 — the even initial partition
+    // is refined as soon as updates arrive).
+    return static_cast<size_t>(
+        std::max_element(RecentWins.begin(), RecentWins.end()) -
+        RecentWins.begin());
+  }
+  Vec X = augmented(Features);
+  size_t Best = 0;
+  double BestScore = dot(Weights[0], X);
+  for (size_t K = 1; K < NumExperts; ++K) {
+    double Score = dot(Weights[K], X);
+    if (Score > BestScore) {
+      BestScore = Score;
+      Best = K;
+    }
+  }
+  return Best;
+}
+
+void PerceptronSelector::update(const Vec &Features, const Vec &Errors) {
+  assert(Errors.size() == NumExperts && "error vector arity mismatch");
+  size_t BestExpert = winnerOf(Errors);
+  for (size_t K = 0; K < NumExperts; ++K)
+    RecentWins[K] = 0.95 * RecentWins[K] + (K == BestExpert ? 0.05 : 0.0);
+
+  size_t Predicted = select(Features);
+  Trained = true;
+  if (Predicted == BestExpert)
+    return;
+
+  // Standard multiclass perceptron step.
+  Vec X = augmented(Features);
+  axpy(Weights[BestExpert], LearningRate, X);
+  axpy(Weights[Predicted], -LearningRate, X);
+}
+
+void PerceptronSelector::reset() {
+  Weights.assign(NumExperts, Vec(Scaler.dimension() + 1, 0.0));
+  RecentWins.assign(NumExperts, 1.0 / static_cast<double>(NumExperts));
+  Trained = false;
+}
+
+std::unique_ptr<ExpertSelector> PerceptronSelector::clone() const {
+  return std::make_unique<PerceptronSelector>(NumExperts, Scaler,
+                                              LearningRate);
+}
+
+const std::string &PerceptronSelector::name() const {
+  static const std::string Name = "perceptron";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// AccuracySelector
+//===----------------------------------------------------------------------===//
+
+AccuracySelector::AccuracySelector(size_t NumExperts, double Alpha)
+    : ExpertSelector(NumExperts), Alpha(Alpha) {
+  assert(Alpha > 0.0 && Alpha <= 1.0 && "invalid EMA step");
+  reset();
+}
+
+size_t AccuracySelector::select(const Vec &) {
+  return winnerOf(ErrorEma);
+}
+
+void AccuracySelector::update(const Vec &, const Vec &Errors) {
+  assert(Errors.size() == NumExperts && "error vector arity mismatch");
+  if (!Trained) {
+    ErrorEma = Errors;
+    Trained = true;
+    return;
+  }
+  for (size_t K = 0; K < NumExperts; ++K)
+    ErrorEma[K] += Alpha * (Errors[K] - ErrorEma[K]);
+}
+
+bool AccuracySelector::blendWeights(const Vec &, Vec &Weights) {
+  if (!Trained)
+    return false;
+  Weights = softmaxOfErrors(ErrorEma);
+  return true;
+}
+
+void AccuracySelector::reset() {
+  ErrorEma.assign(NumExperts, 0.0);
+  Trained = false;
+}
+
+std::unique_ptr<ExpertSelector> AccuracySelector::clone() const {
+  return std::make_unique<AccuracySelector>(NumExperts, Alpha);
+}
+
+const std::string &AccuracySelector::name() const {
+  static const std::string Name = "accuracy";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// BinnedAccuracySelector
+//===----------------------------------------------------------------------===//
+
+BinnedAccuracySelector::BinnedAccuracySelector(size_t NumExperts,
+                                               FeatureScaler Scaler,
+                                               size_t NumBins, double Alpha)
+    : ExpertSelector(NumExperts), Scaler(std::move(Scaler)), NumBins(NumBins),
+      Alpha(Alpha) {
+  assert(NumBins >= 1 && "need at least one bin");
+  assert(Alpha > 0.0 && Alpha <= 1.0 && "invalid EMA step");
+  reset();
+}
+
+size_t BinnedAccuracySelector::binOf(const Vec &Features) const {
+  // The norm of a standardised d-vector concentrates around sqrt(d); map
+  // [0, 2 sqrt(d)) onto the bins.
+  double Span = 2.0 * std::sqrt(static_cast<double>(Scaler.dimension()));
+  double S = norm2(Scaler.transform(Features));
+  auto Bin = static_cast<size_t>(S / Span * static_cast<double>(NumBins));
+  return std::min(Bin, NumBins - 1);
+}
+
+size_t BinnedAccuracySelector::select(const Vec &Features) {
+  if (!Trained)
+    return 0;
+  size_t Bin = binOf(Features);
+  return winnerOf(BinTouched[Bin] ? BinErrors[Bin] : GlobalErrors);
+}
+
+void BinnedAccuracySelector::update(const Vec &Features, const Vec &Errors) {
+  assert(Errors.size() == NumExperts && "error vector arity mismatch");
+  size_t Bin = binOf(Features);
+  if (!Trained) {
+    GlobalErrors = Errors;
+    Trained = true;
+  } else {
+    for (size_t K = 0; K < NumExperts; ++K)
+      GlobalErrors[K] += Alpha * (Errors[K] - GlobalErrors[K]);
+  }
+  if (!BinTouched[Bin]) {
+    BinErrors[Bin] = Errors;
+    BinTouched[Bin] = true;
+    return;
+  }
+  for (size_t K = 0; K < NumExperts; ++K)
+    BinErrors[Bin][K] += Alpha * (Errors[K] - BinErrors[Bin][K]);
+}
+
+bool BinnedAccuracySelector::blendWeights(const Vec &Features, Vec &Weights) {
+  if (!Trained)
+    return false;
+  size_t Bin = binOf(Features);
+  Weights = softmaxOfErrors(BinTouched[Bin] ? BinErrors[Bin] : GlobalErrors);
+  return true;
+}
+
+void BinnedAccuracySelector::reset() {
+  BinErrors.assign(NumBins, Vec(NumExperts, 0.0));
+  BinTouched.assign(NumBins, false);
+  GlobalErrors.assign(NumExperts, 0.0);
+  Trained = false;
+}
+
+std::unique_ptr<ExpertSelector> BinnedAccuracySelector::clone() const {
+  return std::make_unique<BinnedAccuracySelector>(NumExperts, Scaler, NumBins,
+                                                  Alpha);
+}
+
+const std::string &BinnedAccuracySelector::name() const {
+  static const std::string Name = "binned-accuracy";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// RegimeSelector
+//===----------------------------------------------------------------------===//
+
+RegimeSelector::RegimeSelector(std::vector<int> RegimeTags, double Alpha)
+    : ExpertSelector(RegimeTags.size()), RegimeTags(std::move(RegimeTags)),
+      Alpha(Alpha) {
+  assert(Alpha > 0.0 && Alpha <= 1.0 && "invalid EMA step");
+  reset();
+}
+
+bool RegimeSelector::contended(const Vec &Features) {
+  // f6 (runq-sz) vs f5 (processors); see policy::featureNames().
+  assert(Features.size() >= 6 && "feature vector too short");
+  return Features[5] > Features[4];
+}
+
+std::vector<size_t> RegimeSelector::candidates(const Vec &Features) const {
+  int Want = contended(Features) ? 1 : 0;
+  std::vector<size_t> Matching;
+  for (size_t K = 0; K < NumExperts; ++K)
+    if (RegimeTags[K] == Want || RegimeTags[K] == -1)
+      Matching.push_back(K);
+  if (Matching.empty())
+    for (size_t K = 0; K < NumExperts; ++K)
+      Matching.push_back(K);
+  return Matching;
+}
+
+size_t RegimeSelector::select(const Vec &Features) {
+  std::vector<size_t> Matching = candidates(Features);
+  size_t Best = Matching.front();
+  for (size_t K : Matching)
+    if (ErrorEma[K] < ErrorEma[Best])
+      Best = K;
+  return Best;
+}
+
+void RegimeSelector::update(const Vec &, const Vec &Errors) {
+  assert(Errors.size() == NumExperts && "error vector arity mismatch");
+  if (!Trained) {
+    ErrorEma = Errors;
+    Trained = true;
+    return;
+  }
+  for (size_t K = 0; K < NumExperts; ++K)
+    ErrorEma[K] += Alpha * (Errors[K] - ErrorEma[K]);
+}
+
+bool RegimeSelector::blendWeights(const Vec &Features, Vec &Weights) {
+  if (!Trained)
+    return false;
+  std::vector<size_t> Matching = candidates(Features);
+  Vec Errors;
+  Errors.reserve(Matching.size());
+  for (size_t K : Matching)
+    Errors.push_back(ErrorEma[K]);
+  Vec Inner = softmaxOfErrors(Errors);
+  Weights.assign(NumExperts, 0.0);
+  for (size_t I = 0; I < Matching.size(); ++I)
+    Weights[Matching[I]] = Inner[I];
+  return true;
+}
+
+void RegimeSelector::reset() {
+  ErrorEma.assign(NumExperts, 0.0);
+  Trained = false;
+}
+
+std::unique_ptr<ExpertSelector> RegimeSelector::clone() const {
+  return std::make_unique<RegimeSelector>(RegimeTags, Alpha);
+}
+
+const std::string &RegimeSelector::name() const {
+  static const std::string Name = "regime";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// RandomSelector
+//===----------------------------------------------------------------------===//
+
+RandomSelector::RandomSelector(size_t NumExperts, uint64_t Seed)
+    : ExpertSelector(NumExperts), Seed(Seed), Generator(Seed) {}
+
+size_t RandomSelector::select(const Vec &) {
+  return static_cast<size_t>(
+      Generator.uniformInt(0, static_cast<int64_t>(NumExperts) - 1));
+}
+
+void RandomSelector::update(const Vec &, const Vec &) {}
+
+void RandomSelector::reset() { Generator = Rng(Seed); }
+
+std::unique_ptr<ExpertSelector> RandomSelector::clone() const {
+  return std::make_unique<RandomSelector>(NumExperts, Seed);
+}
+
+const std::string &RandomSelector::name() const {
+  static const std::string Name = "random";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// FixedSelector
+//===----------------------------------------------------------------------===//
+
+FixedSelector::FixedSelector(size_t NumExperts, size_t Index)
+    : ExpertSelector(NumExperts), Index(Index) {
+  assert(Index < NumExperts && "fixed expert index out of range");
+}
+
+size_t FixedSelector::select(const Vec &) { return Index; }
+
+void FixedSelector::update(const Vec &, const Vec &) {}
+
+std::unique_ptr<ExpertSelector> FixedSelector::clone() const {
+  return std::make_unique<FixedSelector>(NumExperts, Index);
+}
+
+const std::string &FixedSelector::name() const {
+  static const std::string Name = "fixed";
+  return Name;
+}

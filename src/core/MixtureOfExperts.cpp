@@ -1,0 +1,124 @@
+//===-- core/MixtureOfExperts.cpp - The mixture policy -------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MixtureOfExperts.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::core;
+
+MixtureOfExperts::MixtureOfExperts(
+    std::shared_ptr<const std::vector<Expert>> Experts,
+    std::unique_ptr<ExpertSelector> Selector, std::shared_ptr<MoeStats> Stats,
+    MixtureOptions Options)
+    : Experts(std::move(Experts)), Selector(std::move(Selector)),
+      Stats(std::move(Stats)), Options(Options) {
+  assert(this->Experts && !this->Experts->empty() &&
+         "mixture needs at least one expert");
+  assert(this->Selector &&
+         this->Selector->numExperts() == this->Experts->size() &&
+         "selector arity must match the expert count");
+  assert(!this->Stats || this->Stats->numExperts() == this->Experts->size());
+}
+
+void MixtureOfExperts::judgePreviousDecision(
+    const policy::FeatureVector &Features) {
+  if (!HasPending)
+    return;
+
+  // How far off was each expert's environment prediction made at the
+  // previous region, now that the environment is observable?
+  double Observed = Features.EnvNorm;
+  Vec Errors(PendingEnvPredictions.size());
+  for (size_t K = 0; K < PendingEnvPredictions.size(); ++K)
+    Errors[K] = std::fabs(PendingEnvPredictions[K] - Observed);
+  Selector->update(PendingFeatures, Errors);
+
+  // Experts that learn their environment model online (Section 4.1's
+  // retrofit path) receive the realised observation.
+  for (const Expert &E : *Experts)
+    E.observeEnvironment(PendingFeatures, Observed);
+
+  if (Stats) {
+    double Tolerance =
+        Options.EnvAccuracyTolerance * std::max(Observed, 1e-6);
+    for (size_t K = 0; K < PendingEnvPredictions.size(); ++K) {
+      bool Accurate =
+          std::fabs(PendingEnvPredictions[K] - Observed) <= Tolerance;
+      ++Stats->EnvTotal[K];
+      if (Accurate)
+        ++Stats->EnvAccurate[K];
+    }
+    ++Stats->MixtureEnvTotal;
+    if (std::fabs(PendingEnvPredictions[PendingChosen] - Observed) <=
+        Tolerance)
+      ++Stats->MixtureEnvAccurate;
+  }
+  HasPending = false;
+}
+
+unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
+  judgePreviousDecision(Features);
+
+  size_t Chosen;
+  unsigned Threads;
+  Vec Weights;
+  if (Options.SoftBlend &&
+      Selector->blendWeights(Features.Values, Weights)) {
+    // Soft gating: accuracy-weighted blend of the expert predictions.
+    double Blend = 0.0;
+    double BestWeight = -1.0;
+    Chosen = 0;
+    for (size_t K = 0; K < Experts->size(); ++K) {
+      unsigned N = (*Experts)[K].predictThreads(Features);
+      Blend += Weights[K] * static_cast<double>(N);
+      if (Weights[K] > BestWeight) {
+        BestWeight = Weights[K];
+        Chosen = K;
+      }
+    }
+    long Rounded = std::lround(Blend);
+    Rounded = std::clamp<long>(Rounded, 1,
+                               static_cast<long>(Features.MaxThreads));
+    Threads = static_cast<unsigned>(Rounded);
+  } else {
+    Chosen = Selector->select(Features.Values);
+    assert(Chosen < Experts->size() && "selector returned a bad index");
+    Threads = (*Experts)[Chosen].predictThreads(Features);
+  }
+  LastExpert = Chosen;
+
+  // Stash this decision's environment predictions; they are judged at the
+  // next region, which is the paper's next timestamp.
+  PendingFeatures = Features.Values;
+  PendingEnvPredictions.resize(Experts->size());
+  for (size_t K = 0; K < Experts->size(); ++K)
+    PendingEnvPredictions[K] = (*Experts)[K].predictEnvNorm(Features);
+  PendingChosen = Chosen;
+  HasPending = true;
+
+  if (Stats) {
+    ++Stats->SelectionCounts[Chosen];
+    Stats->MixtureThreads.add(Threads);
+    for (size_t K = 0; K < Experts->size(); ++K)
+      Stats->ExpertThreads[K].add((*Experts)[K].predictThreads(Features));
+  }
+  return Threads;
+}
+
+void MixtureOfExperts::reset() {
+  Selector->reset();
+  HasPending = false;
+  LastExpert = 0;
+}
+
+const std::string &MixtureOfExperts::name() const {
+  static const std::string Name = "mixture";
+  return Name;
+}

@@ -1,0 +1,85 @@
+//===-- core/MixtureOfExperts.h - The mixture policy ------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's contribution as a deployable ThreadPolicy (Sections 4-5).
+/// At every parallel region the policy
+///   1. judges the *previous* decision: each expert's environment
+///      prediction made then is compared against the environment norm
+///      observed now, and the selector is updated with the winner
+///      (M(f_t) = argmin_k | ||ê_t^k|| - ||e_t|| |);
+///   2. asks the selector for the expert best suited to the current
+///      features and emits that expert's thread prediction.
+/// No expert is ever "tried out": evaluation is entirely through the
+/// environment-prediction proxy, so there is no exploration overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_CORE_MIXTUREOFEXPERTS_H
+#define MEDLEY_CORE_MIXTUREOFEXPERTS_H
+
+#include "core/Expert.h"
+#include "core/ExpertSelector.h"
+#include "core/MoeStats.h"
+#include "policy/ThreadPolicy.h"
+
+#include <memory>
+
+namespace medley::core {
+
+/// Options for the mixture policy.
+struct MixtureOptions {
+  /// Relative tolerance for counting an environment prediction "accurate"
+  /// in the Fig-15a bookkeeping (does not affect selection, which always
+  /// uses the closest prediction).
+  double EnvAccuracyTolerance = 0.2;
+
+  /// Soft gating (Jacobs et al.'s original mixture formulation): when the
+  /// selector can provide a weight distribution, blend the experts' thread
+  /// predictions instead of committing to one expert. Statistics still
+  /// attribute each decision to the highest-weight expert.
+  bool SoftBlend = true;
+};
+
+/// Mixture-of-experts thread-selection policy.
+class MixtureOfExperts : public policy::ThreadPolicy {
+public:
+  /// \p Experts is shared (read-only) across policy instances; \p Selector
+  /// is owned and adapts online. \p Stats (optional) aggregates behaviour
+  /// across instances for the analysis figures.
+  MixtureOfExperts(std::shared_ptr<const std::vector<Expert>> Experts,
+                   std::unique_ptr<ExpertSelector> Selector,
+                   std::shared_ptr<MoeStats> Stats = nullptr,
+                   MixtureOptions Options = {});
+
+  unsigned select(const policy::FeatureVector &Features) override;
+  void reset() override;
+  const std::string &name() const override;
+
+  const std::vector<Expert> &experts() const { return *Experts; }
+  const ExpertSelector &selector() const { return *Selector; }
+
+  /// Index of the expert chosen at the most recent decision.
+  size_t lastExpert() const { return LastExpert; }
+
+private:
+  void judgePreviousDecision(const policy::FeatureVector &Features);
+
+  std::shared_ptr<const std::vector<Expert>> Experts;
+  std::unique_ptr<ExpertSelector> Selector;
+  std::shared_ptr<MoeStats> Stats;
+  MixtureOptions Options;
+
+  bool HasPending = false;
+  Vec PendingFeatures;
+  Vec PendingEnvPredictions;
+  size_t PendingChosen = 0;
+  size_t LastExpert = 0;
+};
+
+} // namespace medley::core
+
+#endif // MEDLEY_CORE_MIXTUREOFEXPERTS_H

@@ -1,0 +1,55 @@
+//===-- core/MoeStats.cpp - Mixture bookkeeping --------------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MoeStats.h"
+
+#include <cassert>
+
+using namespace medley;
+using namespace medley::core;
+
+MoeStats::MoeStats(size_t NumExperts)
+    : SelectionCounts(NumExperts, 0), EnvAccurate(NumExperts, 0),
+      EnvTotal(NumExperts, 0), ExpertThreads(NumExperts) {
+  assert(NumExperts >= 1 && "stats need at least one expert");
+}
+
+double MoeStats::selectionFrequency(size_t K) const {
+  assert(K < SelectionCounts.size() && "expert index out of range");
+  size_t Total = 0;
+  for (size_t C : SelectionCounts)
+    Total += C;
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(SelectionCounts[K]) / static_cast<double>(Total);
+}
+
+double MoeStats::envAccuracy(size_t K) const {
+  assert(K < EnvTotal.size() && "expert index out of range");
+  if (EnvTotal[K] == 0)
+    return 0.0;
+  return static_cast<double>(EnvAccurate[K]) /
+         static_cast<double>(EnvTotal[K]);
+}
+
+double MoeStats::mixtureEnvAccuracy() const {
+  if (MixtureEnvTotal == 0)
+    return 0.0;
+  return static_cast<double>(MixtureEnvAccurate) /
+         static_cast<double>(MixtureEnvTotal);
+}
+
+void MoeStats::clear() {
+  size_t N = SelectionCounts.size();
+  SelectionCounts.assign(N, 0);
+  EnvAccurate.assign(N, 0);
+  EnvTotal.assign(N, 0);
+  MixtureEnvAccurate = 0;
+  MixtureEnvTotal = 0;
+  for (Histogram &H : ExpertThreads)
+    H.clear();
+  MixtureThreads.clear();
+}

@@ -1,0 +1,93 @@
+//===-- core/Oracle.cpp - Best-thread-count oracle -----------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::core;
+
+double medley::core::oracleRegionRate(const workload::RegionSpec &Region,
+                                      unsigned Threads, const OracleEnv &Env,
+                                      const sim::MachineConfig &Machine) {
+  assert(Threads >= 1 && "invalid thread count");
+  assert(Env.AvailableCores >= 1 && "invalid environment");
+
+  // Mirror sim::Simulation::step's scheduling maths for a frozen mix.
+  unsigned Runnable = Threads + Env.ExternalThreads;
+  double Ratio =
+      static_cast<double>(Runnable) / static_cast<double>(Env.AvailableCores);
+  double Share = std::min(1.0, 1.0 / Ratio);
+  double BarrierFactor = 1.0;
+  if (Ratio > 1.0) {
+    Share /= 1.0 + Machine.ContextSwitchOverhead * (Ratio - 1.0);
+    BarrierFactor = 1.0 + Machine.BarrierConvoy * (Ratio - 1.0) *
+                              (1.0 - Machine.AffinityBenefit);
+  }
+
+  double Demand = (Env.ExternalMemDemand +
+                   static_cast<double>(Threads) * Region.MemIntensity) *
+                  Share;
+  double DemandRatio = Demand / Machine.MemoryBandwidth;
+  double MemFactor =
+      DemandRatio <= 1.0
+          ? 1.0
+          : std::min(std::pow(DemandRatio, Machine.MemContentionExponent),
+                     Machine.MemFactorCap);
+  if (Machine.AffinityBenefit > 0.0)
+    MemFactor = 1.0 + (MemFactor - 1.0) * (1.0 - Machine.AffinityBenefit);
+
+  sim::CpuAllocation Allocation;
+  Allocation.CpuShare = Share;
+  Allocation.MemFactor = MemFactor;
+  Allocation.BarrierFactor = BarrierFactor;
+  Allocation.CoresPerSocket = Machine.coresPerSocket();
+  Allocation.InterSocketSync = Machine.InterSocketSync;
+  Allocation.AvailableCores = Env.AvailableCores;
+  Allocation.RunnableThreads = Runnable;
+  return workload::regionRate(Region, Threads, Allocation);
+}
+
+unsigned medley::core::oracleBestThreads(const workload::RegionSpec &Region,
+                                         const OracleEnv &Env,
+                                         const sim::MachineConfig &Machine) {
+  unsigned Best = 1;
+  double BestRate = 0.0;
+  for (unsigned N = 1; N <= Machine.TotalCores; ++N) {
+    double Rate = oracleRegionRate(Region, N, Env, Machine);
+    if (Rate > BestRate) {
+      BestRate = Rate;
+      Best = N;
+    }
+  }
+  return Best;
+}
+
+unsigned medley::core::empiricalBestThreads(const workload::RegionSpec &Region,
+                                            const OracleEnv &Env,
+                                            const sim::MachineConfig &Machine,
+                                            Rng &Generator,
+                                            double NoiseStddev) {
+  // The grid an engineer would sweep: powers of two padded with the
+  // socket-sized counts of the machine.
+  static const unsigned Grid[] = {1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32};
+  unsigned Best = 1;
+  double BestRate = 0.0;
+  for (unsigned N : Grid) {
+    if (N > Machine.TotalCores)
+      break;
+    double Rate = oracleRegionRate(Region, N, Env, Machine) *
+                  (1.0 + Generator.normal(0.0, NoiseStddev));
+    if (Rate > BestRate) {
+      BestRate = Rate;
+      Best = N;
+    }
+  }
+  return Best;
+}

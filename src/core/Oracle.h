@@ -1,0 +1,58 @@
+//===-- core/Oracle.h - Best-thread-count oracle ----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the thread count that maximises a region's progress rate under
+/// a given environment state, using the same analytic machine model the
+/// simulator executes. This is the training-data labeller: the paper
+/// obtains labels by repeating runs with varying thread counts and
+/// recording the best; evaluating the simulator's own rate model at every
+/// candidate count is the exact limit of that procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_CORE_ORACLE_H
+#define MEDLEY_CORE_ORACLE_H
+
+#include "sim/Machine.h"
+#include "support/Random.h"
+#include "workload/Region.h"
+
+namespace medley::core {
+
+/// A frozen environment state for oracle queries.
+struct OracleEnv {
+  unsigned AvailableCores = 32;
+  /// External runnable threads (everything except the program deciding).
+  unsigned ExternalThreads = 0;
+  /// External memory-bandwidth demand at full speed (normalised units).
+  double ExternalMemDemand = 0.0;
+};
+
+/// Progress rate of \p Region at \p Threads threads under \p Env on
+/// \p Machine, assuming the environment stays frozen.
+double oracleRegionRate(const workload::RegionSpec &Region, unsigned Threads,
+                        const OracleEnv &Env, const sim::MachineConfig &Machine);
+
+/// argmax over n in [1, Machine.TotalCores] of oracleRegionRate.
+unsigned oracleBestThreads(const workload::RegionSpec &Region,
+                           const OracleEnv &Env,
+                           const sim::MachineConfig &Machine);
+
+/// The label the paper's training procedure would actually produce: the
+/// best thread count found by *measuring* a coarse grid of candidate
+/// counts with multiplicative timing noise of \p NoiseStddev, using
+/// \p Generator. This is the realistic counterpart of oracleBestThreads
+/// ("runs are repeated by varying the number of threads ... record the
+/// number of threads n that leads to best performance", Section 5.2.1).
+unsigned empiricalBestThreads(const workload::RegionSpec &Region,
+                              const OracleEnv &Env,
+                              const sim::MachineConfig &Machine,
+                              Rng &Generator, double NoiseStddev = 0.04);
+
+} // namespace medley::core
+
+#endif // MEDLEY_CORE_ORACLE_H

@@ -1,0 +1,203 @@
+//===-- exp/Driver.cpp - Experiment driver -----------------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Driver.h"
+
+#include "policy/DefaultPolicy.h"
+#include "support/Statistics.h"
+#include "workload/Catalog.h"
+#include "workload/LiveTrace.h"
+
+#include <cassert>
+
+using namespace medley;
+using namespace medley::exp;
+
+namespace {
+
+/// FNV-1a over a string mixed with a seed; drives per-cell determinism.
+uint64_t hashCell(uint64_t Seed, const std::string &Key) {
+  uint64_t H = 14695981039346656037ULL ^ Seed;
+  for (char C : Key) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+} // namespace
+
+Driver::Driver(DriverOptions Options) : Options(Options) {
+  assert(Options.Repeats >= 1 && "need at least one repeat");
+}
+
+runtime::CoExecutionConfig Driver::makeConfig(const Scenario &Scen,
+                                              const std::string &SetName,
+                                              const std::string &Target,
+                                              unsigned Repeat) const {
+  runtime::CoExecutionConfig Config;
+  Config.Machine = Scen.Affinity ? Options.Machine.withAffinity()
+                                 : Options.Machine;
+  Config.Tick = Options.Tick;
+  Config.MaxTime = Options.MaxTime;
+  Config.RecordTraces = Options.RecordTraces;
+
+  std::string CellKey = Scen.Name + "|" + SetName + "|" + Target + "|r" +
+                        std::to_string(Repeat);
+  uint64_t CellSeed = hashCell(Options.Seed, CellKey);
+  Config.WorkloadSeed = CellSeed;
+  // Per-program workload threads stay modest (the contention comes from
+  // the *number* of co-running programs); this also keeps the runtime
+  // features inside the regime the offline models were trained on.
+  Config.WorkloadMaxThreads = std::max(2u, Options.Machine.TotalCores * 5 / 16);
+
+  unsigned Cores = Config.Machine.TotalCores;
+  switch (Scen.Hardware) {
+  case HardwareChange::Static:
+    Config.Availability = [Cores] {
+      return std::make_unique<sim::StaticAvailability>(Cores);
+    };
+    break;
+  case HardwareChange::Low:
+  case HardwareChange::High: {
+    double Period = Scen.availabilityPeriod();
+    Config.Availability = [Cores, Period, CellSeed] {
+      return sim::PeriodicAvailability::standardLadder(Cores, Period,
+                                                       CellSeed ^ 0xCAFE);
+    };
+    break;
+  }
+  case HardwareChange::LiveTrace: {
+    workload::LiveTraceData Trace =
+        workload::generateLiveTrace(CellSeed ^ 0x11FE, Cores);
+    auto Points = Trace.Availability;
+    Config.Availability = [Points] {
+      return std::make_unique<sim::TraceAvailability>(Points);
+    };
+    break;
+  }
+  }
+  return Config;
+}
+
+std::vector<runtime::WorkloadProgramSetup>
+Driver::makeWorkload(const Scenario &Scen, const workload::WorkloadSet *Set,
+                     const policy::PolicyFactory *WorkloadPolicy,
+                     uint64_t RepeatSeed) const {
+  std::vector<runtime::WorkloadProgramSetup> Setups;
+  if (!Set)
+    return Setups;
+
+  if (Scen.Hardware == HardwareChange::LiveTrace) {
+    // Trace-driven demand carriers: the traced workload thread count is
+    // split evenly across the carrier programs.
+    workload::LiveTraceData Trace =
+        workload::generateLiveTrace(RepeatSeed ^ 0x11FE,
+                                    Options.Machine.TotalCores);
+    size_t NumCarriers = Set->Programs.size();
+    for (size_t I = 0; I < NumCarriers; ++I) {
+      std::vector<std::pair<double, unsigned>> Share;
+      Share.reserve(Trace.WorkloadThreads.size());
+      for (const auto &[Time, Threads] : Trace.WorkloadThreads) {
+        unsigned Part = Threads / NumCarriers;
+        if (I < Threads % NumCarriers)
+          ++Part;
+        Share.emplace_back(Time, std::max(1u, Part));
+      }
+      runtime::WorkloadProgramSetup Setup;
+      Setup.Spec = workload::Catalog::byName(Set->Programs[I]);
+      Setup.Chooser = workload::traceChooser(std::move(Share));
+      Setups.push_back(std::move(Setup));
+    }
+    return Setups;
+  }
+
+  for (const std::string &Name : Set->Programs) {
+    runtime::WorkloadProgramSetup Setup;
+    Setup.Spec = workload::Catalog::byName(Name);
+    if (WorkloadPolicy)
+      Setup.Policy = std::shared_ptr<policy::ThreadPolicy>(
+          (*WorkloadPolicy)());
+    Setups.push_back(std::move(Setup));
+  }
+  return Setups;
+}
+
+Measurement Driver::measure(const std::string &Target,
+                            const policy::PolicyFactory &Factory,
+                            const Scenario &Scen,
+                            const workload::WorkloadSet *Set,
+                            const policy::PolicyFactory *WorkloadPolicy) {
+  const workload::ProgramSpec &Spec = workload::Catalog::byName(Target);
+  std::string SetName = Set ? Set->Name : "none";
+
+  Measurement Result;
+  std::vector<double> Times, Throughputs;
+  for (unsigned R = 0; R < Options.Repeats; ++R) {
+    runtime::CoExecutionConfig Config = makeConfig(Scen, SetName, Target, R);
+    uint64_t RepeatSeed = Config.WorkloadSeed;
+    std::unique_ptr<policy::ThreadPolicy> Policy = Factory();
+    runtime::CoExecutionResult Run = runCoExecution(
+        Config, Spec, *Policy,
+        makeWorkload(Scen, Set, WorkloadPolicy, RepeatSeed));
+    Times.push_back(Run.TargetTime);
+    Throughputs.push_back(Run.WorkloadThroughput);
+    Result.Runs.push_back(std::move(Run));
+  }
+  Result.MeanTargetTime = mean(Times);
+  Result.MeanWorkloadThroughput = mean(Throughputs);
+  return Result;
+}
+
+const Measurement &
+Driver::defaultMeasurement(const std::string &Target, const Scenario &Scen,
+                           const workload::WorkloadSet *Set) {
+  std::string Key =
+      Scen.Name + "|" + (Set ? Set->Name : "none") + "|" + Target;
+  auto It = DefaultCache.find(Key);
+  if (It != DefaultCache.end())
+    return It->second;
+
+  policy::PolicyFactory Default = [] {
+    return std::make_unique<policy::DefaultPolicy>();
+  };
+  Measurement M = measure(Target, Default, Scen, Set);
+  return DefaultCache.emplace(Key, std::move(M)).first->second;
+}
+
+double Driver::speedup(const std::string &Target,
+                       const policy::PolicyFactory &Factory,
+                       const Scenario &Scen) {
+  const std::vector<workload::WorkloadSet> &Sets = Scen.workloadSets();
+  std::vector<double> PerSet;
+  if (Sets.empty()) {
+    const Measurement &Base = defaultMeasurement(Target, Scen, nullptr);
+    Measurement M = measure(Target, Factory, Scen, nullptr);
+    PerSet.push_back(Base.MeanTargetTime / M.MeanTargetTime);
+  } else {
+    for (const workload::WorkloadSet &Set : Sets) {
+      const Measurement &Base = defaultMeasurement(Target, Scen, &Set);
+      Measurement M = measure(Target, Factory, Scen, &Set);
+      PerSet.push_back(Base.MeanTargetTime / M.MeanTargetTime);
+    }
+  }
+  return harmonicMean(PerSet);
+}
+
+double Driver::workloadImpact(const std::string &Target,
+                              const policy::PolicyFactory &Factory,
+                              const Scenario &Scen) {
+  const std::vector<workload::WorkloadSet> &Sets = Scen.workloadSets();
+  assert(!Sets.empty() && "workload impact needs an external workload");
+  std::vector<double> PerSet;
+  for (const workload::WorkloadSet &Set : Sets) {
+    const Measurement &Base = defaultMeasurement(Target, Scen, &Set);
+    Measurement M = measure(Target, Factory, Scen, &Set);
+    PerSet.push_back(M.MeanWorkloadThroughput /
+                     Base.MeanWorkloadThroughput);
+  }
+  return harmonicMean(PerSet);
+}

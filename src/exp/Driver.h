@@ -1,0 +1,99 @@
+//===-- exp/Driver.h - Experiment driver ------------------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs targets under policies in scenarios and turns completion times into
+/// the paper's metrics: speedup over the OpenMP default (per benchmark,
+/// averaged over the workload sets of a size class, repeats averaged, and
+/// harmonic means for aggregates) and external-workload impact. Workload
+/// behaviour and availability are seeded by (scenario, set, target, repeat)
+/// only, so every policy faces the identical environment — the paper's
+/// fair-comparison requirement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_EXP_DRIVER_H
+#define MEDLEY_EXP_DRIVER_H
+
+#include "exp/Scenario.h"
+#include "runtime/CoExecution.h"
+
+#include <map>
+
+namespace medley::exp {
+
+/// Driver-wide options.
+struct DriverOptions {
+  sim::MachineConfig Machine = sim::MachineConfig::evaluationPlatform();
+  unsigned Repeats = 3; ///< "Each experiment was repeated 3 times."
+  uint64_t Seed = 0xD01;
+  double Tick = 0.1;
+  double MaxTime = 900.0;
+  bool RecordTraces = false;
+};
+
+/// Mean results of the repeats of one (target, policy, scenario, set) cell.
+struct Measurement {
+  double MeanTargetTime = 0.0;
+  double MeanWorkloadThroughput = 0.0;
+  std::vector<runtime::CoExecutionResult> Runs;
+};
+
+/// Executes experiment cells and computes speedups with baseline caching.
+class Driver {
+public:
+  explicit Driver(DriverOptions Options = {});
+
+  /// Runs \p Target under \p Factory against \p Set (null = isolated) in
+  /// \p Scen, averaged over repeats. If \p WorkloadPolicy is non-null the
+  /// workload programs adapt with fresh instances from it instead of the
+  /// reproducible thread pattern (Section 7.4's smart workloads).
+  Measurement measure(const std::string &Target,
+                      const policy::PolicyFactory &Factory,
+                      const Scenario &Scen, const workload::WorkloadSet *Set,
+                      const policy::PolicyFactory *WorkloadPolicy = nullptr);
+
+  /// Speedup of \p Factory over the OpenMP default for \p Target in
+  /// \p Scen: per-set time ratios, harmonically averaged over the
+  /// scenario's workload sets (one ratio for isolated scenarios).
+  double speedup(const std::string &Target,
+                 const policy::PolicyFactory &Factory, const Scenario &Scen);
+
+  /// Ratio of external-workload throughput under \p Factory to the
+  /// throughput under the default policy (> 1 = the policy *helps* the
+  /// workload; Fig 13a).
+  double workloadImpact(const std::string &Target,
+                        const policy::PolicyFactory &Factory,
+                        const Scenario &Scen);
+
+  /// The cached default-policy measurement for a cell.
+  const Measurement &defaultMeasurement(const std::string &Target,
+                                        const Scenario &Scen,
+                                        const workload::WorkloadSet *Set);
+
+  const DriverOptions &options() const { return Options; }
+
+  /// Clears the baseline cache (only needed if options change).
+  void clearCache() { DefaultCache.clear(); }
+
+private:
+  runtime::CoExecutionConfig makeConfig(const Scenario &Scen,
+                                        const std::string &SetName,
+                                        const std::string &Target,
+                                        unsigned Repeat) const;
+
+  std::vector<runtime::WorkloadProgramSetup>
+  makeWorkload(const Scenario &Scen, const workload::WorkloadSet *Set,
+               const policy::PolicyFactory *WorkloadPolicy,
+               uint64_t RepeatSeed) const;
+
+  DriverOptions Options;
+  std::map<std::string, Measurement> DefaultCache;
+};
+
+} // namespace medley::exp
+
+#endif // MEDLEY_EXP_DRIVER_H

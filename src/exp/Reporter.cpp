@@ -1,0 +1,91 @@
+//===-- exp/Reporter.cpp - Figure/table reporters ----------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Reporter.h"
+
+#include "support/Error.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+using namespace medley;
+using namespace medley::exp;
+
+std::vector<double> SpeedupMatrix::hmeanPerPolicy() const {
+  std::vector<double> Result;
+  for (size_t P = 0; P < Policies.size(); ++P) {
+    std::vector<double> Column;
+    Column.reserve(Targets.size());
+    for (size_t T = 0; T < Targets.size(); ++T)
+      Column.push_back(Values[T][P]);
+    Result.push_back(harmonicMean(Column));
+  }
+  return Result;
+}
+
+size_t SpeedupMatrix::policyIndex(const std::string &Policy) const {
+  for (size_t P = 0; P < Policies.size(); ++P)
+    if (Policies[P] == Policy)
+      return P;
+  reportFatalError("policy '" + Policy + "' not in matrix");
+}
+
+SpeedupMatrix
+medley::exp::computeSpeedupMatrix(Driver &D, PolicySet &Policies,
+                                  const std::vector<std::string> &Targets,
+                                  const std::vector<std::string> &PolicyNames,
+                                  const Scenario &Scen) {
+  SpeedupMatrix Matrix;
+  Matrix.Targets = Targets;
+  Matrix.Policies = PolicyNames;
+  for (const std::string &Target : Targets) {
+    std::vector<double> Row;
+    for (const std::string &Policy : PolicyNames)
+      Row.push_back(D.speedup(Target, Policies.factory(Policy), Scen));
+    Matrix.Values.push_back(std::move(Row));
+  }
+  return Matrix;
+}
+
+void medley::exp::printSpeedupMatrix(std::ostream &OS,
+                                     const std::string &Title,
+                                     const SpeedupMatrix &Matrix) {
+  Table T(Title);
+  T.addRow();
+  T.addCell("benchmark");
+  for (const std::string &Policy : Matrix.Policies)
+    T.addCell(Policy);
+  for (size_t R = 0; R < Matrix.Targets.size(); ++R) {
+    T.addRow();
+    T.addCell(Matrix.Targets[R]);
+    for (double V : Matrix.Values[R])
+      T.addCell(V);
+  }
+  T.addRow();
+  T.addCell("hmean");
+  for (double V : Matrix.hmeanPerPolicy())
+    T.addCell(V);
+  T.print(OS);
+  OS << '\n';
+}
+
+void medley::exp::printBars(std::ostream &OS, const std::string &Title,
+                            const std::vector<std::string> &Labels,
+                            const std::vector<double> &Values,
+                            const std::string &Unit) {
+  OS << Title << '\n';
+  size_t Width = 0;
+  for (const std::string &Label : Labels)
+    Width = std::max(Width, Label.size());
+  // Scale so the largest value fills the line.
+  double Max = Values.empty() ? 1.0 : maxOf(Values);
+  double UnitsPerChar = Max > 0.0 ? 56.0 / Max : 1.0;
+  for (size_t I = 0; I < Labels.size() && I < Values.size(); ++I)
+    OS << "  " << padRight(Labels[I], Width) << "  "
+       << padLeft(formatDouble(Values[I], 2), 6) << Unit << "  "
+       << asciiBar(Values[I], UnitsPerChar) << '\n';
+  OS << '\n';
+}

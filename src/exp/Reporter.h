@@ -1,0 +1,57 @@
+//===-- exp/Reporter.h - Figure/table reporters -----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the bench binaries: compute per-benchmark speedup
+/// matrices for a scenario and print them as the rows the paper's figures
+/// plot (one row per benchmark, one column per policy, harmonic-mean
+/// summary row, ASCII bars for eyeballing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_EXP_REPORTER_H
+#define MEDLEY_EXP_REPORTER_H
+
+#include "exp/Driver.h"
+#include "exp/PolicySet.h"
+
+#include <ostream>
+
+namespace medley::exp {
+
+/// Speedups of a set of policies over the default, per benchmark.
+struct SpeedupMatrix {
+  std::vector<std::string> Targets;
+  std::vector<std::string> Policies;
+  /// Values[t][p] = speedup of policy p on target t.
+  std::vector<std::vector<double>> Values;
+
+  /// Harmonic mean over targets for each policy (the paper's aggregate).
+  std::vector<double> hmeanPerPolicy() const;
+
+  /// Column index of \p Policy (fatal if absent).
+  size_t policyIndex(const std::string &Policy) const;
+};
+
+/// Runs every (target, policy) cell of \p Scen.
+SpeedupMatrix computeSpeedupMatrix(Driver &D, PolicySet &Policies,
+                                   const std::vector<std::string> &Targets,
+                                   const std::vector<std::string> &PolicyNames,
+                                   const Scenario &Scen);
+
+/// Prints a per-benchmark speedup table with an hmean summary row.
+void printSpeedupMatrix(std::ostream &OS, const std::string &Title,
+                        const SpeedupMatrix &Matrix);
+
+/// Prints a one-line "policy: value" bar chart.
+void printBars(std::ostream &OS, const std::string &Title,
+               const std::vector<std::string> &Labels,
+               const std::vector<double> &Values,
+               const std::string &Unit = "x");
+
+} // namespace medley::exp
+
+#endif // MEDLEY_EXP_REPORTER_H

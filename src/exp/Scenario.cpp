@@ -1,0 +1,76 @@
+//===-- exp/Scenario.cpp - Experimental scenarios --------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Scenario.h"
+
+#include "support/Error.h"
+
+using namespace medley;
+using namespace medley::exp;
+
+double Scenario::availabilityPeriod() const {
+  switch (Hardware) {
+  case HardwareChange::Static:
+  case HardwareChange::LiveTrace:
+    return 0.0;
+  case HardwareChange::Low:
+    return 20.0;
+  case HardwareChange::High:
+    return 10.0;
+  }
+  MEDLEY_UNREACHABLE("bad hardware-change kind");
+}
+
+const std::vector<workload::WorkloadSet> &Scenario::workloadSets() const {
+  static const std::vector<workload::WorkloadSet> None;
+  if (WorkloadSize.empty())
+    return None;
+  if (WorkloadSize == "live") {
+    // The live study's external load is trace-driven; these two programs
+    // carry the traced thread demand (the driver splits it between them).
+    static const std::vector<workload::WorkloadSet> Live = {
+        {"live", {"cg", "ft"}}};
+    return Live;
+  }
+  return workload::workloadsBySize(WorkloadSize);
+}
+
+Scenario Scenario::withAffinity() const {
+  Scenario Copy = *this;
+  Copy.Affinity = true;
+  Copy.Name += "+affinity";
+  return Copy;
+}
+
+Scenario Scenario::isolatedStatic() {
+  return Scenario{"isolated/static", "", HardwareChange::Static, false};
+}
+
+Scenario Scenario::smallLow() {
+  return Scenario{"small/low", "small", HardwareChange::Low, false};
+}
+
+Scenario Scenario::smallHigh() {
+  return Scenario{"small/high", "small", HardwareChange::High, false};
+}
+
+Scenario Scenario::largeLow() {
+  return Scenario{"large/low", "large", HardwareChange::Low, false};
+}
+
+Scenario Scenario::largeHigh() {
+  return Scenario{"large/high", "large", HardwareChange::High, false};
+}
+
+Scenario Scenario::liveStudy() {
+  return Scenario{"live-study", "live", HardwareChange::LiveTrace, false};
+}
+
+const std::vector<Scenario> &Scenario::dynamicScenarios() {
+  static const std::vector<Scenario> Scenarios = {
+      smallLow(), smallHigh(), largeLow(), largeHigh()};
+  return Scenarios;
+}

@@ -1,0 +1,58 @@
+//===-- exp/Scenario.h - Experimental scenarios -----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's experimental scenarios (Section 6.4): an isolated static
+/// system, the four dynamic settings (small/large workloads x low/high
+/// frequency hardware change), and the live-trace case study (Section 7.5).
+/// Affinity scheduling (Section 7.6) is a modifier on any scenario.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_EXP_SCENARIO_H
+#define MEDLEY_EXP_SCENARIO_H
+
+#include "workload/WorkloadSets.h"
+
+#include <string>
+#include <vector>
+
+namespace medley::exp {
+
+/// Hardware-change frequency (Section 6.4: low = every 20 s, high = 10 s).
+enum class HardwareChange { Static, Low, High, LiveTrace };
+
+/// One experimental setting.
+struct Scenario {
+  std::string Name;
+  /// "", "small" or "large"; empty = isolated (no external workload).
+  std::string WorkloadSize;
+  HardwareChange Hardware = HardwareChange::Static;
+  bool Affinity = false;
+
+  /// Availability change period in seconds (0 for static / trace-driven).
+  double availabilityPeriod() const;
+
+  /// Workload sets run under this scenario (empty for isolated).
+  const std::vector<workload::WorkloadSet> &workloadSets() const;
+
+  Scenario withAffinity() const;
+
+  // The paper's named settings.
+  static Scenario isolatedStatic();
+  static Scenario smallLow();
+  static Scenario smallHigh();
+  static Scenario largeLow();
+  static Scenario largeHigh();
+  static Scenario liveStudy();
+
+  /// The four dynamic scenarios of Figure 8, in presentation order.
+  static const std::vector<Scenario> &dynamicScenarios();
+};
+
+} // namespace medley::exp
+
+#endif // MEDLEY_EXP_SCENARIO_H

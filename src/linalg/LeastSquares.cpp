@@ -1,0 +1,81 @@
+//===-- linalg/LeastSquares.cpp - Linear regression ---------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/LeastSquares.h"
+
+#include "linalg/Solve.h"
+
+#include <cmath>
+
+using namespace medley;
+
+double LinearFit::predict(const Vec &X) const {
+  return dot(Weights, X) + Intercept;
+}
+
+static double computeR2(const std::vector<Vec> &X, const Vec &Y,
+                        const LinearFit &Fit) {
+  if (Y.empty())
+    return 0.0;
+  double MeanY = 0.0;
+  for (double V : Y)
+    MeanY += V;
+  MeanY /= static_cast<double>(Y.size());
+
+  double SsRes = 0.0, SsTot = 0.0;
+  for (size_t I = 0; I < Y.size(); ++I) {
+    double E = Y[I] - Fit.predict(X[I]);
+    SsRes += E * E;
+    SsTot += (Y[I] - MeanY) * (Y[I] - MeanY);
+  }
+  if (SsTot <= 1e-12)
+    return SsRes <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - SsRes / SsTot;
+}
+
+std::optional<LinearFit>
+medley::fitLeastSquares(const std::vector<Vec> &X, const Vec &Y,
+                        LeastSquaresOptions Options) {
+  if (X.empty() || X.size() != Y.size())
+    return std::nullopt;
+  size_t NumFeatures = X.front().size();
+  size_t NumCols = NumFeatures + (Options.FitIntercept ? 1 : 0);
+
+  // Augment with a constant column when fitting an intercept.
+  std::vector<Vec> Rows;
+  Rows.reserve(X.size());
+  for (const Vec &Row : X) {
+    assert(Row.size() == NumFeatures && "ragged design matrix");
+    Vec Augmented = Row;
+    if (Options.FitIntercept)
+      Augmented.push_back(1.0);
+    Rows.push_back(std::move(Augmented));
+  }
+  Matrix A = Matrix::fromRows(Rows);
+
+  std::optional<Vec> Solution;
+  if (Options.Ridge <= 0.0 && A.rows() >= NumCols)
+    Solution = solveLeastSquaresQr(A, Y);
+
+  if (!Solution) {
+    // Ridge (or fallback-ridge) path via regularised normal equations.
+    double Lambda = Options.Ridge > 0.0 ? Options.Ridge : 1e-6;
+    Matrix At = A.transposed();
+    Matrix Normal = At.multiply(A);
+    for (size_t I = 0; I < NumFeatures; ++I) // Never regularise the intercept.
+      Normal.at(I, I) += Lambda;
+    Vec Atb = At.apply(Y);
+    Solution = solveCholesky(Normal, Atb);
+    if (!Solution)
+      return std::nullopt;
+  }
+
+  LinearFit Fit;
+  Fit.Weights.assign(Solution->begin(), Solution->begin() + NumFeatures);
+  Fit.Intercept = Options.FitIntercept ? (*Solution)[NumFeatures] : 0.0;
+  Fit.R2 = computeR2(X, Y, Fit);
+  return Fit;
+}

@@ -1,0 +1,54 @@
+//===-- linalg/LeastSquares.h - Linear regression ---------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ordinary and ridge least-squares fitting. The paper (Section 5.2.3) uses
+/// "a linear regression technique employing standard least squares" for both
+/// the thread predictor w and the environment predictor m; this is that
+/// technique. A small ridge term is available as a fallback for degenerate
+/// training sets (e.g. constant features under leave-one-out splits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_LINALG_LEASTSQUARES_H
+#define MEDLEY_LINALG_LEASTSQUARES_H
+
+#include "linalg/Matrix.h"
+
+#include <optional>
+
+namespace medley {
+
+/// Result of a least-squares fit: y ~= Weights . x + Intercept.
+struct LinearFit {
+  Vec Weights;
+  double Intercept = 0.0;
+  /// Coefficient of determination on the training data.
+  double R2 = 0.0;
+
+  /// Evaluates the fitted model on \p X.
+  double predict(const Vec &X) const;
+};
+
+/// Options controlling fitLeastSquares.
+struct LeastSquaresOptions {
+  /// Ridge regularisation strength (0 = ordinary least squares). Applied to
+  /// the weights only, never to the intercept.
+  double Ridge = 0.0;
+  /// Whether to fit an intercept term (the paper's regression constant β).
+  bool FitIntercept = true;
+};
+
+/// Fits min ||X w - Y|| over rows of \p X. Returns std::nullopt when the
+/// problem is unsolvable (fewer samples than features and no ridge term, or
+/// a numerically singular system even after the ridge fallback).
+std::optional<LinearFit> fitLeastSquares(const std::vector<Vec> &X,
+                                         const Vec &Y,
+                                         LeastSquaresOptions Options = {});
+
+} // namespace medley
+
+#endif // MEDLEY_LINALG_LEASTSQUARES_H

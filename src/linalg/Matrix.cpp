@@ -1,0 +1,89 @@
+//===-- linalg/Matrix.cpp - Dense row-major matrix ---------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Matrix.h"
+
+using namespace medley;
+
+Matrix::Matrix(size_t Rows, size_t Cols, double Fill)
+    : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+Matrix Matrix::fromRows(const std::vector<Vec> &Rows) {
+  if (Rows.empty())
+    return Matrix();
+  Matrix M(Rows.size(), Rows.front().size());
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    assert(Rows[R].size() == M.NumCols && "ragged row set");
+    for (size_t C = 0; C < M.NumCols; ++C)
+      M.at(R, C) = Rows[R][C];
+  }
+  return M;
+}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I < N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+Vec Matrix::row(size_t R) const {
+  assert(R < NumRows && "row index out of range");
+  Vec V(NumCols);
+  for (size_t C = 0; C < NumCols; ++C)
+    V[C] = at(R, C);
+  return V;
+}
+
+Vec Matrix::col(size_t C) const {
+  assert(C < NumCols && "column index out of range");
+  Vec V(NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    V[R] = at(R, C);
+  return V;
+}
+
+Vec Matrix::apply(const Vec &X) const {
+  assert(X.size() == NumCols && "apply: dimension mismatch");
+  Vec Y(NumRows, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    double Sum = 0.0;
+    for (size_t C = 0; C < NumCols; ++C)
+      Sum += at(R, C) * X[C];
+    Y[R] = Sum;
+  }
+  return Y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(NumCols, NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+Matrix Matrix::multiply(const Matrix &B) const {
+  assert(NumCols == B.NumRows && "multiply: dimension mismatch");
+  Matrix Out(NumRows, B.NumCols);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t K = 0; K < NumCols; ++K) {
+      double A = at(R, K);
+      if (A == 0.0)
+        continue;
+      for (size_t C = 0; C < B.NumCols; ++C)
+        Out.at(R, C) += A * B.at(K, C);
+    }
+  return Out;
+}
+
+Matrix Matrix::plusDiagonal(double S) const {
+  assert(NumRows == NumCols && "plusDiagonal requires a square matrix");
+  Matrix Out = *this;
+  for (size_t I = 0; I < NumRows; ++I)
+    Out.at(I, I) += S;
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===-- linalg/Matrix.h - Dense row-major matrix ----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense row-major matrix sized for the small regression problems the paper
+/// trains (10 features, a few thousand samples). No attempt at BLAS-level
+/// performance is made or needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_LINALG_MATRIX_H
+#define MEDLEY_LINALG_MATRIX_H
+
+#include "linalg/Vector.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace medley {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Constructs a \p Rows x \p Cols matrix filled with \p Fill.
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0);
+
+  /// Builds a matrix from row vectors; all rows must share a length.
+  static Matrix fromRows(const std::vector<Vec> &Rows);
+
+  /// Identity of dimension \p N.
+  static Matrix identity(size_t N);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Returns row \p R as a vector.
+  Vec row(size_t R) const;
+
+  /// Returns column \p C as a vector.
+  Vec col(size_t C) const;
+
+  /// Matrix-vector product; X must have cols() entries.
+  Vec apply(const Vec &X) const;
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// Matrix-matrix product; this->cols() must equal B.rows().
+  Matrix multiply(const Matrix &B) const;
+
+  /// Returns this + S * I (only meaningful for square matrices); used for
+  /// ridge regularisation.
+  Matrix plusDiagonal(double S) const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+} // namespace medley
+
+#endif // MEDLEY_LINALG_MATRIX_H

@@ -1,0 +1,116 @@
+//===-- linalg/Solve.cpp - Linear system solvers ------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Solve.h"
+
+#include <cmath>
+
+using namespace medley;
+
+std::optional<Vec> medley::solveCholesky(const Matrix &A, const Vec &B) {
+  assert(A.rows() == A.cols() && "Cholesky requires a square matrix");
+  assert(B.size() == A.rows() && "dimension mismatch");
+  size_t N = A.rows();
+
+  // Factor A = L L^T.
+  Matrix L(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double Sum = A.at(I, J);
+      for (size_t K = 0; K < J; ++K)
+        Sum -= L.at(I, K) * L.at(J, K);
+      if (I == J) {
+        if (Sum <= 0.0)
+          return std::nullopt;
+        L.at(I, I) = std::sqrt(Sum);
+      } else {
+        L.at(I, J) = Sum / L.at(J, J);
+      }
+    }
+  }
+
+  // Forward substitution: L y = B.
+  Vec Y(N);
+  for (size_t I = 0; I < N; ++I) {
+    double Sum = B[I];
+    for (size_t K = 0; K < I; ++K)
+      Sum -= L.at(I, K) * Y[K];
+    Y[I] = Sum / L.at(I, I);
+  }
+
+  // Back substitution: L^T x = y.
+  Vec X(N);
+  for (size_t II = N; II > 0; --II) {
+    size_t I = II - 1;
+    double Sum = Y[I];
+    for (size_t K = I + 1; K < N; ++K)
+      Sum -= L.at(K, I) * X[K];
+    X[I] = Sum / L.at(I, I);
+  }
+  return X;
+}
+
+std::optional<Vec> medley::solveLeastSquaresQr(const Matrix &A, const Vec &B) {
+  size_t M = A.rows(), N = A.cols();
+  assert(B.size() == M && "dimension mismatch");
+  if (M < N)
+    return std::nullopt;
+
+  // Work on copies; R overwrites Work, and Rhs accumulates Q^T B.
+  Matrix Work = A;
+  Vec Rhs = B;
+
+  for (size_t K = 0; K < N; ++K) {
+    // Build the Householder reflector for column K.
+    double NormX = 0.0;
+    for (size_t I = K; I < M; ++I)
+      NormX += Work.at(I, K) * Work.at(I, K);
+    NormX = std::sqrt(NormX);
+    if (NormX < 1e-12)
+      return std::nullopt;
+
+    double Alpha = Work.at(K, K) > 0 ? -NormX : NormX;
+    Vec V(M, 0.0);
+    V[K] = Work.at(K, K) - Alpha;
+    for (size_t I = K + 1; I < M; ++I)
+      V[I] = Work.at(I, K);
+    double VNorm2 = 0.0;
+    for (size_t I = K; I < M; ++I)
+      VNorm2 += V[I] * V[I];
+    if (VNorm2 < 1e-24)
+      continue; // Column already triangular.
+
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing matrix and RHS.
+    for (size_t C = K; C < N; ++C) {
+      double Dot = 0.0;
+      for (size_t I = K; I < M; ++I)
+        Dot += V[I] * Work.at(I, C);
+      double Beta = 2.0 * Dot / VNorm2;
+      for (size_t I = K; I < M; ++I)
+        Work.at(I, C) -= Beta * V[I];
+    }
+    double Dot = 0.0;
+    for (size_t I = K; I < M; ++I)
+      Dot += V[I] * Rhs[I];
+    double Beta = 2.0 * Dot / VNorm2;
+    for (size_t I = K; I < M; ++I)
+      Rhs[I] -= Beta * V[I];
+  }
+
+  // Back substitution on the upper triangle.
+  Vec X(N);
+  for (size_t KK = N; KK > 0; --KK) {
+    size_t K = KK - 1;
+    double Diag = Work.at(K, K);
+    if (std::fabs(Diag) < 1e-12)
+      return std::nullopt;
+    double Sum = Rhs[K];
+    for (size_t C = K + 1; C < N; ++C)
+      Sum -= Work.at(K, C) * X[C];
+    X[K] = Sum / Diag;
+  }
+  return X;
+}

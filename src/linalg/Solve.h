@@ -1,0 +1,35 @@
+//===-- linalg/Solve.h - Linear system solvers ------------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cholesky factorisation for symmetric positive-definite systems and
+/// Householder QR for (possibly rank-deficient, tall) least-squares systems.
+/// These back the ordinary/ridge least squares used to train every expert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_LINALG_SOLVE_H
+#define MEDLEY_LINALG_SOLVE_H
+
+#include "linalg/Matrix.h"
+
+#include <optional>
+
+namespace medley {
+
+/// Solves A x = B for symmetric positive-definite A via Cholesky.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+std::optional<Vec> solveCholesky(const Matrix &A, const Vec &B);
+
+/// Solves the least-squares problem min ||A x - B||_2 via Householder QR
+/// with column pivoting disabled (A is expected to be well conditioned
+/// after feature scaling). Returns std::nullopt when A has fewer rows than
+/// columns or a numerically zero diagonal appears in R.
+std::optional<Vec> solveLeastSquaresQr(const Matrix &A, const Vec &B);
+
+} // namespace medley
+
+#endif // MEDLEY_LINALG_SOLVE_H

@@ -1,0 +1,65 @@
+//===-- linalg/Vector.cpp - Dense vector operations -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Vector.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace medley {
+
+Vec zeros(size_t N) { return Vec(N, 0.0); }
+
+double dot(const Vec &A, const Vec &B) {
+  assert(A.size() == B.size() && "dot: dimension mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+double norm2(const Vec &A) { return std::sqrt(dot(A, A)); }
+
+Vec add(const Vec &A, const Vec &B) {
+  assert(A.size() == B.size() && "add: dimension mismatch");
+  Vec R(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    R[I] = A[I] + B[I];
+  return R;
+}
+
+Vec sub(const Vec &A, const Vec &B) {
+  assert(A.size() == B.size() && "sub: dimension mismatch");
+  Vec R(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    R[I] = A[I] - B[I];
+  return R;
+}
+
+Vec scale(const Vec &A, double S) {
+  Vec R(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    R[I] = A[I] * S;
+  return R;
+}
+
+void axpy(Vec &Y, double S, const Vec &X) {
+  assert(Y.size() == X.size() && "axpy: dimension mismatch");
+  for (size_t I = 0; I < Y.size(); ++I)
+    Y[I] += S * X[I];
+}
+
+double distance(const Vec &A, const Vec &B) { return norm2(sub(A, B)); }
+
+Vec hadamard(const Vec &A, const Vec &B) {
+  assert(A.size() == B.size() && "hadamard: dimension mismatch");
+  Vec R(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    R[I] = A[I] * B[I];
+  return R;
+}
+
+} // namespace medley

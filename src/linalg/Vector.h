@@ -1,0 +1,53 @@
+//===-- linalg/Vector.h - Dense vector operations ---------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense vectors are plain std::vector<double> (aliased as Vec); this header
+/// provides the free-function operations the learning code needs. Keeping
+/// the representation standard makes the feature plumbing trivial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_LINALG_VECTOR_H
+#define MEDLEY_LINALG_VECTOR_H
+
+#include <cstddef>
+#include <vector>
+
+namespace medley {
+
+using Vec = std::vector<double>;
+
+/// Returns a zero vector of dimension \p N.
+Vec zeros(size_t N);
+
+/// Dot product; dimensions must match.
+double dot(const Vec &A, const Vec &B);
+
+/// Euclidean (L2) norm.
+double norm2(const Vec &A);
+
+/// Element-wise sum; dimensions must match.
+Vec add(const Vec &A, const Vec &B);
+
+/// Element-wise difference A - B; dimensions must match.
+Vec sub(const Vec &A, const Vec &B);
+
+/// Returns S * A.
+Vec scale(const Vec &A, double S);
+
+/// In-place Y += S * X; dimensions must match.
+void axpy(Vec &Y, double S, const Vec &X);
+
+/// Euclidean distance between A and B.
+double distance(const Vec &A, const Vec &B);
+
+/// Element-wise product (Hadamard); dimensions must match.
+Vec hadamard(const Vec &A, const Vec &B);
+
+} // namespace medley
+
+#endif // MEDLEY_LINALG_VECTOR_H

@@ -1,0 +1,63 @@
+//===-- ml/CrossValidation.cpp - Leave-one-group-out CV -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/CrossValidation.h"
+
+#include <cmath>
+
+using namespace medley;
+
+double medley::modelAccuracy(const LinearModel &Model, const Dataset &Data,
+                             AccuracyOptions Options) {
+  if (Data.empty())
+    return 0.0;
+  size_t Hits = 0;
+  for (const Sample &S : Data.samples()) {
+    double Pred = Model.predict(S.X);
+    double Tolerance = std::max(Options.AbsoluteTolerance,
+                                Options.RelativeTolerance * std::fabs(S.Y));
+    if (std::fabs(Pred - S.Y) <= Tolerance)
+      ++Hits;
+  }
+  return static_cast<double>(Hits) / static_cast<double>(Data.size());
+}
+
+double medley::modelMae(const LinearModel &Model, const Dataset &Data) {
+  if (Data.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (const Sample &S : Data.samples())
+    Sum += std::fabs(Model.predict(S.X) - S.Y);
+  return Sum / static_cast<double>(Data.size());
+}
+
+CrossValidationResult
+medley::leaveOneGroupOut(const Dataset &Data, LinearModelOptions ModelOptions,
+                         AccuracyOptions Accuracy) {
+  CrossValidationResult Result;
+  double AccuracySum = 0.0, MaeSum = 0.0;
+
+  for (const std::string &Group : Data.groups()) {
+    auto [Held, Train] = Data.splitByGroup(Group);
+    if (Train.empty() || Held.empty())
+      continue;
+    std::optional<LinearModel> Model =
+        trainLinearModel(Train, "cv:" + Group, ModelOptions);
+    if (!Model)
+      continue;
+    AccuracySum += modelAccuracy(*Model, Held, Accuracy) *
+                   static_cast<double>(Held.size());
+    MaeSum += modelMae(*Model, Held) * static_cast<double>(Held.size());
+    ++Result.NumFolds;
+    Result.NumSamples += Held.size();
+  }
+
+  if (Result.NumSamples != 0) {
+    Result.Accuracy = AccuracySum / static_cast<double>(Result.NumSamples);
+    Result.Mae = MaeSum / static_cast<double>(Result.NumSamples);
+  }
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===-- ml/CrossValidation.h - Leave-one-group-out CV -----------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leave-one-out cross-validation at program granularity (Section 5.2.3):
+/// when evaluating on samples from program P, the model is retrained with
+/// all of P's samples removed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_ML_CROSSVALIDATION_H
+#define MEDLEY_ML_CROSSVALIDATION_H
+
+#include "ml/LinearModel.h"
+
+namespace medley {
+
+/// Accuracy definition used throughout: a prediction is "correct" when it
+/// lands within \p RelativeTolerance of the label (with an absolute floor of
+/// \p AbsoluteTolerance, e.g. predicting 5 threads for a 4-thread label).
+struct AccuracyOptions {
+  double RelativeTolerance = 0.2;
+  double AbsoluteTolerance = 1.0;
+};
+
+/// Fraction of samples in \p Data that \p Model predicts within tolerance.
+double modelAccuracy(const LinearModel &Model, const Dataset &Data,
+                     AccuracyOptions Options = {});
+
+/// Mean absolute prediction error of \p Model over \p Data.
+double modelMae(const LinearModel &Model, const Dataset &Data);
+
+/// Result of a cross-validation run.
+struct CrossValidationResult {
+  double Accuracy = 0.0; ///< Within-tolerance fraction over held-out folds.
+  double Mae = 0.0;      ///< Mean absolute error over held-out folds.
+  size_t NumFolds = 0;
+  size_t NumSamples = 0;
+};
+
+/// Leave-one-group-out CV: for each group g, trains on Data \ g and scores
+/// on g. Groups whose complement is degenerate (untrainable) are skipped.
+CrossValidationResult leaveOneGroupOut(const Dataset &Data,
+                                       LinearModelOptions ModelOptions = {},
+                                       AccuracyOptions Accuracy = {});
+
+} // namespace medley
+
+#endif // MEDLEY_ML_CROSSVALIDATION_H

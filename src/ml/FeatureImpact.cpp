@@ -1,0 +1,38 @@
+//===-- ml/FeatureImpact.cpp - Drop-one-feature impact (π) ----------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/FeatureImpact.h"
+
+#include <algorithm>
+
+using namespace medley;
+
+std::vector<FeatureImpact>
+medley::computeFeatureImpacts(const Dataset &Data,
+                              LinearModelOptions ModelOptions,
+                              AccuracyOptions Accuracy) {
+  std::vector<FeatureImpact> Impacts;
+  if (Data.empty() || Data.numFeatures() == 0)
+    return Impacts;
+
+  double FullAccuracy =
+      leaveOneGroupOut(Data, ModelOptions, Accuracy).Accuracy;
+
+  double DropSum = 0.0;
+  for (size_t F = 0; F < Data.numFeatures(); ++F) {
+    Dataset Reduced = Data.withoutFeature(F);
+    double ReducedAccuracy =
+        leaveOneGroupOut(Reduced, ModelOptions, Accuracy).Accuracy;
+    double Drop = std::max(0.0, FullAccuracy - ReducedAccuracy);
+    Impacts.push_back(FeatureImpact{Data.featureNames()[F], Drop, 0.0});
+    DropSum += Drop;
+  }
+
+  for (FeatureImpact &Impact : Impacts)
+    Impact.Normalized = DropSum > 0.0 ? Impact.AccuracyDrop / DropSum
+                                      : 1.0 / static_cast<double>(Impacts.size());
+  return Impacts;
+}

@@ -1,0 +1,38 @@
+//===-- ml/FeatureImpact.h - Drop-one-feature impact (π) --------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feature impact π (Section 5.2.2 / Figure 6): "the drop in prediction
+/// accuracy of the model when this feature alone was removed from the
+/// feature-set", normalised over the features of each expert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_ML_FEATUREIMPACT_H
+#define MEDLEY_ML_FEATUREIMPACT_H
+
+#include "ml/CrossValidation.h"
+
+namespace medley {
+
+/// π for a single feature of one model/dataset.
+struct FeatureImpact {
+  std::string Name;
+  double AccuracyDrop = 0.0; ///< Full-model accuracy minus drop-one accuracy.
+  double Normalized = 0.0;   ///< AccuracyDrop / Σ positive drops.
+};
+
+/// Computes π for every feature of \p Data by retraining with each feature
+/// removed and measuring the leave-one-group-out accuracy drop. Negative
+/// drops (features whose removal helps) are clamped to zero before
+/// normalisation, matching the pie-chart presentation of Figure 6.
+std::vector<FeatureImpact>
+computeFeatureImpacts(const Dataset &Data, LinearModelOptions ModelOptions = {},
+                      AccuracyOptions Accuracy = {});
+
+} // namespace medley
+
+#endif // MEDLEY_ML_FEATUREIMPACT_H

@@ -1,0 +1,73 @@
+//===-- ml/FeatureScaler.cpp - Feature standardisation -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/FeatureScaler.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+
+FeatureScaler FeatureScaler::identity(size_t N) {
+  FeatureScaler S;
+  S.Means = Vec(N, 0.0);
+  S.Scales = Vec(N, 1.0);
+  return S;
+}
+
+FeatureScaler FeatureScaler::fromMoments(Vec Means, Vec Scales) {
+  assert(Means.size() == Scales.size() && "moment arity mismatch");
+  FeatureScaler S;
+  S.Means = std::move(Means);
+  S.Scales = std::move(Scales);
+  for ([[maybe_unused]] double Scale : S.Scales)
+    assert(Scale > 0.0 && "scales must be positive");
+  return S;
+}
+
+FeatureScaler FeatureScaler::fit(const std::vector<Vec> &Rows) {
+  assert(!Rows.empty() && "cannot fit a scaler on an empty dataset");
+  size_t N = Rows.front().size();
+  FeatureScaler S;
+  S.Means = Vec(N, 0.0);
+  S.Scales = Vec(N, 1.0);
+
+  for (const Vec &Row : Rows) {
+    assert(Row.size() == N && "ragged rows");
+    for (size_t I = 0; I < N; ++I)
+      S.Means[I] += Row[I];
+  }
+  for (size_t I = 0; I < N; ++I)
+    S.Means[I] /= static_cast<double>(Rows.size());
+
+  Vec Var(N, 0.0);
+  for (const Vec &Row : Rows)
+    for (size_t I = 0; I < N; ++I) {
+      double D = Row[I] - S.Means[I];
+      Var[I] += D * D;
+    }
+  for (size_t I = 0; I < N; ++I) {
+    double Std = std::sqrt(Var[I] / static_cast<double>(Rows.size()));
+    S.Scales[I] = Std > 1e-9 ? Std : 1.0;
+  }
+  return S;
+}
+
+Vec FeatureScaler::transform(const Vec &X) const {
+  assert(X.size() == Means.size() && "scaler dimension mismatch");
+  Vec Out(X.size());
+  for (size_t I = 0; I < X.size(); ++I)
+    Out[I] = (X[I] - Means[I]) / Scales[I];
+  return Out;
+}
+
+std::vector<Vec> FeatureScaler::transformAll(const std::vector<Vec> &Rows) const {
+  std::vector<Vec> Out;
+  Out.reserve(Rows.size());
+  for (const Vec &Row : Rows)
+    Out.push_back(transform(Row));
+  return Out;
+}

@@ -1,0 +1,123 @@
+//===-- ml/FeatureSelection.cpp - Information-gain ranking ----------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/FeatureSelection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+
+namespace {
+
+/// Assigns each value an equal-frequency bin id in [0, NumBins).
+std::vector<size_t> discretize(const Vec &Values, size_t NumBins) {
+  size_t N = Values.size();
+  std::vector<size_t> Order(N);
+  for (size_t I = 0; I < N; ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Values[A] < Values[B];
+  });
+
+  std::vector<size_t> Bins(N, 0);
+  for (size_t Rank = 0; Rank < N; ++Rank) {
+    size_t Bin = std::min(NumBins - 1, Rank * NumBins / N);
+    Bins[Order[Rank]] = Bin;
+  }
+  // Keep ties in the same bin: equal values must not straddle a boundary.
+  for (size_t Rank = 1; Rank < N; ++Rank) {
+    size_t Prev = Order[Rank - 1], Cur = Order[Rank];
+    if (Values[Prev] == Values[Cur])
+      Bins[Cur] = Bins[Prev];
+  }
+  return Bins;
+}
+
+double entropy(const std::vector<size_t> &Labels, size_t NumBins) {
+  std::vector<size_t> Counts(NumBins, 0);
+  for (size_t L : Labels)
+    ++Counts[L];
+  double H = 0.0;
+  double N = static_cast<double>(Labels.size());
+  for (size_t C : Counts) {
+    if (C == 0)
+      continue;
+    double P = static_cast<double>(C) / N;
+    H -= P * std::log2(P);
+  }
+  return H;
+}
+
+} // namespace
+
+std::vector<FeatureScore>
+medley::rankFeaturesByInformationGain(const Dataset &Data,
+                                      InformationGainOptions Options) {
+  assert(Options.NumBins >= 2 && "need at least two bins");
+  std::vector<FeatureScore> Scores;
+  if (Data.empty())
+    return Scores;
+
+  std::vector<size_t> TargetBins = discretize(Data.targets(), Options.NumBins);
+  double TargetEntropy = entropy(TargetBins, Options.NumBins);
+
+  for (size_t F = 0; F < Data.numFeatures(); ++F) {
+    Vec Column(Data.size());
+    for (size_t I = 0; I < Data.size(); ++I)
+      Column[I] = Data.sample(I).X[F];
+    std::vector<size_t> FeatureBins = discretize(Column, Options.NumBins);
+
+    // Conditional entropy H(Y | X_f) summed over feature bins.
+    double Conditional = 0.0;
+    for (size_t B = 0; B < Options.NumBins; ++B) {
+      std::vector<size_t> Subset;
+      for (size_t I = 0; I < Data.size(); ++I)
+        if (FeatureBins[I] == B)
+          Subset.push_back(TargetBins[I]);
+      if (Subset.empty())
+        continue;
+      Conditional += entropy(Subset, Options.NumBins) *
+                     static_cast<double>(Subset.size()) /
+                     static_cast<double>(Data.size());
+    }
+    Scores.push_back(FeatureScore{F, Data.featureNames()[F],
+                                  TargetEntropy - Conditional});
+  }
+
+  std::stable_sort(Scores.begin(), Scores.end(),
+                   [](const FeatureScore &A, const FeatureScore &B) {
+                     return A.Gain > B.Gain;
+                   });
+  return Scores;
+}
+
+std::pair<Dataset, std::vector<FeatureScore>>
+medley::selectTopFeatures(const Dataset &Data, size_t K,
+                          InformationGainOptions Options) {
+  std::vector<FeatureScore> Ranked =
+      rankFeaturesByInformationGain(Data, Options);
+  if (K > Ranked.size())
+    K = Ranked.size();
+
+  std::vector<FeatureScore> Kept(Ranked.begin(), Ranked.begin() + K);
+  std::stable_sort(Kept.begin(), Kept.end(),
+                   [](const FeatureScore &A, const FeatureScore &B) {
+                     return A.Index < B.Index;
+                   });
+
+  // Drop the unselected columns from highest index to lowest so earlier
+  // indices stay valid while deleting.
+  std::vector<bool> Keep(Data.numFeatures(), false);
+  for (const FeatureScore &S : Kept)
+    Keep[S.Index] = true;
+  Dataset Reduced = Data;
+  for (size_t I = Data.numFeatures(); I > 0; --I)
+    if (!Keep[I - 1])
+      Reduced = Reduced.withoutFeature(I - 1);
+  return {Reduced, Kept};
+}

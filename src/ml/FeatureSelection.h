@@ -1,0 +1,49 @@
+//===-- ml/FeatureSelection.h - Information-gain ranking --------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Information-gain feature ranking. The paper collected 134 candidate
+/// features and kept the 10 with the highest information gain with respect
+/// to the prediction target (Section 5.2.2); this module reproduces that
+/// selection step over the simulated corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_ML_FEATURESELECTION_H
+#define MEDLEY_ML_FEATURESELECTION_H
+
+#include "ml/Dataset.h"
+
+namespace medley {
+
+/// Per-feature information-gain score.
+struct FeatureScore {
+  size_t Index = 0;
+  std::string Name;
+  double Gain = 0.0;
+};
+
+/// Options for the discretisation used by information gain.
+struct InformationGainOptions {
+  /// Number of equal-frequency bins for continuous features and the target.
+  size_t NumBins = 8;
+};
+
+/// Computes the information gain of each feature with respect to the
+/// (discretised) target, returned sorted by descending gain.
+std::vector<FeatureScore>
+rankFeaturesByInformationGain(const Dataset &Data,
+                              InformationGainOptions Options = {});
+
+/// Keeps the \p K highest-gain features, returning the reduced dataset and
+/// the surviving feature scores (in original column order).
+std::pair<Dataset, std::vector<FeatureScore>>
+selectTopFeatures(const Dataset &Data, size_t K,
+                  InformationGainOptions Options = {});
+
+} // namespace medley
+
+#endif // MEDLEY_ML_FEATURESELECTION_H

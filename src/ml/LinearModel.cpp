@@ -1,0 +1,44 @@
+//===-- ml/LinearModel.cpp - Deployable linear predictor ------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/LinearModel.h"
+
+using namespace medley;
+
+LinearModel::LinearModel(FeatureScaler Scaler, LinearFit Fit, std::string Name)
+    : Scaler(std::move(Scaler)), Fit(std::move(Fit)), Name(std::move(Name)) {}
+
+double LinearModel::predict(const Vec &X) const {
+  return Fit.predict(Scaler.transform(X));
+}
+
+std::optional<LinearModel>
+medley::trainLinearModel(const Dataset &Data, const std::string &Name,
+                         LinearModelOptions Options) {
+  if (Data.empty())
+    return std::nullopt;
+
+  std::vector<Vec> X = Data.designMatrix();
+  FeatureScaler Scaler;
+  if (Options.SharedScaler) {
+    assert(Options.SharedScaler->dimension() == Data.numFeatures() &&
+           "shared scaler arity mismatch");
+    Scaler = *Options.SharedScaler;
+  } else if (Options.Standardize) {
+    Scaler = FeatureScaler::fit(X);
+  } else {
+    Scaler = FeatureScaler::identity(Data.numFeatures());
+  }
+  std::vector<Vec> Scaled = Scaler.transformAll(X);
+
+  LeastSquaresOptions LsOptions;
+  LsOptions.Ridge = Options.Ridge;
+  std::optional<LinearFit> Fit =
+      fitLeastSquares(Scaled, Data.targets(), LsOptions);
+  if (!Fit)
+    return std::nullopt;
+  return LinearModel(std::move(Scaler), std::move(*Fit), Name);
+}

@@ -1,0 +1,67 @@
+//===-- ml/LinearModel.h - Deployable linear predictor ----------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deployable linear model: feature scaler + least-squares fit. Both of an
+/// expert's models (thread predictor w and environment predictor m, paper
+/// Section 4.1) are instances of this class, trained on the same data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_ML_LINEARMODEL_H
+#define MEDLEY_ML_LINEARMODEL_H
+
+#include "linalg/LeastSquares.h"
+#include "ml/Dataset.h"
+#include "ml/FeatureScaler.h"
+
+#include <optional>
+#include <string>
+
+namespace medley {
+
+/// Options for trainLinearModel.
+struct LinearModelOptions {
+  double Ridge = 0.0;
+  bool Standardize = true;
+  /// When non-null, use this scaler instead of fitting one on the training
+  /// data. Experts trained on subsets of a corpus share the corpus-wide
+  /// scaler so their predictions are comparable under the same inputs.
+  const FeatureScaler *SharedScaler = nullptr;
+};
+
+/// Scaler + linear fit, applied as predict(x) = w . scale(x) + β.
+class LinearModel {
+public:
+  LinearModel() = default;
+  LinearModel(FeatureScaler Scaler, LinearFit Fit, std::string Name);
+
+  /// Predicts the target for raw (unscaled) features \p X.
+  double predict(const Vec &X) const;
+
+  /// Weights in standardised feature space (the paper's Table-1 entries).
+  const Vec &weights() const { return Fit.Weights; }
+  double intercept() const { return Fit.Intercept; }
+  double trainingR2() const { return Fit.R2; }
+  const std::string &name() const { return Name; }
+  size_t dimension() const { return Scaler.dimension(); }
+  const FeatureScaler &scaler() const { return Scaler; }
+
+private:
+  FeatureScaler Scaler;
+  LinearFit Fit;
+  std::string Name;
+};
+
+/// Fits a LinearModel over \p Data. Returns std::nullopt for an empty or
+/// degenerate dataset.
+std::optional<LinearModel> trainLinearModel(const Dataset &Data,
+                                            const std::string &Name,
+                                            LinearModelOptions Options = {});
+
+} // namespace medley
+
+#endif // MEDLEY_ML_LINEARMODEL_H

@@ -1,0 +1,74 @@
+//===-- ml/SvrModel.h - Linear epsilon-SVR ----------------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear support-vector regression with an epsilon-insensitive loss,
+/// trained by deterministic averaged subgradient descent. This is the
+/// "SVMs trained on the same data" of the paper's Section 9: a different
+/// loss (epsilon-insensitive rather than squared) over the same features
+/// and corpus, pluggable into the mixture as another expert type.
+///
+/// Objective (standardised features x, target y):
+///   min_w  lambda/2 ||w||^2 + 1/n sum_i max(0, |w.x_i + b - y_i| - eps)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_ML_SVRMODEL_H
+#define MEDLEY_ML_SVRMODEL_H
+
+#include "ml/Dataset.h"
+#include "ml/FeatureScaler.h"
+
+#include <optional>
+
+namespace medley {
+
+/// Options for trainSvrModel.
+struct SvrOptions {
+  double Epsilon = 1.0;    ///< Insensitive-tube half width (thread counts).
+  double Lambda = 1e-4;    ///< L2 regularisation strength.
+  size_t Epochs = 30;      ///< Full passes over the data.
+  double LearningRate = 0.1;
+  uint64_t Seed = 0x5A2;   ///< Shuffling seed (training is deterministic).
+};
+
+/// A trained linear epsilon-SVR.
+class SvrModel {
+public:
+  SvrModel() = default;
+
+  double predict(const Vec &X) const;
+
+  /// Weights in standardised feature space.
+  const Vec &weights() const { return Weights; }
+  double intercept() const { return Intercept; }
+  const std::string &name() const { return Name; }
+  size_t dimension() const { return Scaler.dimension(); }
+
+  /// Fraction of training points outside the epsilon tube (the "support
+  /// vectors" of the linear formulation).
+  double supportFraction() const { return SupportFraction; }
+
+private:
+  friend std::optional<SvrModel> trainSvrModel(const Dataset &Data,
+                                               const std::string &Name,
+                                               SvrOptions Options);
+
+  FeatureScaler Scaler;
+  Vec Weights;
+  double Intercept = 0.0;
+  double SupportFraction = 0.0;
+  std::string Name;
+};
+
+/// Trains a linear epsilon-SVR over \p Data (std::nullopt when empty).
+std::optional<SvrModel> trainSvrModel(const Dataset &Data,
+                                      const std::string &Name,
+                                      SvrOptions Options = {});
+
+} // namespace medley
+
+#endif // MEDLEY_ML_SVRMODEL_H

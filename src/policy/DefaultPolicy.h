@@ -1,0 +1,31 @@
+//===-- policy/DefaultPolicy.h - OpenMP default policy ----------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OpenMP 3.0 default baseline (Section 6.3): "assigns a thread number
+/// equal to the current number of available processors", irrespective of
+/// any co-executing workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_POLICY_DEFAULTPOLICY_H
+#define MEDLEY_POLICY_DEFAULTPOLICY_H
+
+#include "policy/ThreadPolicy.h"
+
+namespace medley::policy {
+
+/// n = current number of available processors.
+class DefaultPolicy : public ThreadPolicy {
+public:
+  unsigned select(const FeatureVector &Features) override;
+  void reset() override {}
+  const std::string &name() const override;
+};
+
+} // namespace medley::policy
+
+#endif // MEDLEY_POLICY_DEFAULTPOLICY_H

@@ -1,0 +1,102 @@
+//===-- policy/ExtendedFeatures.cpp - Candidate feature sweep -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policy/ExtendedFeatures.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::policy;
+
+const std::vector<std::string> &medley::policy::extendedFeatureNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N = featureNames(); // The deployed ten first.
+    const char *Extra[] = {
+        // Compiler-style derived code counters.
+        "arithmetic intensity", "ls x branches", "weighted load/store",
+        "weighted branches", "sqrt load/store", "sqrt branches",
+        "ls minus branches", "code density proxy",
+        // OS-style derived runtime counters.
+        "free processors", "utilization (runq/procs)",
+        "per-core workload", "load ratio (ldavg1/5)", "load trend",
+        "overload flag", "memory used", "memory pressure x load",
+        "workload minus procs", "runq minus procs", "sqrt runq",
+        "log processors", "procs squared", "workload squared",
+        "ldavg-1 squared", "cached x procs",
+        // Genuinely uninformative counters (constants / pure noise
+        // transforms) — information gain must bury these.
+        "page size (const)", "tick length (const)", "page rate squared",
+        "cached minus cached (zero)", "parity of runq",
+        "runq mod 3",
+    };
+    for (const char *Name : Extra)
+      N.push_back(Name);
+    return N;
+  }();
+  return Names;
+}
+
+size_t medley::policy::numExtendedFeatures() {
+  return extendedFeatureNames().size();
+}
+
+const std::vector<size_t> &medley::policy::deployedFeatureIndices() {
+  static const std::vector<size_t> Indices = [] {
+    std::vector<size_t> I;
+    for (size_t K = 0; K < NumFeatures; ++K)
+      I.push_back(K);
+    return I;
+  }();
+  return Indices;
+}
+
+Vec medley::policy::buildExtendedFeatures(
+    const workload::RegionContext &Context, unsigned TotalCores) {
+  FeatureVector Base = buildFeatures(Context, TotalCores);
+  const Vec &F = Base.Values;
+  double Ls = F[0], Weight = F[1], Br = F[2];
+  double W = F[3], P = F[4], Rq = F[5], L1 = F[6], L5 = F[7];
+  double Cached = F[8], PageRate = F[9];
+
+  Vec X = F; // Deployed ten first.
+  // Compiler-style derived code counters.
+  X.push_back(std::max(0.0, 1.0 - Ls - Br)); // arithmetic intensity
+  X.push_back(Ls * Br);
+  X.push_back(Weight * Ls);
+  X.push_back(Weight * Br);
+  X.push_back(std::sqrt(Ls));
+  X.push_back(std::sqrt(Br));
+  X.push_back(Ls - Br);
+  X.push_back(Weight / (Ls + Br + 1e-3));
+  // OS-style derived runtime counters.
+  X.push_back(std::max(0.0, P - Rq));
+  X.push_back(Rq / std::max(1.0, P));
+  X.push_back(W / std::max(1.0, P));
+  X.push_back(L1 / std::max(1e-3, L5));
+  X.push_back(L1 - L5);
+  X.push_back(Rq > P ? 1.0 : 0.0);
+  X.push_back(1.0 - Cached);
+  X.push_back((1.0 - Cached) * L1);
+  X.push_back(W - P);
+  X.push_back(Rq - P);
+  X.push_back(std::sqrt(std::max(0.0, Rq)));
+  X.push_back(std::log(std::max(1.0, P)));
+  X.push_back(P * P);
+  X.push_back(W * W);
+  X.push_back(L1 * L1);
+  X.push_back(Cached * P);
+  // Uninformative counters.
+  X.push_back(4096.0);
+  X.push_back(0.1);
+  X.push_back(PageRate * PageRate);
+  X.push_back(Cached - Cached);
+  X.push_back(std::fmod(std::floor(Rq), 2.0));
+  X.push_back(std::fmod(std::floor(Rq), 3.0));
+
+  assert(X.size() == numExtendedFeatures() && "candidate arity mismatch");
+  return X;
+}

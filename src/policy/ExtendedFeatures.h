@@ -1,0 +1,45 @@
+//===-- policy/ExtendedFeatures.h - Candidate feature sweep -----*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wide candidate feature set of Section 5.2.2: "During the training
+/// phase 134 features were collected, comprising of many code and
+/// environment parameters available within our LLVM-based compiler and
+/// Linux. From these, 10 features were chosen ... based on the quality of
+/// information gain." We generate the analogous sweep for the simulated
+/// world: the ten deployed features plus dozens of derived compiler- and
+/// OS-style counters (ratios, differences, transforms, and counters that
+/// are genuinely uninformative). `bench_ext_feature_selection` reruns the
+/// information-gain selection over this set and checks that the deployed
+/// ten dominate the ranking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_POLICY_EXTENDEDFEATURES_H
+#define MEDLEY_POLICY_EXTENDEDFEATURES_H
+
+#include "policy/Features.h"
+
+namespace medley::policy {
+
+/// Names of the extended candidate set. The first NumFeatures entries are
+/// exactly featureNames() (the deployed ten), followed by the candidates.
+const std::vector<std::string> &extendedFeatureNames();
+
+/// Number of candidate features (== extendedFeatureNames().size()).
+size_t numExtendedFeatures();
+
+/// Assembles the extended candidate vector for a region decision,
+/// index-aligned with extendedFeatureNames().
+Vec buildExtendedFeatures(const workload::RegionContext &Context,
+                          unsigned TotalCores);
+
+/// Indices (into the extended vector) of the ten deployed features.
+const std::vector<size_t> &deployedFeatureIndices();
+
+} // namespace medley::policy
+
+#endif // MEDLEY_POLICY_EXTENDEDFEATURES_H

@@ -1,0 +1,46 @@
+//===-- policy/Features.cpp - The 10-feature vector --------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policy/Features.h"
+
+#include <cassert>
+
+using namespace medley;
+using namespace medley::policy;
+
+const std::vector<std::string> &medley::policy::featureNames() {
+  static const std::vector<std::string> Names = {
+      "load/store count", "instructions", "branches",
+      "workload threads", "processors",   "runq-sz",
+      "ldavg-1",          "ldavg-5",      "cached memory",
+      "pages free list rate"};
+  return Names;
+}
+
+FeatureVector
+medley::policy::buildFeatures(const workload::RegionContext &Context,
+                              unsigned TotalCores) {
+  assert(Context.Region && "region context without a region");
+  assert(TotalCores >= 1 && "invalid core count");
+
+  const workload::CodeFeatures &Code = Context.Region->Code;
+  const sim::EnvSample &Env = Context.Env;
+
+  FeatureVector F;
+  F.Values = {Code.LoadStoreRatio, Code.InstructionWeight, Code.BranchRatio,
+              Env.WorkloadThreads, Env.Processors,         Env.RunQueue,
+              Env.LoadAvg1,        Env.LoadAvg5,           Env.CachedMemory,
+              Env.PageFreeRate};
+  F.EnvNorm = Env.scaledNorm(static_cast<double>(TotalCores));
+  F.Now = Context.Now;
+  F.MaxThreads = Context.MaxThreads;
+  return F;
+}
+
+Vec medley::policy::environmentPart(const FeatureVector &Features) {
+  assert(Features.Values.size() == NumFeatures && "malformed feature vector");
+  return Vec(Features.Values.begin() + 3, Features.Values.end());
+}

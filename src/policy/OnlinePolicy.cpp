@@ -1,0 +1,61 @@
+//===-- policy/OnlinePolicy.cpp - Hill-climbing adaptation --------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policy/OnlinePolicy.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace medley::policy;
+
+OnlinePolicy::OnlinePolicy(unsigned Window, unsigned Step)
+    : Window(Window), Step(Step) {
+  assert(Window >= 1 && Step >= 1 && "invalid hill-climbing parameters");
+}
+
+unsigned OnlinePolicy::select(const FeatureVector &Features) {
+  MaxThreads = Features.MaxThreads;
+  if (Current == 0) {
+    // Start at half the machine: a neutral point the climb can leave in
+    // either direction.
+    Current = std::max(1u, Features.MaxThreads / 2);
+  }
+  return Current;
+}
+
+void OnlinePolicy::observe(const workload::RegionOutcome &Outcome) {
+  WindowRateSum += Outcome.rate();
+  ++SeenInWindow;
+  if (SeenInWindow < Window)
+    return;
+
+  double Rate = WindowRateSum / static_cast<double>(SeenInWindow);
+  SeenInWindow = 0;
+  WindowRateSum = 0.0;
+
+  // Classic hill climbing: keep moving while performance improves, turn
+  // around when it regresses.
+  if (PreviousRate >= 0.0 && Rate < PreviousRate)
+    Direction = -Direction;
+  PreviousRate = Rate;
+
+  long Next = static_cast<long>(Current) + Direction * static_cast<long>(Step);
+  Next = std::clamp<long>(Next, 1, static_cast<long>(std::max(1u, MaxThreads)));
+  Current = static_cast<unsigned>(Next);
+}
+
+void OnlinePolicy::reset() {
+  Current = 0;
+  Direction = 1;
+  SeenInWindow = 0;
+  WindowRateSum = 0.0;
+  PreviousRate = -1.0;
+}
+
+const std::string &OnlinePolicy::name() const {
+  static const std::string Name = "online";
+  return Name;
+}

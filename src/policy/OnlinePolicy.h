@@ -1,0 +1,54 @@
+//===-- policy/OnlinePolicy.h - Hill-climbing adaptation --------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "online" baseline (Section 6.3): a Parcae-style robust adaptive
+/// scheme that hill-climbs the thread count using observed execution rates.
+/// It needs several region executions per probe, so it reacts slowly to
+/// environment changes and can be trapped in local optima — the weaknesses
+/// the paper attributes to it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_POLICY_ONLINEPOLICY_H
+#define MEDLEY_POLICY_ONLINEPOLICY_H
+
+#include "policy/ThreadPolicy.h"
+
+namespace medley::policy {
+
+/// Hill-climbing thread selection driven by observed region rates.
+class OnlinePolicy : public ThreadPolicy {
+public:
+  /// \p Window is the number of region executions averaged per probe;
+  /// \p Step is the thread-count increment between probes. The defaults
+  /// adapt by one thread every few regions — robust but slow to track a
+  /// changing environment, which is the weakness the paper ascribes to
+  /// this class of scheme.
+  explicit OnlinePolicy(unsigned Window = 5, unsigned Step = 1);
+
+  unsigned select(const FeatureVector &Features) override;
+  void observe(const workload::RegionOutcome &Outcome) override;
+  void reset() override;
+  const std::string &name() const override;
+
+  unsigned currentThreads() const { return Current; }
+
+private:
+  unsigned Window;
+  unsigned Step;
+
+  unsigned Current = 0; // 0 = uninitialised; primed on first select().
+  int Direction = 1;
+  unsigned SeenInWindow = 0;
+  double WindowRateSum = 0.0;
+  double PreviousRate = -1.0;
+  unsigned MaxThreads = 1;
+};
+
+} // namespace medley::policy
+
+#endif // MEDLEY_POLICY_ONLINEPOLICY_H

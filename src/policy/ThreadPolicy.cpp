@@ -1,0 +1,13 @@
+//===-- policy/ThreadPolicy.cpp - Mapping policy interface -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policy/ThreadPolicy.h"
+
+using namespace medley::policy;
+
+ThreadPolicy::~ThreadPolicy() = default;
+
+void ThreadPolicy::observe(const workload::RegionOutcome &) {}

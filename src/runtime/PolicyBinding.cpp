@@ -1,0 +1,30 @@
+//===-- runtime/PolicyBinding.cpp - Bind policies to programs -----------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PolicyBinding.h"
+
+using namespace medley;
+using namespace medley::runtime;
+
+workload::ThreadChooser
+medley::runtime::bindPolicy(policy::ThreadPolicy &Policy, unsigned TotalCores,
+                            std::vector<Decision> *Trace) {
+  return [&Policy, TotalCores, Trace](const workload::RegionContext &Context) {
+    policy::FeatureVector Features =
+        policy::buildFeatures(Context, TotalCores);
+    unsigned Threads = Policy.select(Features);
+    if (Trace)
+      Trace->push_back(Decision{Context.Now, Threads, Features.EnvNorm});
+    return Threads;
+  };
+}
+
+workload::RegionObserver
+medley::runtime::bindObserver(policy::ThreadPolicy &Policy) {
+  return [&Policy](const workload::RegionOutcome &Outcome) {
+    Policy.observe(Outcome);
+  };
+}

@@ -1,0 +1,36 @@
+//===-- sim/EnvSample.cpp - Runtime environment snapshot ------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EnvSample.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::sim;
+
+Vec EnvSample::toVec() const {
+  return {WorkloadThreads, Processors, RunQueue, LoadAvg1,
+          LoadAvg5,        CachedMemory, PageFreeRate};
+}
+
+double EnvSample::scaledNorm(double CoreScale) const {
+  assert(CoreScale > 0.0 && "core scale must be positive");
+  double Wt = WorkloadThreads / CoreScale;
+  double P = Processors / CoreScale;
+  double Rq = RunQueue / CoreScale;
+  double L1 = LoadAvg1 / CoreScale;
+  double L5 = LoadAvg5 / CoreScale;
+  return std::sqrt(Wt * Wt + P * P + Rq * Rq + L1 * L1 + L5 * L5 +
+                   CachedMemory * CachedMemory + PageFreeRate * PageFreeRate);
+}
+
+const std::vector<std::string> &EnvSample::featureNames() {
+  static const std::vector<std::string> Names = {
+      "workload threads", "processors",    "runq-sz", "ldavg-1",
+      "ldavg-5",          "cached memory", "pages free list rate"};
+  return Names;
+}

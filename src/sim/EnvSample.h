@@ -1,0 +1,50 @@
+//===-- sim/EnvSample.h - Runtime environment snapshot ----------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seven runtime features (f4..f10 of the paper's Table 1) observed by a
+/// program at a point in time, mirroring the Linux `sar`/`/proc` counters the
+/// original system sampled. The paper formalises the *environment* as the
+/// norm of these features; scaledNorm implements that with thread-count
+/// dimensioned components normalised by the machine size so no single
+/// counter dominates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SIM_ENVSAMPLE_H
+#define MEDLEY_SIM_ENVSAMPLE_H
+
+#include "linalg/Vector.h"
+
+#include <string>
+
+namespace medley::sim {
+
+/// One observation of the runtime environment (paper features f4..f10).
+struct EnvSample {
+  double WorkloadThreads = 0.0; ///< f4: threads of co-executing programs.
+  double Processors = 0.0;      ///< f5: currently available processors.
+  double RunQueue = 0.0;        ///< f6: runnable threads (sar runq-sz).
+  double LoadAvg1 = 0.0;        ///< f7: 1-minute load average (ldavg-1).
+  double LoadAvg5 = 0.0;        ///< f8: 5-minute load average (ldavg-5).
+  double CachedMemory = 0.0;    ///< f9: cached/free memory fraction [0,1].
+  double PageFreeRate = 0.0;    ///< f10: page free-list turnover rate.
+
+  /// Returns the features as a 7-vector in f4..f10 order.
+  Vec toVec() const;
+
+  /// The paper's environment value ||e||: Euclidean norm of the runtime
+  /// features with count-dimensioned components divided by \p CoreScale
+  /// (the machine's total core count).
+  double scaledNorm(double CoreScale) const;
+
+  /// Names matching Table 1, index-aligned with toVec().
+  static const std::vector<std::string> &featureNames();
+};
+
+} // namespace medley::sim
+
+#endif // MEDLEY_SIM_ENVSAMPLE_H

@@ -1,0 +1,50 @@
+//===-- sim/Machine.cpp - Machine configuration ---------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include <algorithm>
+
+using namespace medley::sim;
+
+MachineConfig MachineConfig::evaluationPlatform() {
+  MachineConfig Config;
+  Config.TotalCores = 32;
+  // The shared LLC/memory system saturates when roughly 45% of the cores run
+  // fully memory-bound threads, a typical ratio for this class of machine.
+  Config.MemoryBandwidth = 0.45 * 32;
+  Config.TotalMemoryMb = 64.0 * 1024.0;
+  return Config;
+}
+
+MachineConfig MachineConfig::trainingPlatform12() {
+  MachineConfig Config;
+  Config.TotalCores = 12;
+  Config.MemoryBandwidth = 0.45 * 12;
+  Config.TotalMemoryMb = 24.0 * 1024.0;
+  Config.SocketCount = 2; // 2 sockets x 6 cores.
+  return Config;
+}
+
+unsigned MachineConfig::coresPerSocket() const {
+  if (SocketCount == 0)
+    return TotalCores;
+  return std::max(1u, TotalCores / SocketCount);
+}
+
+MachineConfig MachineConfig::withAffinity(double Benefit) const {
+  MachineConfig Config = *this;
+  Config.AffinityBenefit = Benefit;
+  return Config;
+}
+
+bool MachineConfig::valid() const {
+  return TotalCores > 0 && MemoryBandwidth > 0.0 && TotalMemoryMb > 0.0 &&
+         AffinityBenefit >= 0.0 && AffinityBenefit < 1.0 &&
+         ContextSwitchOverhead >= 0.0 && BarrierConvoy >= 0.0 &&
+         MemContentionExponent >= 1.0 && MemFactorCap >= 1.0 &&
+         SocketCount >= 1 && InterSocketSync >= 0.0;
+}

@@ -1,0 +1,86 @@
+//===-- sim/Machine.h - Machine configuration -------------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static description of the simulated machine. The evaluation platform of
+/// the paper (Table 2) is a 32-core Xeon with a shared LLC; training also
+/// used a 12-core machine. Memory bandwidth and the scheduling overheads
+/// here are normalised quantities: a fully memory-bound thread demands 1.0
+/// bandwidth unit, and the machine saturates once total demand exceeds
+/// MemoryBandwidth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SIM_MACHINE_H
+#define MEDLEY_SIM_MACHINE_H
+
+namespace medley::sim {
+
+/// Immutable hardware parameters of a simulated machine.
+struct MachineConfig {
+  /// Physical core count (availability patterns vary the usable subset).
+  unsigned TotalCores = 32;
+
+  /// Aggregate memory bandwidth in normalised units (1.0 = one fully
+  /// memory-bound thread running at full speed).
+  double MemoryBandwidth = 14.0;
+
+  /// Total memory in MB; working sets consume it and drive the cached
+  /// memory / page-rate features.
+  double TotalMemoryMb = 64.0 * 1024.0;
+
+  /// Fraction of the memory-contention penalty removed when the OS pins
+  /// threads to cores (Section 7.6 studies affinity scheduling). 0 = off.
+  double AffinityBenefit = 0.0;
+
+  /// Context-switch overhead coefficient: when runnable threads exceed
+  /// available cores by ratio r > 1, every thread's efficiency becomes
+  /// 1 / (1 + ContextSwitchOverhead * (r - 1)).
+  double ContextSwitchOverhead = 0.35;
+
+  /// Barrier-convoy coefficient: on an oversubscribed machine threads of a
+  /// parallel region are no longer co-scheduled, so every barrier waits for
+  /// descheduled stragglers. A region's synchronisation cost is multiplied
+  /// by (1 + BarrierConvoy * (r - 1)) when runnable/cores = r > 1. This is
+  /// the effect that makes "spawn as many threads as processors" a bad
+  /// policy on loaded machines (paper Sections 3 and 7.2).
+  double BarrierConvoy = 1.8;
+
+  /// Memory contention grows superlinearly once aggregate demand exceeds
+  /// the bandwidth (queueing at the memory controller): the slowdown
+  /// factor is (demand/bandwidth)^MemContentionExponent, capped by
+  /// MemFactorCap.
+  double MemContentionExponent = 1.6;
+  double MemFactorCap = 3.0;
+
+  /// Socket topology (Table 2: "4 one-socket nodes, 8 cores/socket").
+  /// Threads are packed socket by socket; a region whose team spans s > 1
+  /// sockets pays (1 + InterSocketSync * (s - 1)) on its synchronisation
+  /// cost — barriers across the interconnect are far slower than within a
+  /// socket. This makes the best team size jump between socket-sized
+  /// plateaus, one of the strong non-linearities of real machines.
+  unsigned SocketCount = 4;
+  double InterSocketSync = 0.5;
+
+  /// Cores per socket (TotalCores / SocketCount, at least 1).
+  unsigned coresPerSocket() const;
+
+  /// Builds the paper's 32-core evaluation platform (Table 2).
+  static MachineConfig evaluationPlatform();
+
+  /// Builds the 12-core training machine (Section 5.1).
+  static MachineConfig trainingPlatform12();
+
+  /// Returns a copy with affinity scheduling enabled.
+  MachineConfig withAffinity(double Benefit = 0.35) const;
+
+  /// Sanity-checks the parameters (positive counts, bandwidth, memory).
+  bool valid() const;
+};
+
+} // namespace medley::sim
+
+#endif // MEDLEY_SIM_MACHINE_H

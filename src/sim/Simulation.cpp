@@ -1,0 +1,128 @@
+//===-- sim/Simulation.cpp - Discrete-time machine simulation --------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::sim;
+
+Task::~Task() = default;
+
+Simulation::Simulation(MachineConfig Config,
+                       std::unique_ptr<AvailabilityPattern> Availability,
+                       double Tick)
+    : Config(Config), Availability(std::move(Availability)), Tick(Tick),
+      Monitor(Config) {
+  assert(Config.valid() && "invalid machine configuration");
+  assert(this->Availability && "availability pattern required");
+  assert(Tick > 0.0 && "tick must be positive");
+}
+
+void Simulation::addTask(std::shared_ptr<Task> T) {
+  assert(T && "null task");
+  Tasks.push_back(std::move(T));
+}
+
+void Simulation::removeTask(const Task *T) {
+  Tasks.erase(std::remove_if(Tasks.begin(), Tasks.end(),
+                             [T](const std::shared_ptr<Task> &Entry) {
+                               return Entry.get() == T;
+                             }),
+              Tasks.end());
+}
+
+unsigned Simulation::availableCores() { return Availability->coresAt(Time); }
+
+unsigned Simulation::runnableThreads() const {
+  unsigned Total = 0;
+  for (const auto &T : Tasks)
+    if (!T->finished())
+      Total += T->activeThreads();
+  return Total;
+}
+
+void Simulation::step() {
+  unsigned Cores = availableCores();
+  unsigned Runnable = runnableThreads();
+
+  // Fair time slicing with a context-switch penalty once the machine is
+  // oversubscribed: each thread gets share = min(1, P/R), further scaled by
+  // 1 / (1 + kappa * (R/P - 1)) when R > P.
+  double Share = 1.0;
+  double BarrierFactor = 1.0;
+  if (Runnable > 0) {
+    double Ratio = static_cast<double>(Runnable) / Cores;
+    Share = std::min(1.0, 1.0 / Ratio);
+    if (Ratio > 1.0) {
+      Share /= 1.0 + Config.ContextSwitchOverhead * (Ratio - 1.0);
+      // Pinning threads to cores keeps barrier convoys shorter: a pinned
+      // straggler is rescheduled on its own core instead of migrating.
+      BarrierFactor = 1.0 + Config.BarrierConvoy * (Ratio - 1.0) *
+                                (1.0 - Config.AffinityBenefit);
+    }
+  }
+
+  // Memory contention: bandwidth demand scales with the CPU time each task
+  // actually receives; factor > 1 slows the memory-bound portion of work.
+  double TotalDemand = 0.0;
+  double UsedMemory = 0.0;
+  for (const auto &T : Tasks) {
+    if (T->finished())
+      continue;
+    TotalDemand += T->memoryDemand() * Share;
+    UsedMemory += T->workingSetMb();
+  }
+  double DemandRatio = TotalDemand / Config.MemoryBandwidth;
+  double MemFactor =
+      DemandRatio <= 1.0
+          ? 1.0
+          : std::min(std::pow(DemandRatio, Config.MemContentionExponent),
+                     Config.MemFactorCap);
+  if (Config.AffinityBenefit > 0.0)
+    MemFactor = 1.0 + (MemFactor - 1.0) * (1.0 - Config.AffinityBenefit);
+
+  // Advance every unfinished task under the computed allocation. The env
+  // sample is per-observer (a task does not count its own threads as
+  // external workload).
+  for (const auto &T : Tasks) {
+    if (T->finished())
+      continue;
+    CpuAllocation Allocation;
+    Allocation.CpuShare = Share;
+    Allocation.MemFactor = MemFactor;
+    Allocation.BarrierFactor = BarrierFactor;
+    Allocation.CoresPerSocket = Config.coresPerSocket();
+    Allocation.InterSocketSync = Config.InterSocketSync;
+    Allocation.AvailableCores = Cores;
+    Allocation.RunnableThreads = Runnable;
+    Allocation.Env = Monitor.sample(T->activeThreads());
+    Allocation.Now = Time;
+    T->step(Tick, Allocation);
+  }
+
+  Monitor.update(Runnable, Cores, UsedMemory, Tick);
+  Time += Tick;
+
+  for (const auto &Hook : TickHooks)
+    Hook(*this);
+}
+
+bool Simulation::runUntil(const std::function<bool()> &Done, double MaxTime) {
+  while (Time < MaxTime) {
+    if (Done())
+      return true;
+    step();
+  }
+  return Done();
+}
+
+void Simulation::addTickHook(std::function<void(Simulation &)> Hook) {
+  TickHooks.push_back(std::move(Hook));
+}

@@ -1,0 +1,79 @@
+//===-- sim/Simulation.h - Discrete-time machine simulation -----*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-time simulation loop: each tick it reads processor
+/// availability, computes the fair CPU share and memory-contention factor
+/// for the current task mix, advances every task, and refreshes the system
+/// monitor. This substitutes for the paper's physical 32-core testbed (see
+/// DESIGN.md §5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SIM_SIMULATION_H
+#define MEDLEY_SIM_SIMULATION_H
+
+#include "sim/AvailabilityPattern.h"
+#include "sim/Machine.h"
+#include "sim/SystemMonitor.h"
+#include "sim/Task.h"
+
+#include <functional>
+#include <memory>
+
+namespace medley::sim {
+
+/// Owns the machine state and task set, and advances simulated time.
+class Simulation {
+public:
+  /// \p Tick is the scheduling quantum in seconds.
+  Simulation(MachineConfig Config,
+             std::unique_ptr<AvailabilityPattern> Availability,
+             double Tick = 0.1);
+
+  /// Adds \p T to the machine; tasks may be added mid-simulation.
+  void addTask(std::shared_ptr<Task> T);
+
+  /// Removes a task (e.g. a finished workload program being replaced).
+  void removeTask(const Task *T);
+
+  /// Advances the simulation by one tick.
+  void step();
+
+  /// Steps until \p Done returns true or \p MaxTime is reached. Returns
+  /// true if \p Done fired (false = timed out).
+  bool runUntil(const std::function<bool()> &Done, double MaxTime);
+
+  /// Registers a hook invoked after every tick (monitoring, logging).
+  void addTickHook(std::function<void(Simulation &)> Hook);
+
+  double now() const { return Time; }
+  double tick() const { return Tick; }
+  const MachineConfig &machine() const { return Config; }
+  const SystemMonitor &monitor() const { return Monitor; }
+
+  /// Cores available at the current time.
+  unsigned availableCores();
+
+  /// Total runnable threads across unfinished tasks.
+  unsigned runnableThreads() const;
+
+  size_t numTasks() const { return Tasks.size(); }
+  const std::vector<std::shared_ptr<Task>> &tasks() const { return Tasks; }
+
+private:
+  MachineConfig Config;
+  std::unique_ptr<AvailabilityPattern> Availability;
+  double Tick;
+  double Time = 0.0;
+  SystemMonitor Monitor;
+  std::vector<std::shared_ptr<Task>> Tasks;
+  std::vector<std::function<void(Simulation &)>> TickHooks;
+};
+
+} // namespace medley::sim
+
+#endif // MEDLEY_SIM_SIMULATION_H

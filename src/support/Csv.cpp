@@ -1,0 +1,44 @@
+//===-- support/Csv.cpp - CSV output ----------------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include "support/StringUtils.h"
+
+using namespace medley;
+
+static std::string escapeCell(const std::string &Cell) {
+  bool NeedsQuoting = Cell.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuoting)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string> &Cells) {
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    if (I != 0)
+      OS << ',';
+    OS << escapeCell(Cells[I]);
+  }
+  OS << '\n';
+}
+
+void CsvWriter::writeRow(const std::string &Label,
+                         const std::vector<double> &Values, int Precision) {
+  std::vector<std::string> Cells;
+  Cells.reserve(Values.size() + 1);
+  Cells.push_back(Label);
+  for (double V : Values)
+    Cells.push_back(formatDouble(V, Precision));
+  writeRow(Cells);
+}

@@ -1,0 +1,40 @@
+//===-- support/Csv.h - CSV output ------------------------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV writer so bench binaries can optionally dump machine-readable
+/// series alongside the human-readable tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_CSV_H
+#define MEDLEY_SUPPORT_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace medley {
+
+/// Streams rows of comma-separated values, quoting cells that need it.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::ostream &OS) : OS(OS) {}
+
+  /// Writes one row; cells containing commas, quotes or newlines are quoted.
+  void writeRow(const std::vector<std::string> &Cells);
+
+  /// Convenience for a label followed by numeric columns.
+  void writeRow(const std::string &Label, const std::vector<double> &Values,
+                int Precision = 4);
+
+private:
+  std::ostream &OS;
+};
+
+} // namespace medley
+
+#endif // MEDLEY_SUPPORT_CSV_H

@@ -1,0 +1,19 @@
+//===-- support/Error.cpp - Fatal error reporting -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace medley {
+
+void reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "medley fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+} // namespace medley

@@ -1,0 +1,31 @@
+//===-- support/Error.h - Fatal error reporting -----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity: A Mixture of
+// Experts Approach for Runtime Mapping in Dynamic Environments" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error helpers for programmatic errors. Recoverable conditions are
+/// reported through return values; these helpers are for broken invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_ERROR_H
+#define MEDLEY_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace medley {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be diagnosed even in builds without assertions.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace medley
+
+/// Marks a point in code that must never be reached.
+#define MEDLEY_UNREACHABLE(MSG)                                               \
+  ::medley::reportFatalError(std::string("unreachable: ") + (MSG))
+
+#endif // MEDLEY_SUPPORT_ERROR_H

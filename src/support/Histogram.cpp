@@ -1,0 +1,77 @@
+//===-- support/Histogram.cpp - Integer histograms -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace medley;
+
+void Histogram::add(unsigned Value) {
+  if (Value >= Counts.size())
+    Counts.resize(Value + 1, 0);
+  ++Counts[Value];
+  ++Total;
+}
+
+size_t Histogram::count(unsigned Value) const {
+  if (Value >= Counts.size())
+    return 0;
+  return Counts[Value];
+}
+
+double Histogram::frequency(unsigned Value) const {
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(count(Value)) / static_cast<double>(Total);
+}
+
+unsigned Histogram::maxValue() const {
+  for (size_t I = Counts.size(); I > 0; --I)
+    if (Counts[I - 1] != 0)
+      return static_cast<unsigned>(I - 1);
+  return 0;
+}
+
+double Histogram::meanValue() const {
+  if (Total == 0)
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Sum += static_cast<double>(I) * static_cast<double>(Counts[I]);
+  return Sum / static_cast<double>(Total);
+}
+
+unsigned Histogram::mode() const {
+  size_t Best = 0;
+  unsigned BestValue = 0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    if (Counts[I] > Best) {
+      Best = Counts[I];
+      BestValue = static_cast<unsigned>(I);
+    }
+  }
+  return BestValue;
+}
+
+std::vector<size_t> Histogram::bucketize(unsigned BucketWidth,
+                                         unsigned MaxBucketedValue) const {
+  assert(BucketWidth > 0 && "bucket width must be positive");
+  unsigned NumBuckets = (MaxBucketedValue + BucketWidth - 1) / BucketWidth;
+  std::vector<size_t> Buckets(NumBuckets, 0);
+  for (size_t V = 1; V < Counts.size(); ++V) {
+    unsigned Bucket = (static_cast<unsigned>(V) - 1) / BucketWidth;
+    Bucket = std::min(Bucket, NumBuckets - 1);
+    Buckets[Bucket] += Counts[V];
+  }
+  return Buckets;
+}
+
+void Histogram::clear() {
+  Counts.clear();
+  Total = 0;
+}

@@ -1,0 +1,59 @@
+//===-- support/Histogram.h - Integer histograms ----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Histogram over small non-negative integers, used to record the
+/// distribution of predicted thread numbers (paper Figure 17).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_HISTOGRAM_H
+#define MEDLEY_SUPPORT_HISTOGRAM_H
+
+#include <cstddef>
+#include <vector>
+
+namespace medley {
+
+/// Counts occurrences of integer values; grows to fit the largest value.
+class Histogram {
+public:
+  /// Records one occurrence of \p Value.
+  void add(unsigned Value);
+
+  /// Number of samples recorded so far.
+  size_t total() const { return Total; }
+
+  /// Raw count for \p Value (0 if never seen).
+  size_t count(unsigned Value) const;
+
+  /// Fraction of samples equal to \p Value.
+  double frequency(unsigned Value) const;
+
+  /// Largest value recorded (0 if empty).
+  unsigned maxValue() const;
+
+  /// Sample mean of the recorded values.
+  double meanValue() const;
+
+  /// Value with the highest count (smallest such value on ties).
+  unsigned mode() const;
+
+  /// Returns counts grouped into buckets of width \p BucketWidth starting
+  /// at value 1: [1..W], [W+1..2W], ... Used for thread-count ranges.
+  std::vector<size_t> bucketize(unsigned BucketWidth,
+                                unsigned MaxBucketedValue) const;
+
+  void clear();
+
+private:
+  std::vector<size_t> Counts;
+  size_t Total = 0;
+};
+
+} // namespace medley
+
+#endif // MEDLEY_SUPPORT_HISTOGRAM_H

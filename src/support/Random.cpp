@@ -1,0 +1,78 @@
+//===-- support/Random.cpp - Deterministic random numbers -----------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace medley;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa yields a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "invalid uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+int64_t Rng::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "invalid uniformInt range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range requested.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(next() % Span);
+}
+
+double Rng::normal(double Mean, double Stddev) {
+  if (HasSpare) {
+    HasSpare = false;
+    return Mean + Stddev * Spare;
+  }
+  double U, V, S;
+  do {
+    U = uniform(-1.0, 1.0);
+    V = uniform(-1.0, 1.0);
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Factor = std::sqrt(-2.0 * std::log(S) / S);
+  Spare = V * Factor;
+  HasSpare = true;
+  return Mean + Stddev * U * Factor;
+}
+
+bool Rng::bernoulli(double P) { return uniform() < P; }
+
+Rng Rng::split() { return Rng(next()); }

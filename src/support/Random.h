@@ -1,0 +1,80 @@
+//===-- support/Random.h - Deterministic random numbers ---------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic random number generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component of the simulator draws from an
+/// explicitly seeded Rng so experiments are reproducible run-to-run and
+/// repeats differ only by their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_RANDOM_H
+#define MEDLEY_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace medley {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Not thread-safe; each simulation owns its own instance.
+class Rng {
+public:
+  /// Seeds the full state from \p Seed via splitmix64.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform();
+
+  /// Returns a double uniformly distributed in [\p Lo, \p Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Returns an integer uniformly distributed in [\p Lo, \p Hi] inclusive.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+  /// Returns a sample from a normal distribution (Box-Muller).
+  double normal(double Mean = 0.0, double Stddev = 1.0);
+
+  /// Returns true with probability \p P.
+  bool bernoulli(double P);
+
+  /// Returns a reference to a uniformly chosen element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "cannot pick from an empty vector");
+    return Items[static_cast<size_t>(uniformInt(0, Items.size() - 1))];
+  }
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(uniformInt(0, static_cast<int64_t>(I) - 1));
+      std::swap(Items[I - 1], Items[J]);
+    }
+  }
+
+  /// Derives an independent generator; used to give each repeat of an
+  /// experiment its own stream while staying reproducible.
+  Rng split();
+
+private:
+  uint64_t State[4];
+
+  // Cached second value of the Box-Muller pair.
+  bool HasSpare = false;
+  double Spare = 0.0;
+};
+
+} // namespace medley
+
+#endif // MEDLEY_SUPPORT_RANDOM_H

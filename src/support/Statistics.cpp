@@ -1,0 +1,111 @@
+//===-- support/Statistics.cpp - Summary statistics -----------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace medley {
+
+double mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double harmonicMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "harmonic mean requires positive values");
+    Sum += 1.0 / V;
+  }
+  return static_cast<double>(Values.size()) / Sum;
+}
+
+double geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return 0.5 * (Values[N / 2 - 1] + Values[N / 2]);
+}
+
+double stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return std::sqrt(Sum / static_cast<double>(Values.size() - 1));
+}
+
+double minOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "minOf on empty range");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double maxOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "maxOf on empty range");
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+void RunningStat::add(double X) {
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Ema::Ema(double TimeConstant) : TimeConstant(TimeConstant) {
+  assert(TimeConstant > 0.0 && "EMA time-constant must be positive");
+}
+
+void Ema::update(double X, double Dt) {
+  assert(Dt > 0.0 && "EMA interval must be positive");
+  if (!Primed) {
+    Value = X;
+    Primed = true;
+    return;
+  }
+  double Alpha = 1.0 - std::exp(-Dt / TimeConstant);
+  Value += Alpha * (X - Value);
+}
+
+void Ema::reset() {
+  Value = 0.0;
+  Primed = false;
+}
+
+} // namespace medley

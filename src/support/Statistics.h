@@ -1,0 +1,83 @@
+//===-- support/Statistics.h - Summary statistics ---------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used throughout the evaluation. The paper reports
+/// harmonic means of speedups ("the average values (hmean) are harmonic
+/// means to avoid outliers"), so harmonicMean is the default aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_STATISTICS_H
+#define MEDLEY_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace medley {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(const std::vector<double> &Values);
+
+/// Harmonic mean; every element must be strictly positive.
+double harmonicMean(const std::vector<double> &Values);
+
+/// Geometric mean; every element must be strictly positive.
+double geometricMean(const std::vector<double> &Values);
+
+/// Median (average of the two central elements for even sizes).
+double median(std::vector<double> Values);
+
+/// Unbiased sample standard deviation; returns 0 for fewer than 2 values.
+double stddev(const std::vector<double> &Values);
+
+/// Smallest element; asserts on empty input.
+double minOf(const std::vector<double> &Values);
+
+/// Largest element; asserts on empty input.
+double maxOf(const std::vector<double> &Values);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+  double variance() const;
+  double stddev() const;
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+/// Exponential moving average with a time-constant expressed in seconds,
+/// mirroring the kernel's 1-minute / 5-minute load averages.
+class Ema {
+public:
+  /// \p TimeConstant is the averaging horizon in seconds.
+  explicit Ema(double TimeConstant);
+
+  /// Folds in sample \p X observed over an interval of \p Dt seconds.
+  void update(double X, double Dt);
+
+  double value() const { return Value; }
+  bool primed() const { return Primed; }
+
+  /// Resets to the unprimed state.
+  void reset();
+
+private:
+  double TimeConstant;
+  double Value = 0.0;
+  bool Primed = false;
+};
+
+} // namespace medley
+
+#endif // MEDLEY_SUPPORT_STATISTICS_H

@@ -1,0 +1,52 @@
+//===-- support/StringUtils.cpp - String formatting helpers ---------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace medley {
+
+std::string formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string asciiBar(double Value, double UnitsPerChar, size_t MaxChars) {
+  if (Value <= 0.0 || UnitsPerChar <= 0.0)
+    return "";
+  size_t N = static_cast<size_t>(std::lround(Value * UnitsPerChar));
+  N = std::min(N, MaxChars);
+  return std::string(N, '#');
+}
+
+} // namespace medley

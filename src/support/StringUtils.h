@@ -1,0 +1,39 @@
+//===-- support/StringUtils.h - String formatting helpers -------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the table/CSV writers and the reporters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_STRINGUTILS_H
+#define MEDLEY_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace medley {
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, int Precision = 2);
+
+/// Pads \p S with spaces on the left to \p Width characters.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Pads \p S with spaces on the right to \p Width characters.
+std::string padRight(const std::string &S, size_t Width);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Renders a horizontal ASCII bar of length round(Value * UnitsPerChar),
+/// capped at \p MaxChars. Used by the figure benches to sketch bar charts.
+std::string asciiBar(double Value, double UnitsPerChar, size_t MaxChars = 60);
+
+} // namespace medley
+
+#endif // MEDLEY_SUPPORT_STRINGUTILS_H

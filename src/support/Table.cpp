@@ -1,0 +1,74 @@
+//===-- support/Table.cpp - Aligned text tables ----------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace medley;
+
+Table::Table(std::string Title) : Title(std::move(Title)) {}
+
+void Table::addRow() { Rows.emplace_back(); }
+
+void Table::addCell(const std::string &Text) {
+  assert(!Rows.empty() && "addRow must be called before addCell");
+  Rows.back().push_back(Text);
+}
+
+void Table::addCell(double Value, int Precision) {
+  addCell(formatDouble(Value, Precision));
+}
+
+void Table::addCell(int Value) { addCell(std::to_string(Value)); }
+
+void Table::addCell(unsigned Value) { addCell(std::to_string(Value)); }
+
+void Table::addRow(const std::vector<std::string> &Cells) {
+  addRow();
+  for (const auto &Cell : Cells)
+    addCell(Cell);
+}
+
+void Table::print(std::ostream &OS) const {
+  if (!Title.empty()) {
+    OS << Title << '\n';
+    OS << std::string(Title.size(), '=') << '\n';
+  }
+  if (Rows.empty())
+    return;
+
+  size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C != 0)
+        OS << "  ";
+      // Left-align the first column (labels), right-align the rest.
+      OS << (C == 0 ? padRight(Row[C], Widths[C])
+                    : padLeft(Row[C], Widths[C]));
+    }
+    OS << '\n';
+  };
+
+  printRow(Rows.front());
+  size_t RuleLen = 0;
+  for (size_t C = 0; C < NumCols; ++C)
+    RuleLen += Widths[C] + (C == 0 ? 0 : 2);
+  OS << std::string(RuleLen, '-') << '\n';
+  for (size_t R = 1; R < Rows.size(); ++R)
+    printRow(Rows[R]);
+}

@@ -1,0 +1,54 @@
+//===-- support/Table.h - Aligned text tables -------------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned text table used by the bench binaries to print
+/// the rows of each paper table/figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_TABLE_H
+#define MEDLEY_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace medley {
+
+/// Column-aligned text table. Build with addRow/addCell, then print.
+///
+/// The first row added after construction is treated as the header and is
+/// separated from the body by a rule when printed.
+class Table {
+public:
+  explicit Table(std::string Title = "");
+
+  /// Starts a new row.
+  void addRow();
+
+  /// Appends a cell to the current row.
+  void addCell(const std::string &Text);
+  void addCell(double Value, int Precision = 2);
+  void addCell(int Value);
+  void addCell(unsigned Value);
+
+  /// Convenience: starts a row and fills it with \p Cells.
+  void addRow(const std::vector<std::string> &Cells);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table with every column padded to its widest cell.
+  void print(std::ostream &OS) const;
+
+private:
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace medley
+
+#endif // MEDLEY_SUPPORT_TABLE_H

@@ -1,0 +1,78 @@
+//===-- workload/Catalog.h - Benchmark program catalog ----------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark catalog: synthetic models of the NAS, SpecOMP and Parsec
+/// programs the paper evaluates (Section 6.2), parameterised so their
+/// published qualitative behaviours hold — ep/blackscholes scale nearly
+/// linearly, cg/mg/is/art are irregular and synchronisation-bound, ft/swim/
+/// equake are memory-bandwidth bound. Only NAS programs are used for
+/// training (Section 5.2.1); SpecOMP and Parsec stay unseen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_WORKLOAD_CATALOG_H
+#define MEDLEY_WORKLOAD_CATALOG_H
+
+#include "workload/Program.h"
+
+namespace medley::workload {
+
+/// Aggregate characteristics from which a ProgramSpec's regions are derived.
+struct ProgramTraits {
+  std::string Name;
+  std::string Suite;
+  double TotalWork = 100.0; ///< Serial CPU-seconds over the whole run.
+  unsigned Iterations = 50;
+  double ParallelFraction = 0.95;
+  double SyncCost = 0.01;
+  double MemIntensity = 0.3;
+  double WorkingSetMb = 256.0;
+
+  /// Hidden behaviour multipliers: how much worse (or better) the program's
+  /// *actual* synchronisation and memory behaviour is than its instruction
+  /// mix suggests (barrier imbalance, access irregularity, locality). They
+  /// scale the executed costs but are invisible in the code features —
+  /// the part of program behaviour only behavioural training data can
+  /// capture, which is why experts trained on behaviourally similar
+  /// programs beat a single model fit to everything (paper Section 7.7).
+  double SyncHidden = 1.0;
+  double MemHidden = 1.0;
+};
+
+/// Expands aggregate traits into a three-region program (compute / memory
+/// sweep / reduction) with per-region code features.
+ProgramSpec makeProgramSpec(const ProgramTraits &Traits);
+
+/// Catalog of every modelled program.
+class Catalog {
+public:
+  /// All programs across the three suites.
+  static const std::vector<ProgramSpec> &allPrograms();
+
+  /// Looks up \p Name (aliases like "bscholes", "btrack", "fmine", "fft"
+  /// are accepted). Fatal error if unknown.
+  static const ProgramSpec &byName(const std::string &Name);
+
+  /// True if \p Name (or an alias of it) exists.
+  static bool contains(const std::string &Name);
+
+  /// Programs of one suite ("NAS", "SpecOMP", "Parsec").
+  static std::vector<ProgramSpec> bySuite(const std::string &Suite);
+
+  /// Resolves paper-style aliases to catalog names.
+  static std::string canonicalName(const std::string &Name);
+
+  /// The target programs used throughout the evaluation figures.
+  static const std::vector<std::string> &evaluationTargets();
+
+  /// Training programs: the NAS suite only (Section 5.2.1).
+  static const std::vector<std::string> &trainingPrograms();
+};
+
+} // namespace medley::workload
+
+#endif // MEDLEY_WORKLOAD_CATALOG_H

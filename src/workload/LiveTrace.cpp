@@ -1,0 +1,117 @@
+//===-- workload/LiveTrace.cpp - Live-system activity traces ---------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/LiveTrace.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::workload;
+
+namespace {
+
+/// Workload intensity regimes as fractions of machine capacity.
+struct Regime {
+  double Level;  ///< Mean demand as a fraction of cores.
+  double Jitter; ///< Relative jitter applied per dwell period.
+};
+
+const Regime Regimes[3] = {
+    {0.15, 0.30}, // quiet
+    {0.45, 0.25}, // normal
+    {0.85, 0.20}, // busy
+};
+
+unsigned demandAt(Rng &Generator, size_t RegimeIndex, unsigned MaxCores) {
+  const Regime &R = Regimes[RegimeIndex];
+  double Level = R.Level * (1.0 + Generator.uniform(-R.Jitter, R.Jitter));
+  long Threads = std::lround(Level * static_cast<double>(MaxCores));
+  return static_cast<unsigned>(std::clamp<long>(Threads, 1, 2L * MaxCores));
+}
+
+/// Markov transition: prefer staying, otherwise move to a neighbour regime.
+size_t nextRegime(Rng &Generator, size_t Current) {
+  double Draw = Generator.uniform();
+  if (Draw < 0.55)
+    return Current;
+  if (Draw < 0.80)
+    return Current == 0 ? 1 : Current - 1;
+  return Current == 2 ? 1 : Current + 1;
+}
+
+} // namespace
+
+LiveTraceData medley::workload::generateLiveTrace(uint64_t Seed,
+                                                  unsigned MaxCores,
+                                                  LiveTraceOptions Options) {
+  assert(MaxCores >= 2 && "need at least two cores");
+  assert(Options.Duration > 0.0 && Options.MeanDwell > 0.0 &&
+         "invalid trace options");
+  assert(Options.FailureStart >= 0.0 &&
+         Options.FailureStart < Options.FailureEnd &&
+         Options.FailureEnd <= 1.0 && "invalid failure window");
+
+  Rng Generator(Seed);
+  LiveTraceData Data;
+  Data.Duration = Options.Duration;
+
+  // Workload demand: regime-switching with exponential dwell times.
+  size_t Current = 1; // Start in the "normal" regime.
+  double Time = 0.0;
+  while (Time < Options.Duration) {
+    Data.WorkloadThreads.emplace_back(Time,
+                                      demandAt(Generator, Current, MaxCores));
+    double Dwell = -Options.MeanDwell * std::log(1.0 - Generator.uniform());
+    Dwell = std::clamp(Dwell, 1.0, 5.0 * Options.MeanDwell);
+    Time += Dwell;
+    Current = nextRegime(Generator, Current);
+  }
+  if (Data.WorkloadThreads.empty() || Data.WorkloadThreads.front().first > 0.0)
+    Data.WorkloadThreads.emplace(Data.WorkloadThreads.begin(), 0.0,
+                                 MaxCores / 3);
+
+  // Availability: full capacity except the failure window at half capacity
+  // (Section 7.5: "a hardware failure such that half of the processors were
+  // unavailable").
+  double FailStart = Options.FailureStart * Options.Duration;
+  double FailEnd = Options.FailureEnd * Options.Duration;
+  Data.Availability.emplace_back(0.0, MaxCores);
+  Data.Availability.emplace_back(FailStart, MaxCores / 2);
+  Data.Availability.emplace_back(FailEnd, MaxCores);
+  return Data;
+}
+
+std::vector<unsigned>
+medley::workload::generateActivityLog(uint64_t Seed, unsigned HardwareContexts,
+                                      size_t NumPoints) {
+  assert(HardwareContexts >= 4 && NumPoints >= 2 && "invalid log request");
+  Rng Generator(Seed);
+  std::vector<unsigned> Log;
+  Log.reserve(NumPoints);
+
+  size_t Current = 1;
+  double Level = Regimes[Current].Level;
+  size_t DwellLeft = 0;
+  for (size_t I = 0; I < NumPoints; ++I) {
+    if (DwellLeft == 0) {
+      Current = nextRegime(Generator, Current);
+      DwellLeft = static_cast<size_t>(Generator.uniformInt(5, 60));
+    }
+    --DwellLeft;
+    // Smooth toward the regime level with additive noise and rare spikes.
+    Level += 0.2 * (Regimes[Current].Level - Level);
+    double Noise = Generator.normal(0.0, 0.03);
+    double Spike = Generator.bernoulli(0.01) ? Generator.uniform(0.1, 0.4) : 0.0;
+    double Fraction = std::clamp(Level + Noise + Spike, 0.01, 1.0);
+    Log.push_back(static_cast<unsigned>(
+        std::lround(Fraction * static_cast<double>(HardwareContexts))));
+  }
+  return Log;
+}

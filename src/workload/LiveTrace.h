@@ -1,0 +1,63 @@
+//===-- workload/LiveTrace.h - Live-system activity traces ------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators replacing the paper's 50-hour production log (Figure 1) and
+/// its scaled-down replay (Section 7.5). We do not have the original log;
+/// the regime-switching generator below reproduces its visual structure —
+/// quiet plateaus, busy bursts, and a hardware-failure window during which
+/// half the processors disappear — scaled to the simulated machine, which
+/// is the same scaling the authors applied to their 12-core replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_WORKLOAD_LIVETRACE_H
+#define MEDLEY_WORKLOAD_LIVETRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace medley::workload {
+
+/// A replayable live-system scenario.
+struct LiveTraceData {
+  /// Piecewise-constant external workload thread demand over time.
+  std::vector<std::pair<double, unsigned>> WorkloadThreads;
+
+  /// Piecewise-constant processor availability, including the failure
+  /// window at half capacity.
+  std::vector<std::pair<double, unsigned>> Availability;
+
+  double Duration = 0.0;
+};
+
+/// Options for generateLiveTrace.
+struct LiveTraceOptions {
+  double Duration = 240.0;     ///< Replay length in simulated seconds.
+  double MeanDwell = 8.0;      ///< Mean time between workload regime shifts.
+  double FailureStart = 0.40;  ///< Failure window start (fraction of run).
+  double FailureEnd = 0.60;    ///< Failure window end (fraction of run).
+};
+
+/// Generates the Section-7.5 case-study scenario for a machine with
+/// \p MaxCores cores. Workload thread demand regime-switches between quiet,
+/// normal and busy levels; availability drops to MaxCores/2 inside the
+/// failure window (the paper's 2-of-50-hour hardware failure, scaled).
+LiveTraceData generateLiveTrace(uint64_t Seed, unsigned MaxCores,
+                                LiveTraceOptions Options = {});
+
+/// Generates a Figure-1-style long activity log: \p NumPoints samples of
+/// system-wide thread counts for a machine with \p HardwareContexts
+/// contexts, with the bursty/plateau structure of the original figure.
+std::vector<unsigned> generateActivityLog(uint64_t Seed,
+                                          unsigned HardwareContexts,
+                                          size_t NumPoints);
+
+} // namespace medley::workload
+
+#endif // MEDLEY_WORKLOAD_LIVETRACE_H

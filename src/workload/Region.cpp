@@ -1,0 +1,73 @@
+//===-- workload/Region.cpp - Parallel region performance model -----------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Region.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::workload;
+
+double medley::workload::regionRate(const RegionSpec &Region, unsigned Threads,
+                                    const sim::CpuAllocation &Allocation) {
+  assert(Threads >= 1 && "a region runs with at least one thread");
+  double N = static_cast<double>(Threads);
+  double Share = std::clamp(Allocation.CpuShare, 1e-6, 1.0);
+  double Phi = std::clamp(Region.ParallelFraction, 0.0, 1.0);
+
+  // Serial portion runs on one thread at its share; parallel portion runs
+  // on all threads at their aggregate share.
+  double SerialRate = Share;
+  double ParallelRate = N * Share;
+  double Nominal = 1.0 / ((1.0 - Phi) / SerialRate + Phi / ParallelRate);
+
+  // Barriers pay the oversubscription convoy plus the inter-socket cost
+  // once the thread team spans more than one socket.
+  unsigned PerSocket = std::max(1u, Allocation.CoresPerSocket);
+  double Spanned =
+      static_cast<double>((Threads + PerSocket - 1) / PerSocket);
+  double SocketFactor = 1.0 + Allocation.InterSocketSync * (Spanned - 1.0);
+  double SyncPenalty = 1.0 + Region.SyncCost * (N - 1.0) *
+                                 Allocation.BarrierFactor * SocketFactor;
+  double MemPenalty =
+      1.0 + Region.MemIntensity * (Allocation.MemFactor - 1.0);
+  return Nominal / (SyncPenalty * MemPenalty);
+}
+
+double medley::workload::isolatedRegionSpeedup(
+    const RegionSpec &Region, unsigned Threads,
+    const sim::MachineConfig &Machine) {
+  assert(Machine.valid() && "invalid machine");
+  unsigned Cores = Machine.TotalCores;
+
+  auto rateAt = [&](unsigned N) {
+    sim::CpuAllocation Allocation;
+    Allocation.AvailableCores = Cores;
+    Allocation.RunnableThreads = N;
+    Allocation.CoresPerSocket = Machine.coresPerSocket();
+    Allocation.InterSocketSync = Machine.InterSocketSync;
+    double Ratio = static_cast<double>(N) / Cores;
+    Allocation.CpuShare = std::min(1.0, 1.0 / Ratio);
+    if (Ratio > 1.0) {
+      Allocation.CpuShare /=
+          1.0 + Machine.ContextSwitchOverhead * (Ratio - 1.0);
+      Allocation.BarrierFactor = 1.0 + Machine.BarrierConvoy * (Ratio - 1.0);
+    }
+    double Demand =
+        static_cast<double>(N) * Region.MemIntensity * Allocation.CpuShare;
+    double DemandRatio = Demand / Machine.MemoryBandwidth;
+    Allocation.MemFactor =
+        DemandRatio <= 1.0
+            ? 1.0
+            : std::min(std::pow(DemandRatio, Machine.MemContentionExponent),
+                       Machine.MemFactorCap);
+    return regionRate(Region, N, Allocation);
+  };
+
+  return rateAt(Threads) / rateAt(1);
+}

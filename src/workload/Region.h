@@ -1,0 +1,74 @@
+//===-- workload/Region.h - Parallel region performance model ---*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parallel region (OpenMP loop) model: static code features plus an
+/// analytic performance model. The model captures the behaviours that make
+/// thread selection non-trivial (paper Sections 3, 6-7):
+///   * Amdahl-limited parallel speedup,
+///   * per-thread synchronisation/barrier overhead (irregular programs such
+///     as cg/mg lose performance with too many threads),
+///   * memory-bandwidth contention shared across co-running programs,
+///   * oversubscription losses when runnable threads exceed cores (folded
+///     into the CPU share by the scheduler).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_WORKLOAD_REGION_H
+#define MEDLEY_WORKLOAD_REGION_H
+
+#include "sim/Machine.h"
+#include "sim/Task.h"
+
+#include <string>
+
+namespace medley::workload {
+
+/// Static code features of a region (paper features f1..f3), normalised to
+/// the program as the paper prescribes.
+struct CodeFeatures {
+  double LoadStoreRatio = 0.0;    ///< f1: load/store count per instruction.
+  double InstructionWeight = 0.0; ///< f2: region instructions / program total.
+  double BranchRatio = 0.0;       ///< f3: branches per instruction.
+};
+
+/// Specification of one parallel region.
+struct RegionSpec {
+  std::string Name;
+
+  /// Serial work per execution in CPU-seconds (time on one dedicated core).
+  double Work = 1.0;
+
+  /// Amdahl parallel fraction in [0, 1].
+  double ParallelFraction = 0.95;
+
+  /// Synchronisation overhead per extra thread: the region slows by a
+  /// factor (1 + SyncCost * (n - 1)).
+  double SyncCost = 0.01;
+
+  /// Memory intensity in [0, 1]: both the bandwidth demand per thread and
+  /// the sensitivity to memory contention.
+  double MemIntensity = 0.3;
+
+  CodeFeatures Code;
+};
+
+/// Progress rate (serial-work units per second) of \p Region run with
+/// \p Threads threads under \p Allocation. Monotone in CpuShare; the
+/// best-performing thread count depends on the environment, which is what
+/// gives the thread-selection problem its content.
+double regionRate(const RegionSpec &Region, unsigned Threads,
+                  const sim::CpuAllocation &Allocation);
+
+/// Isolated-machine speedup of \p Region at \p Threads threads on
+/// \p Machine, relative to one thread. Used for the scalability split of
+/// Section 5.1.
+double isolatedRegionSpeedup(const RegionSpec &Region, unsigned Threads,
+                             const sim::MachineConfig &Machine);
+
+} // namespace medley::workload
+
+#endif // MEDLEY_WORKLOAD_REGION_H

@@ -1,0 +1,82 @@
+//===-- workload/ThreadPattern.cpp - Workload thread choosers --------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ThreadPattern.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace medley;
+using namespace medley::workload;
+
+ThreadPattern::ThreadPattern(uint64_t Seed, unsigned MinThreads,
+                             unsigned MaxThreads, double ChangePeriod)
+    : Seed(Seed), MinThreads(MinThreads), MaxThreads(MaxThreads),
+      ChangePeriod(ChangePeriod), Generator(Seed) {
+  assert(MinThreads >= 1 && MinThreads <= MaxThreads && "invalid range");
+  assert(ChangePeriod > 0.0 && "change period must be positive");
+  CurrentThreads = (MinThreads + MaxThreads) / 2;
+}
+
+unsigned ThreadPattern::threadsAt(double Time) {
+  long Epoch = static_cast<long>(std::floor(Time / ChangePeriod));
+  while (CurrentEpoch < Epoch) {
+    ++CurrentEpoch;
+    if (CurrentEpoch == 0)
+      continue;
+    // Steps of up to +/-2 keep the walk lively without teleporting.
+    long Step = Generator.uniformInt(-2, 2);
+    long Next = static_cast<long>(CurrentThreads) + Step;
+    Next = std::clamp<long>(Next, MinThreads, MaxThreads);
+    CurrentThreads = static_cast<unsigned>(Next);
+  }
+  return CurrentThreads;
+}
+
+ThreadChooser ThreadPattern::asChooser() {
+  return [this](const RegionContext &Context) {
+    return threadsAt(Context.Now);
+  };
+}
+
+ThreadChooser ThreadPattern::makeChooser(uint64_t Seed, unsigned MinThreads,
+                                         unsigned MaxThreads,
+                                         double ChangePeriod) {
+  auto Pattern = std::make_shared<ThreadPattern>(Seed, MinThreads, MaxThreads,
+                                                 ChangePeriod);
+  return [Pattern](const RegionContext &Context) {
+    return Pattern->threadsAt(Context.Now);
+  };
+}
+
+void ThreadPattern::reset() {
+  Generator = Rng(Seed);
+  CurrentEpoch = -1;
+  CurrentThreads = (MinThreads + MaxThreads) / 2;
+}
+
+ThreadChooser medley::workload::traceChooser(
+    std::vector<std::pair<double, unsigned>> Points) {
+  assert(!Points.empty() && "trace chooser needs at least one point");
+  auto Shared =
+      std::make_shared<std::vector<std::pair<double, unsigned>>>(
+          std::move(Points));
+  return [Shared](const RegionContext &Context) -> unsigned {
+    const auto &Trace = *Shared;
+    auto It = std::upper_bound(
+        Trace.begin(), Trace.end(), Context.Now,
+        [](double T, const auto &Point) { return T < Point.first; });
+    if (It == Trace.begin())
+      return Trace.front().second;
+    return std::prev(It)->second;
+  };
+}
+
+ThreadChooser medley::workload::fixedChooser(unsigned Threads) {
+  assert(Threads >= 1 && "fixed chooser needs a positive thread count");
+  return [Threads](const RegionContext &) { return Threads; };
+}

@@ -1,0 +1,68 @@
+//===-- workload/ThreadPattern.h - Workload thread choosers -----*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread choosers for external workload programs. The paper requires that
+/// "the same external workload is reproduced for all evaluated policies";
+/// these choosers make workload behaviour a deterministic function of time
+/// and seed, independent of anything the target program does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_WORKLOAD_THREADPATTERN_H
+#define MEDLEY_WORKLOAD_THREADPATTERN_H
+
+#include "support/Random.h"
+#include "workload/Program.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace medley::workload {
+
+/// Piecewise-constant thread count following a seeded random walk: every
+/// \p ChangePeriod seconds the level moves by at most one step on a ladder
+/// between MinThreads and MaxThreads.
+class ThreadPattern {
+public:
+  ThreadPattern(uint64_t Seed, unsigned MinThreads, unsigned MaxThreads,
+                double ChangePeriod);
+
+  /// Thread count in effect at \p Time (queried with non-decreasing Time).
+  unsigned threadsAt(double Time);
+
+  /// Wraps this pattern as a ThreadChooser. The chooser shares *this; keep
+  /// the pattern alive for the lifetime of the program.
+  ThreadChooser asChooser();
+
+  /// Creates a heap-held pattern already wrapped as a chooser (the chooser
+  /// keeps the pattern alive).
+  static ThreadChooser makeChooser(uint64_t Seed, unsigned MinThreads,
+                                   unsigned MaxThreads, double ChangePeriod);
+
+  void reset();
+
+private:
+  uint64_t Seed;
+  unsigned MinThreads;
+  unsigned MaxThreads;
+  double ChangePeriod;
+  Rng Generator;
+  long CurrentEpoch = -1;
+  unsigned CurrentThreads;
+};
+
+/// Chooser that replays a fixed piecewise-constant (time, threads) trace;
+/// used by the live-system case study.
+ThreadChooser traceChooser(std::vector<std::pair<double, unsigned>> Points);
+
+/// Chooser that always returns \p Threads.
+ThreadChooser fixedChooser(unsigned Threads);
+
+} // namespace medley::workload
+
+#endif // MEDLEY_WORKLOAD_THREADPATTERN_H

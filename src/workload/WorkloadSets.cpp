@@ -1,0 +1,45 @@
+//===-- workload/WorkloadSets.cpp - Table-3 workload sets -------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/WorkloadSets.h"
+
+#include "support/Error.h"
+#include "workload/Catalog.h"
+
+using namespace medley;
+using namespace medley::workload;
+
+static std::vector<WorkloadSet> canonicalized(std::vector<WorkloadSet> Sets) {
+  for (WorkloadSet &Set : Sets)
+    for (std::string &Name : Set.Programs)
+      Name = Catalog::canonicalName(Name);
+  return Sets;
+}
+
+const std::vector<WorkloadSet> &medley::workload::smallWorkloads() {
+  static const std::vector<WorkloadSet> Sets = canonicalized({
+      {"small-1", {"is", "cg"}},
+      {"small-2", {"ammp", "fft"}},
+  });
+  return Sets;
+}
+
+const std::vector<WorkloadSet> &medley::workload::largeWorkloads() {
+  static const std::vector<WorkloadSet> Sets = canonicalized({
+      {"large-1", {"bt", "sp", "equake", "is", "cg", "art"}},
+      {"large-2", {"bscholes", "lu", "bt", "sp", "fmine", "art", "mg"}},
+  });
+  return Sets;
+}
+
+const std::vector<WorkloadSet> &
+medley::workload::workloadsBySize(const std::string &Size) {
+  if (Size == "small")
+    return smallWorkloads();
+  if (Size == "large")
+    return largeWorkloads();
+  reportFatalError("unknown workload size '" + Size + "'");
+}

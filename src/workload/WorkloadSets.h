@@ -1,0 +1,41 @@
+//===-- workload/WorkloadSets.h - Table-3 workload sets ---------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The external workload configurations of the paper's Table 3:
+///   small: (i) is, cg            (ii) ammp, fft
+///   large: (i) bt, sp, equake, is, cg, art
+///          (ii) bscholes, lu, bt, sp, fmine, art, mg
+/// Results in the evaluation are averaged over the sets of each size class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_WORKLOAD_WORKLOADSETS_H
+#define MEDLEY_WORKLOAD_WORKLOADSETS_H
+
+#include <string>
+#include <vector>
+
+namespace medley::workload {
+
+/// One external workload: a named list of co-executing programs.
+struct WorkloadSet {
+  std::string Name;
+  std::vector<std::string> Programs;
+};
+
+/// The two "small" workload sets of Table 3.
+const std::vector<WorkloadSet> &smallWorkloads();
+
+/// The two "large" workload sets of Table 3.
+const std::vector<WorkloadSet> &largeWorkloads();
+
+/// Both size classes, keyed "small" / "large".
+const std::vector<WorkloadSet> &workloadsBySize(const std::string &Size);
+
+} // namespace medley::workload
+
+#endif // MEDLEY_WORKLOAD_WORKLOADSETS_H

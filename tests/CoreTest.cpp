@@ -1,0 +1,763 @@
+//===-- tests/CoreTest.cpp - mixture-of-experts core tests ---------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Expert.h"
+#include "core/ExpertBuilder.h"
+#include "core/ExpertSelector.h"
+#include "core/MixtureOfExperts.h"
+#include "core/MoeStats.h"
+#include "core/Oracle.h"
+#include "workload/Catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace medley;
+using namespace medley::core;
+
+namespace {
+
+/// Trains a linear model that predicts a constant \p Value over the
+/// 10-feature space.
+LinearModel constantModel(double Value, const std::string &Name) {
+  Dataset Data(policy::featureNames());
+  Rng R(11);
+  for (int I = 0; I < 60; ++I) {
+    Vec X(policy::NumFeatures);
+    for (double &V : X)
+      V = R.uniform(0, 10);
+    Data.add(std::move(X), Value, "g");
+  }
+  auto Model = trainLinearModel(Data, Name, {1e-3, true, nullptr});
+  EXPECT_TRUE(Model.has_value());
+  return *Model;
+}
+
+Expert makeConstantExpert(const std::string &Name, double Threads,
+                          double EnvNorm) {
+  return Expert(Name, "test", constantModel(Threads, "w:" + Name),
+                constantModel(EnvNorm, "m:" + Name), EnvNorm);
+}
+
+policy::FeatureVector makeFeatures(double EnvNorm = 1.0,
+                                   double Processors = 32.0,
+                                   double RunQueue = 10.0,
+                                   unsigned MaxThreads = 32) {
+  policy::FeatureVector F;
+  F.Values = {0.3, 0.4, 0.1, 5.0, Processors, RunQueue, 8.0, 8.0, 0.9, 0.01};
+  F.EnvNorm = EnvNorm;
+  F.MaxThreads = MaxThreads;
+  return F;
+}
+
+FeatureScaler tenDimScaler() { return FeatureScaler::identity(10); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expert
+//===----------------------------------------------------------------------===//
+
+TEST(ExpertTest, PredictsAndClamps) {
+  Expert E = makeConstantExpert("E1", 12.0, 1.5);
+  policy::FeatureVector F = makeFeatures();
+  EXPECT_EQ(E.predictThreads(F), 12u);
+  F.MaxThreads = 8;
+  EXPECT_EQ(E.predictThreads(F), 8u);
+  EXPECT_NEAR(E.predictEnvNorm(F), 1.5, 0.05);
+  EXPECT_EQ(E.name(), "E1");
+  EXPECT_DOUBLE_EQ(E.meanTrainingEnv(), 1.5);
+}
+
+TEST(ExpertTest, NegativePredictionsClampToOneAndZero) {
+  Expert E = makeConstantExpert("low", -5.0, -2.0);
+  policy::FeatureVector F = makeFeatures();
+  EXPECT_EQ(E.predictThreads(F), 1u);
+  EXPECT_GE(E.predictEnvNorm(F), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle
+//===----------------------------------------------------------------------===//
+
+TEST(OracleTest, BestThreadsIsActuallyBest) {
+  const workload::ProgramSpec &Spec = workload::Catalog::byName("cg");
+  sim::MachineConfig M = sim::MachineConfig::evaluationPlatform();
+  OracleEnv Env;
+  Env.AvailableCores = 16;
+  Env.ExternalThreads = 24;
+  Env.ExternalMemDemand = 10.0;
+  for (const workload::RegionSpec &R : Spec.Regions) {
+    unsigned Best = oracleBestThreads(R, Env, M);
+    double BestRate = oracleRegionRate(R, Best, Env, M);
+    for (unsigned N = 1; N <= 32; ++N)
+      EXPECT_LE(oracleRegionRate(R, N, Env, M), BestRate + 1e-12)
+          << "n=" << N << " beats claimed optimum " << Best;
+  }
+}
+
+TEST(OracleTest, IsolatedScalableRegionWantsEverything) {
+  workload::RegionSpec R;
+  R.ParallelFraction = 0.999;
+  R.SyncCost = 0.0002;
+  R.MemIntensity = 0.05;
+  sim::MachineConfig M = sim::MachineConfig::evaluationPlatform();
+  OracleEnv Idle;
+  Idle.AvailableCores = 32;
+  EXPECT_GE(oracleBestThreads(R, Idle, M), 28u);
+}
+
+TEST(OracleTest, ContentionShrinksOptimum) {
+  const workload::RegionSpec &R = workload::Catalog::byName("lu").Regions[2];
+  sim::MachineConfig M = sim::MachineConfig::evaluationPlatform();
+  OracleEnv Idle;
+  Idle.AvailableCores = 32;
+  OracleEnv Busy;
+  Busy.AvailableCores = 16;
+  Busy.ExternalThreads = 48;
+  Busy.ExternalMemDemand = 12.0;
+  EXPECT_LT(oracleBestThreads(R, Busy, M), oracleBestThreads(R, Idle, M));
+}
+
+TEST(OracleTest, RateMatchesSchedulerArithmetic) {
+  workload::RegionSpec R;
+  R.ParallelFraction = 1.0;
+  R.SyncCost = 0.0;
+  R.MemIntensity = 0.0;
+  sim::MachineConfig M = sim::MachineConfig::evaluationPlatform();
+  OracleEnv Env;
+  Env.AvailableCores = 32;
+  Env.ExternalThreads = 32; // Ratio 2 with 32 own threads... use 32 ext.
+  // With 8 own threads: runnable 40, ratio 1.25, share = (1/1.25)/(1+.35*.25).
+  double Share = (1.0 / 1.25) / (1.0 + M.ContextSwitchOverhead * 0.25);
+  EXPECT_NEAR(oracleRegionRate(R, 8, Env, M), 8.0 * Share, 1e-9);
+}
+
+TEST(OracleTest, EmpiricalLabelsStayOnGridAndNearOracle) {
+  const workload::RegionSpec &R = workload::Catalog::byName("sp").Regions[0];
+  sim::MachineConfig M = sim::MachineConfig::evaluationPlatform();
+  OracleEnv Env;
+  Env.AvailableCores = 24;
+  Env.ExternalThreads = 20;
+  Env.ExternalMemDemand = 6.0;
+  unsigned Exact = oracleBestThreads(R, Env, M);
+  Rng Gen(5);
+  for (int I = 0; I < 20; ++I) {
+    unsigned Label = empiricalBestThreads(R, Env, M, Gen);
+    EXPECT_GE(Label, 1u);
+    EXPECT_LE(Label, 32u);
+    // Within a factor ~2 of the exact optimum (flat-top + grid + noise).
+    EXPECT_LE(Label, Exact * 2 + 4);
+    EXPECT_GE(Label + Label, Exact / 2);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Selectors
+//===----------------------------------------------------------------------===//
+
+TEST(SelectorTest, WinnerOf) {
+  EXPECT_EQ(ExpertSelector::winnerOf({0.3, 0.1, 0.5}), 1u);
+  EXPECT_EQ(ExpertSelector::winnerOf({0.1, 0.1}), 0u); // Tie -> lowest.
+}
+
+TEST(SelectorTest, SoftmaxWeightsProperties) {
+  Vec W = ExpertSelector::softmaxOfErrors({0.1, 0.2, 0.9, 0.9});
+  ASSERT_EQ(W.size(), 4u);
+  double Sum = 0.0;
+  for (double X : W)
+    Sum += X;
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+  EXPECT_GT(W[0], W[1]);
+  EXPECT_GT(W[1], W[2]);
+  EXPECT_NEAR(W[2], W[3], 1e-12);
+}
+
+TEST(SelectorTest, SoftmaxDegenerateEqualErrors) {
+  Vec W = ExpertSelector::softmaxOfErrors({0.5, 0.5});
+  EXPECT_NEAR(W[0], 0.5, 1e-9);
+  EXPECT_NEAR(W[1], 0.5, 1e-9);
+}
+
+TEST(AccuracySelectorTest, ConvergesToBestExpert) {
+  AccuracySelector S(3);
+  Vec F = makeFeatures().Values;
+  for (int I = 0; I < 20; ++I)
+    S.update(F, {0.5, 0.1, 0.9});
+  EXPECT_EQ(S.select(F), 1u);
+  Vec W;
+  ASSERT_TRUE(S.blendWeights(F, W));
+  EXPECT_GT(W[1], W[0]);
+  EXPECT_GT(W[1], W[2]);
+}
+
+TEST(AccuracySelectorTest, AdaptsToRegimeChange) {
+  AccuracySelector S(2, /*Alpha=*/0.4);
+  Vec F = makeFeatures().Values;
+  for (int I = 0; I < 10; ++I)
+    S.update(F, {0.1, 0.9});
+  EXPECT_EQ(S.select(F), 0u);
+  for (int I = 0; I < 10; ++I)
+    S.update(F, {0.9, 0.1});
+  EXPECT_EQ(S.select(F), 1u);
+}
+
+TEST(AccuracySelectorTest, NoBlendBeforeTraining) {
+  AccuracySelector S(2);
+  Vec W;
+  EXPECT_FALSE(S.blendWeights(makeFeatures().Values, W));
+}
+
+TEST(BinnedAccuracySelectorTest, PerBinSpecialisation) {
+  BinnedAccuracySelector S(2, tenDimScaler(), /*NumBins=*/4, /*Alpha=*/0.5);
+  // Two very different feature magnitudes land in different norm bins.
+  Vec Low(10, 0.1), High(10, 2.0);
+  for (int I = 0; I < 10; ++I) {
+    S.update(Low, {0.1, 0.9});  // Expert 0 wins in the low bin.
+    S.update(High, {0.9, 0.1}); // Expert 1 wins in the high bin.
+  }
+  EXPECT_EQ(S.select(Low), 0u);
+  EXPECT_EQ(S.select(High), 1u);
+}
+
+TEST(BinnedAccuracySelectorTest, UntouchedBinFallsBackToGlobal) {
+  BinnedAccuracySelector S(2, tenDimScaler(), 8, 0.5);
+  Vec Low(10, 0.1);
+  for (int I = 0; I < 10; ++I)
+    S.update(Low, {0.9, 0.1}); // Global: expert 1.
+  Vec Unseen(10, 3.0);
+  EXPECT_EQ(S.select(Unseen), 1u);
+}
+
+TEST(HyperplaneSelectorTest, EvenInitialPartition) {
+  HyperplaneSelector S(4, tenDimScaler());
+  ASSERT_EQ(S.boundaries().size(), 3u);
+  EXPECT_GT(S.boundaries()[0], 0.0);
+  EXPECT_LT(S.boundaries()[0], S.boundaries()[1]);
+  EXPECT_LT(S.boundaries()[1], S.boundaries()[2]);
+  // A small-norm point maps to the first region, a huge one to the last.
+  EXPECT_EQ(S.select(Vec(10, 0.01)), 0u);
+  EXPECT_EQ(S.select(Vec(10, 100.0)), 3u);
+}
+
+TEST(HyperplaneSelectorTest, BoundariesMoveTowardMisclassifiedPoints) {
+  HyperplaneSelector S(2, tenDimScaler(), 0.5);
+  Vec Mid(10, 0.9); // Below the initial single boundary (sqrt(10) ~ 3.16).
+  ASSERT_EQ(S.select(Mid), 0u);
+  // Supervision says expert 1 is better there: boundary must move down.
+  Vec Errors = {0.9, 0.1};
+  for (int I = 0; I < 20; ++I)
+    S.update(Mid, Errors);
+  EXPECT_EQ(S.select(Mid), 1u);
+}
+
+TEST(HyperplaneSelectorTest, BoundariesStayOrdered) {
+  HyperplaneSelector S(4, tenDimScaler(), 0.9);
+  Rng R(3);
+  for (int I = 0; I < 200; ++I) {
+    Vec F(10, R.uniform(0, 4));
+    Vec Errors = {R.uniform(0, 1), R.uniform(0, 1), R.uniform(0, 1),
+                  R.uniform(0, 1)};
+    S.update(F, Errors);
+    for (size_t B = 1; B < S.boundaries().size(); ++B)
+      EXPECT_LE(S.boundaries()[B - 1], S.boundaries()[B] + 1e-12);
+  }
+}
+
+TEST(PerceptronSelectorTest, LearnsLinearlySeparableRouting) {
+  PerceptronSelector S(2, tenDimScaler(), 0.5);
+  Vec Low(10, 0.0), High(10, 2.0);
+  for (int I = 0; I < 50; ++I) {
+    S.update(Low, {0.1, 0.9});
+    S.update(High, {0.9, 0.1});
+  }
+  EXPECT_EQ(S.select(Low), 0u);
+  EXPECT_EQ(S.select(High), 1u);
+}
+
+TEST(RegimeSelectorTest, GatesByObservableContention) {
+  // Experts 0/1 uncontended, 2/3 contended.
+  RegimeSelector S({0, 0, 1, 1});
+  // Errors make expert 1 globally best among uncontended, 2 among
+  // contended.
+  Vec AnyF = makeFeatures().Values;
+  for (int I = 0; I < 10; ++I)
+    S.update(AnyF, {0.5, 0.2, 0.1, 0.6});
+
+  policy::FeatureVector Idle = makeFeatures(1.0, 32.0, /*RunQueue=*/8.0);
+  policy::FeatureVector Busy = makeFeatures(2.0, 16.0, /*RunQueue=*/50.0);
+  EXPECT_EQ(S.select(Idle.Values), 1u) << "uncontended half must be used";
+  EXPECT_EQ(S.select(Busy.Values), 2u) << "contended half must be used";
+
+  Vec W;
+  ASSERT_TRUE(S.blendWeights(Idle.Values, W));
+  EXPECT_DOUBLE_EQ(W[2] + W[3], 0.0) << "contended experts get no weight";
+  EXPECT_NEAR(W[0] + W[1], 1.0, 1e-12);
+}
+
+TEST(RegimeSelectorTest, AnyTaggedExpertAlwaysCandidate) {
+  RegimeSelector S({-1, 1});
+  Vec AnyF = makeFeatures().Values;
+  for (int I = 0; I < 5; ++I)
+    S.update(AnyF, {0.1, 0.9});
+  policy::FeatureVector Idle = makeFeatures(1.0, 32.0, 8.0);
+  EXPECT_EQ(S.select(Idle.Values), 0u);
+}
+
+TEST(RandomSelectorTest, DeterministicAndInRange) {
+  RandomSelector A(4, 9), B(4, 9);
+  Vec F = makeFeatures().Values;
+  for (int I = 0; I < 50; ++I) {
+    size_t SA = A.select(F);
+    EXPECT_EQ(SA, B.select(F));
+    EXPECT_LT(SA, 4u);
+  }
+  A.reset();
+  RandomSelector C(4, 9);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(A.select(F), C.select(F));
+}
+
+TEST(FixedSelectorTest, AlwaysSameExpert) {
+  FixedSelector S(4, 2);
+  EXPECT_EQ(S.select(makeFeatures().Values), 2u);
+  S.update(makeFeatures().Values, {0, 0, 9, 9});
+  EXPECT_EQ(S.select(makeFeatures().Values), 2u);
+}
+
+TEST(SelectorTest, ClonesStartFresh) {
+  AccuracySelector S(2);
+  Vec F = makeFeatures().Values;
+  for (int I = 0; I < 5; ++I)
+    S.update(F, {0.9, 0.1});
+  auto Clone = S.clone();
+  // The trained original prefers expert 1; the clone is untrained and
+  // must not blend yet.
+  Vec W;
+  EXPECT_FALSE(Clone->blendWeights(F, W));
+  EXPECT_EQ(Clone->numExperts(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// MoeStats
+//===----------------------------------------------------------------------===//
+
+TEST(MoeStatsTest, FrequencyAndAccuracyAccounting) {
+  MoeStats Stats(2);
+  Stats.SelectionCounts[0] = 3;
+  Stats.SelectionCounts[1] = 1;
+  EXPECT_NEAR(Stats.selectionFrequency(0), 0.75, 1e-12);
+  Stats.EnvAccurate = {8, 1};
+  Stats.EnvTotal = {10, 10};
+  EXPECT_NEAR(Stats.envAccuracy(0), 0.8, 1e-12);
+  Stats.MixtureEnvAccurate = 9;
+  Stats.MixtureEnvTotal = 10;
+  EXPECT_NEAR(Stats.mixtureEnvAccuracy(), 0.9, 1e-12);
+  Stats.clear();
+  EXPECT_DOUBLE_EQ(Stats.selectionFrequency(0), 0.0);
+  EXPECT_DOUBLE_EQ(Stats.envAccuracy(0), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// MixtureOfExperts (with synthetic experts)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::shared_ptr<const std::vector<Expert>> twoConstantExperts() {
+  auto Experts = std::make_shared<std::vector<Expert>>();
+  // Expert 0 predicts 8 threads and env 1.0; expert 1 predicts 24 / 3.0.
+  Experts->push_back(makeConstantExpert("E1", 8.0, 1.0));
+  Experts->push_back(makeConstantExpert("E2", 24.0, 3.0));
+  return Experts;
+}
+
+} // namespace
+
+TEST(MixtureTest, RoutesToExpertWhoseEnvPredictionHolds) {
+  auto Experts = twoConstantExperts();
+  MixtureOptions Options;
+  Options.SoftBlend = false;
+  MixtureOfExperts Mix(Experts,
+                       std::make_unique<AccuracySelector>(2, 0.5), nullptr,
+                       Options);
+  // The observed environment stays near 1.0: expert 0's predictions are
+  // vindicated at every step, so selection converges to it.
+  for (int I = 0; I < 10; ++I)
+    Mix.select(makeFeatures(/*EnvNorm=*/1.05));
+  EXPECT_EQ(Mix.lastExpert(), 0u);
+  unsigned N = Mix.select(makeFeatures(1.05));
+  EXPECT_EQ(N, 8u);
+
+  // Now the environment jumps to 3.0: expert 1 becomes the accurate one.
+  for (int I = 0; I < 10; ++I)
+    Mix.select(makeFeatures(3.0));
+  EXPECT_EQ(Mix.lastExpert(), 1u);
+}
+
+TEST(MixtureTest, SoftBlendLandsBetweenExperts) {
+  auto Experts = twoConstantExperts();
+  MixtureOfExperts Mix(Experts,
+                       std::make_unique<AccuracySelector>(2, 0.5));
+  // Environment at 2.0 sits exactly between both env models: weights stay
+  // balanced and the blended thread count lies between 8 and 24.
+  unsigned Last = 0;
+  for (int I = 0; I < 10; ++I)
+    Last = Mix.select(makeFeatures(2.0));
+  EXPECT_GT(Last, 8u);
+  EXPECT_LT(Last, 24u);
+}
+
+TEST(MixtureTest, StatsAreRecorded) {
+  auto Experts = twoConstantExperts();
+  auto Stats = std::make_shared<MoeStats>(2);
+  MixtureOfExperts Mix(Experts, std::make_unique<AccuracySelector>(2),
+                       Stats);
+  for (int I = 0; I < 12; ++I)
+    Mix.select(makeFeatures(1.0));
+  EXPECT_EQ(Stats->SelectionCounts[0] + Stats->SelectionCounts[1], 12u);
+  // 11 judged decisions (the last is still pending).
+  EXPECT_EQ(Stats->EnvTotal[0], 11u);
+  EXPECT_EQ(Stats->MixtureEnvTotal, 11u);
+  EXPECT_EQ(Stats->MixtureThreads.total(), 12u);
+  EXPECT_EQ(Stats->ExpertThreads[1].total(), 12u);
+  // Expert 0 (env model = 1.0) is accurate at tolerance 0.2.
+  EXPECT_GT(Stats->envAccuracy(0), 0.9);
+  EXPECT_LT(Stats->envAccuracy(1), 0.1);
+}
+
+TEST(MixtureTest, ResetClearsPendingAndSelector) {
+  auto Experts = twoConstantExperts();
+  auto Stats = std::make_shared<MoeStats>(2);
+  MixtureOfExperts Mix(Experts, std::make_unique<AccuracySelector>(2),
+                       Stats);
+  Mix.select(makeFeatures(1.0));
+  size_t JudgedBefore = Stats->MixtureEnvTotal;
+  Mix.reset();
+  Mix.select(makeFeatures(1.0));
+  // The pending prediction from before the reset must not be judged.
+  EXPECT_EQ(Stats->MixtureEnvTotal, JudgedBefore);
+  EXPECT_EQ(Mix.name(), "mixture");
+}
+
+TEST(MixtureTest, RespectsMaxThreads) {
+  auto Experts = twoConstantExperts();
+  MixtureOfExperts Mix(Experts, std::make_unique<FixedSelector>(2, 1));
+  unsigned N = Mix.select(makeFeatures(1.0, 32.0, 10.0, /*MaxThreads=*/6));
+  EXPECT_LE(N, 6u);
+  EXPECT_GE(N, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ExpertBuilder (small config to keep runtime bounded)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A reduced training matrix: 3 programs, the 32-core platform only.
+TrainingConfig smallTraining() {
+  TrainingConfig Config;
+  Config.Programs = {"cg", "ep", "lu"};
+  Config.Platforms = {sim::MachineConfig::evaluationPlatform()};
+  Config.SplitPlatformIndex = 0;
+  Config.RunDuration = 60.0;
+  Config.Seed = 0xABCD;
+  return Config;
+}
+
+} // namespace
+
+TEST(ExpertBuilderTest, CollectsLabelledSamples) {
+  ExpertBuilder Builder(smallTraining());
+  const auto &Samples = Builder.samples();
+  ASSERT_GT(Samples.size(), 500u);
+  size_t WithNext = 0;
+  for (const TrainingSample &S : Samples) {
+    EXPECT_EQ(S.Features.size(), policy::NumFeatures);
+    EXPECT_GE(S.BestThreads, 1.0);
+    EXPECT_LE(S.BestThreads, 32.0);
+    EXPECT_EQ(S.PlatformCores, 32u);
+    EXPECT_GT(S.ScalabilityFraction, 0.0);
+    EXPECT_FALSE(S.Program.empty());
+    WithNext += S.HasNextEnv;
+    if (S.HasNextEnv) {
+      EXPECT_GT(S.NextEnvNorm, 0.0);
+    }
+  }
+  EXPECT_GT(WithNext, Samples.size() / 2);
+}
+
+TEST(ExpertBuilderTest, DeterministicAcrossInstances) {
+  ExpertBuilder A(smallTraining()), B(smallTraining());
+  ASSERT_EQ(A.samples().size(), B.samples().size());
+  for (size_t I = 0; I < A.samples().size(); I += 97) {
+    EXPECT_EQ(A.samples()[I].BestThreads, B.samples()[I].BestThreads);
+    EXPECT_EQ(A.samples()[I].Features, B.samples()[I].Features);
+  }
+}
+
+TEST(ExpertBuilderTest, BuildsRequestedGranularities) {
+  ExpertBuilder Builder(smallTraining());
+  for (unsigned K : {1u, 2u, 4u, 8u}) {
+    auto Built = Builder.build(K);
+    ASSERT_EQ(Built.size(), K) << "K=" << K;
+    for (size_t I = 0; I < Built.size(); ++I) {
+      EXPECT_EQ(Built[I].E.name(), "E" + std::to_string(I + 1));
+      EXPECT_FALSE(Built[I].E.description().empty());
+      EXPECT_GT(Built[I].ThreadData.size(), 0u);
+    }
+    // Ordered by the calmness of the training regime.
+    for (size_t I = 1; I < Built.size(); ++I)
+      EXPECT_LE(Built[I - 1].E.meanTrainingEnv(),
+                Built[I].E.meanTrainingEnv() + 1e-9);
+  }
+}
+
+TEST(ExpertBuilderTest, FourExpertSplitCoversBothAxes) {
+  ExpertBuilder Builder(smallTraining());
+  auto Built = Builder.build(4);
+  std::set<std::string> Descriptions;
+  for (const auto &B : Built)
+    Descriptions.insert(B.E.description());
+  EXPECT_TRUE(Descriptions.count("uncontended/scalable"));
+  EXPECT_TRUE(Descriptions.count("uncontended/non-scalable"));
+  EXPECT_TRUE(Descriptions.count("contended/scalable"));
+  EXPECT_TRUE(Descriptions.count("contended/non-scalable"));
+}
+
+TEST(ExpertBuilderTest, ScalabilityTableUsesPaperCriterion) {
+  ExpertBuilder Builder(smallTraining());
+  auto Table = Builder.scalabilityTable();
+  ASSERT_EQ(Table.size(), 3u);
+  for (const ScalabilityEntry &E : Table) {
+    EXPECT_EQ(E.PlatformCores, 32u);
+    EXPECT_EQ(E.Scalable, E.IsolatedSpeedup >= 8.0);
+  }
+}
+
+TEST(ExpertBuilderTest, MonolithicModelTrains) {
+  ExpertBuilder Builder(smallTraining());
+  LinearModel Model = Builder.monolithicThreadModel();
+  EXPECT_EQ(Model.dimension(), policy::NumFeatures);
+  // Predictions over in-corpus features are within machine bounds after
+  // clamping; raw predictions must at least be finite and sane.
+  double P = Model.predict(Builder.samples().front().Features);
+  EXPECT_TRUE(std::isfinite(P));
+  EXPECT_GT(P, -40.0);
+  EXPECT_LT(P, 80.0);
+}
+
+TEST(ExpertBuilderTest, FeatureScalerCoversCorpus) {
+  ExpertBuilder Builder(smallTraining());
+  FeatureScaler Scaler = Builder.featureScaler();
+  EXPECT_EQ(Scaler.dimension(), policy::NumFeatures);
+  // Standardised corpus features should be O(1) on average.
+  double Total = 0.0;
+  size_t Count = 0;
+  for (size_t I = 0; I < Builder.samples().size(); I += 23) {
+    Total += norm2(Scaler.transform(Builder.samples()[I].Features));
+    ++Count;
+  }
+  double MeanNorm = Total / double(Count);
+  EXPECT_GT(MeanNorm, 0.5);
+  EXPECT_LT(MeanNorm, 10.0);
+}
+
+//===----------------------------------------------------------------------===//
+// External experts (Section 9 extensions)
+//===----------------------------------------------------------------------===//
+
+#include "core/ExternalExperts.h"
+
+TEST(ExternalExpertTest, FunctionBackedExpertPredicts) {
+  Expert E("fn", "custom",
+           [](const Vec &X) { return X[4] / 2.0; },  // Half the processors.
+           [](const Vec &) { return 1.5; }, 1.5);
+  policy::FeatureVector F = makeFeatures(1.0, 24.0);
+  EXPECT_EQ(E.predictThreads(F), 12u);
+  EXPECT_NEAR(E.predictEnvNorm(F), 1.5, 1e-12);
+  EXPECT_EQ(E.threadModel(), nullptr) << "no linear model to introspect";
+}
+
+TEST(ExternalExpertTest, LinearExpertExposesItsModels) {
+  Expert E = makeConstantExpert("E1", 10.0, 1.0);
+  EXPECT_NE(E.threadModel(), nullptr);
+  EXPECT_NE(E.envModel(), nullptr);
+}
+
+TEST(OnlineEnvModelTest, LearnsPerRegimeEstimates) {
+  OnlineEnvModel Model(/*Prior=*/1.0, /*Alpha=*/0.5);
+  Vec Idle = makeFeatures(0.0, 32.0, /*RunQueue=*/8.0).Values;
+  Vec Busy = makeFeatures(0.0, 16.0, /*RunQueue=*/50.0).Values;
+  EXPECT_NEAR(Model.predict(Idle), 1.0, 1e-12);
+  for (int I = 0; I < 20; ++I) {
+    Model.observe(Idle, 1.4);
+    Model.observe(Busy, 2.6);
+  }
+  EXPECT_NEAR(Model.predict(Idle), 1.4, 0.05);
+  EXPECT_NEAR(Model.predict(Busy), 2.6, 0.05);
+  EXPECT_EQ(Model.observations(), 40u);
+}
+
+TEST(ExternalExpertTest, HandcraftedExpertHeuristics) {
+  Expert E = makeHandcraftedExpert(sim::MachineConfig::evaluationPlatform(),
+                                   "hand");
+  // Idle machine, low branch ratio: claim everything.
+  policy::FeatureVector Idle = makeFeatures(1.0, 32.0, 4.0);
+  Idle.Values[2] = 0.05; // branches
+  Idle.Values[3] = 0.0;  // no workload
+  EXPECT_GE(E.predictThreads(Idle), 30u);
+  // Branchy loop: stay within one socket (8 cores).
+  policy::FeatureVector Branchy = Idle;
+  Branchy.Values[2] = 0.30;
+  EXPECT_LE(E.predictThreads(Branchy), 8u);
+  // Loaded machine: claim only the slack.
+  policy::FeatureVector Loaded = Idle;
+  Loaded.Values[3] = 40.0;
+  EXPECT_LE(E.predictThreads(Loaded), 14u);
+}
+
+TEST(ExternalExpertTest, HandcraftedEnvModelLearnsFromFeedback) {
+  Expert E = makeHandcraftedExpert(sim::MachineConfig::evaluationPlatform(),
+                                   "hand");
+  policy::FeatureVector F = makeFeatures(2.4, 16.0, 50.0);
+  double Before = E.predictEnvNorm(F);
+  for (int I = 0; I < 30; ++I)
+    E.observeEnvironment(F.Values, 2.4);
+  double After = E.predictEnvNorm(F);
+  EXPECT_GT(std::fabs(2.4 - Before), std::fabs(2.4 - After));
+  EXPECT_NEAR(After, 2.4, 0.1);
+}
+
+TEST(ExternalExpertTest, KnnExpertFromCorpus) {
+  ExpertBuilder Builder(smallTraining());
+  Expert Knn = makeKnnExpert(Builder, "E-knn");
+  EXPECT_EQ(Knn.name(), "E-knn");
+  EXPECT_EQ(Knn.threadModel(), nullptr);
+  // Predictions over in-corpus features are sane thread counts.
+  policy::FeatureVector F;
+  F.Values = Builder.samples().front().Features;
+  F.MaxThreads = 32;
+  unsigned N = Knn.predictThreads(F);
+  EXPECT_GE(N, 1u);
+  EXPECT_LE(N, 32u);
+  EXPECT_GT(Knn.predictEnvNorm(F), 0.0);
+}
+
+TEST(ExpertBuilderTest, SubsampledBuildShrinksData) {
+  ExpertBuilder Builder(smallTraining());
+  auto Full = Builder.build(2);
+  auto Quarter = Builder.buildSubsampled(2, 0.25);
+  ASSERT_EQ(Quarter.size(), 2u);
+  size_t FullSamples = Full[0].ThreadData.size() + Full[1].ThreadData.size();
+  size_t QuarterSamples =
+      Quarter[0].ThreadData.size() + Quarter[1].ThreadData.size();
+  EXPECT_LT(QuarterSamples, FullSamples / 3);
+  EXPECT_GT(QuarterSamples, FullSamples / 6);
+}
+
+TEST(MixtureTest, FeedsObservationsToOnlineExperts) {
+  auto Shared = std::make_shared<size_t>(0);
+  auto Experts = std::make_shared<std::vector<Expert>>();
+  Experts->push_back(Expert(
+      "obs", "observing", [](const Vec &) { return 8.0; },
+      [](const Vec &) { return 1.0; }, 1.0,
+      [Shared](const Vec &, double) { ++*Shared; }));
+  MixtureOfExperts Mix(Experts, std::make_unique<FixedSelector>(1, 0));
+  for (int I = 0; I < 5; ++I)
+    Mix.select(makeFeatures(1.0));
+  EXPECT_EQ(*Shared, 4u); // Every decision but the last was judged.
+}
+
+//===----------------------------------------------------------------------===//
+// Expert serialisation
+//===----------------------------------------------------------------------===//
+
+#include "core/ExpertIo.h"
+
+#include <sstream>
+
+TEST(ExpertIoTest, RoundTripsLinearExperts) {
+  std::vector<Expert> Original = {
+      makeConstantExpert("E1", 8.0, 1.2),
+      makeConstantExpert("E2", 24.0, 2.4),
+  };
+  std::stringstream SS;
+  ASSERT_TRUE(writeExperts(SS, Original));
+  auto Loaded = readExperts(SS);
+  ASSERT_TRUE(Loaded.has_value());
+  ASSERT_EQ(Loaded->size(), 2u);
+
+  policy::FeatureVector F = makeFeatures(1.0, 24.0, 30.0);
+  for (size_t I = 0; I < 2; ++I) {
+    EXPECT_EQ((*Loaded)[I].name(), Original[I].name());
+    EXPECT_EQ((*Loaded)[I].description(), Original[I].description());
+    EXPECT_DOUBLE_EQ((*Loaded)[I].meanTrainingEnv(),
+                     Original[I].meanTrainingEnv());
+    EXPECT_EQ((*Loaded)[I].predictThreads(F), Original[I].predictThreads(F));
+    EXPECT_DOUBLE_EQ((*Loaded)[I].predictEnvNorm(F),
+                     Original[I].predictEnvNorm(F));
+  }
+}
+
+TEST(ExpertIoTest, TrainedExpertsRoundTripExactly) {
+  ExpertBuilder Builder(smallTraining());
+  auto Built = Builder.build(2);
+  std::vector<Expert> Experts;
+  for (auto &B : Built)
+    Experts.push_back(B.E);
+
+  std::stringstream SS;
+  ASSERT_TRUE(writeExperts(SS, Experts));
+  auto Loaded = readExperts(SS);
+  ASSERT_TRUE(Loaded.has_value());
+
+  // Bit-exact predictions on real corpus features (max_digits10 output).
+  for (size_t I = 0; I < Builder.samples().size(); I += 137) {
+    policy::FeatureVector F;
+    F.Values = Builder.samples()[I].Features;
+    F.MaxThreads = 32;
+    for (size_t K = 0; K < Experts.size(); ++K) {
+      EXPECT_EQ((*Loaded)[K].predictThreads(F), Experts[K].predictThreads(F));
+      EXPECT_DOUBLE_EQ((*Loaded)[K].predictEnvNorm(F),
+                       Experts[K].predictEnvNorm(F));
+    }
+  }
+}
+
+TEST(ExpertIoTest, RejectsExternalExperts) {
+  std::vector<Expert> Experts = {
+      Expert("fn", "custom", [](const Vec &) { return 8.0; },
+             [](const Vec &) { return 1.0; }, 1.0)};
+  std::stringstream SS;
+  EXPECT_FALSE(writeExperts(SS, Experts));
+}
+
+TEST(ExpertIoTest, RejectsMalformedInput) {
+  auto Try = [](const std::string &Text) {
+    std::stringstream SS(Text);
+    return readExperts(SS).has_value();
+  };
+  EXPECT_FALSE(Try(""));
+  EXPECT_FALSE(Try("wrong-magic 1\n"));
+  EXPECT_FALSE(Try("medley-experts 99\nexperts 1 features 10\n"));
+  EXPECT_FALSE(Try("medley-experts 1\nexperts 1 features 3\n"));
+  // Truncated body.
+  EXPECT_FALSE(Try("medley-experts 1\nexperts 1 features 10\nexpert E1 "
+                   "1.0\ndescription d\nw means 1 2 3\n"));
+}
+
+TEST(ExpertIoTest, FileHelpersWork) {
+  std::vector<Expert> Experts = {makeConstantExpert("E1", 8.0, 1.2)};
+  std::string Path = ::testing::TempDir() + "/medley_experts_test.txt";
+  ASSERT_TRUE(saveExpertsToFile(Path, Experts));
+  auto Loaded = loadExpertsFromFile(Path);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->size(), 1u);
+  EXPECT_FALSE(loadExpertsFromFile("/nonexistent/dir/file").has_value());
+}

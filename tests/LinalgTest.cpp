@@ -1,0 +1,314 @@
+//===-- tests/LinalgTest.cpp - linalg library tests ----------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/LeastSquares.h"
+#include "linalg/Matrix.h"
+#include "linalg/Solve.h"
+#include "linalg/Vector.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace medley;
+
+//===----------------------------------------------------------------------===//
+// Vector operations
+//===----------------------------------------------------------------------===//
+
+TEST(VectorTest, ZerosAndDot) {
+  Vec Z = zeros(4);
+  EXPECT_EQ(Z.size(), 4u);
+  EXPECT_DOUBLE_EQ(dot(Z, Z), 0.0);
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(VectorTest, Norm) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(zeros(3)), 0.0);
+}
+
+TEST(VectorTest, AddSubScale) {
+  Vec A = {1, 2}, B = {3, 5};
+  EXPECT_EQ(add(A, B), (Vec{4, 7}));
+  EXPECT_EQ(sub(B, A), (Vec{2, 3}));
+  EXPECT_EQ(scale(A, 2.0), (Vec{2, 4}));
+}
+
+TEST(VectorTest, Axpy) {
+  Vec Y = {1, 1};
+  axpy(Y, 2.0, {3, 4});
+  EXPECT_EQ(Y, (Vec{7, 9}));
+}
+
+TEST(VectorTest, DistanceAndHadamard) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_EQ(hadamard({1, 2, 3}, {4, 5, 6}), (Vec{4, 10, 18}));
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix M(2, 3, 1.5);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  EXPECT_DOUBLE_EQ(M.at(1, 2), 1.5);
+  M.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(M.at(0, 1), 7.0);
+}
+
+TEST(MatrixTest, FromRowsAndAccessors) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(M.rows(), 3u);
+  EXPECT_EQ(M.row(1), (Vec{3, 4}));
+  EXPECT_EQ(M.col(0), (Vec{1, 3, 5}));
+}
+
+TEST(MatrixTest, IdentityApply) {
+  Matrix I = Matrix::identity(3);
+  Vec X = {1, 2, 3};
+  EXPECT_EQ(I.apply(X), X);
+}
+
+TEST(MatrixTest, ApplyKnownProduct) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(M.apply({1, 1}), (Vec{3, 7}));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix M = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix T = M.transposed();
+  EXPECT_EQ(T.rows(), 3u);
+  EXPECT_EQ(T.cols(), 2u);
+  EXPECT_DOUBLE_EQ(T.at(2, 1), 6.0);
+  Matrix TT = T.transposed();
+  for (size_t R = 0; R < M.rows(); ++R)
+    for (size_t C = 0; C < M.cols(); ++C)
+      EXPECT_DOUBLE_EQ(TT.at(R, C), M.at(R, C));
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix B = Matrix::fromRows({{5, 6}, {7, 8}});
+  Matrix C = A.multiply(B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyAgreesWithApply) {
+  Rng R(5);
+  Matrix A(4, 3), B(3, 2);
+  for (size_t I = 0; I < 4; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      A.at(I, J) = R.uniform(-1, 1);
+  for (size_t I = 0; I < 3; ++I)
+    for (size_t J = 0; J < 2; ++J)
+      B.at(I, J) = R.uniform(-1, 1);
+  Matrix AB = A.multiply(B);
+  for (size_t C = 0; C < 2; ++C) {
+    Vec Col = AB.col(C);
+    Vec Expected = A.apply(B.col(C));
+    for (size_t I = 0; I < 4; ++I)
+      EXPECT_NEAR(Col[I], Expected[I], 1e-12);
+  }
+}
+
+TEST(MatrixTest, PlusDiagonal) {
+  Matrix M = Matrix::identity(2);
+  Matrix P = M.plusDiagonal(0.5);
+  EXPECT_DOUBLE_EQ(P.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(P.at(0, 1), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Solvers
+//===----------------------------------------------------------------------===//
+
+TEST(SolveTest, CholeskySolvesKnownSystem) {
+  // A = [[4, 2], [2, 3]] is SPD; A x = b with x = (1, 2) -> b = (8, 8).
+  Matrix A = Matrix::fromRows({{4, 2}, {2, 3}});
+  auto X = solveCholesky(A, {8, 8});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*X)[1], 2.0, 1e-10);
+}
+
+TEST(SolveTest, CholeskyRejectsIndefinite) {
+  Matrix A = Matrix::fromRows({{0, 1}, {1, 0}});
+  EXPECT_FALSE(solveCholesky(A, {1, 1}).has_value());
+}
+
+/// Property: Cholesky recovers x for random SPD systems built as
+/// B^T B + I.
+class CholeskyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CholeskyPropertyTest, RecoversSolution) {
+  Rng R(GetParam());
+  const size_t N = 6;
+  Matrix B(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      B.at(I, J) = R.uniform(-1, 1);
+  Matrix A = B.transposed().multiply(B).plusDiagonal(1.0);
+  Vec XTrue(N);
+  for (size_t I = 0; I < N; ++I)
+    XTrue[I] = R.uniform(-2, 2);
+  Vec Rhs = A.apply(XTrue);
+  auto X = solveCholesky(A, Rhs);
+  ASSERT_TRUE(X.has_value());
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_NEAR((*X)[I], XTrue[I], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyPropertyTest,
+                         ::testing::Values(1, 7, 21, 99, 1234));
+
+TEST(SolveTest, QrSolvesExactSquareSystem) {
+  Matrix A = Matrix::fromRows({{2, 0}, {0, 3}});
+  auto X = solveLeastSquaresQr(A, {4, 9});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*X)[1], 3.0, 1e-10);
+}
+
+TEST(SolveTest, QrRejectsUnderdetermined) {
+  Matrix A(1, 2, 1.0);
+  EXPECT_FALSE(solveLeastSquaresQr(A, {1.0}).has_value());
+}
+
+TEST(SolveTest, QrRejectsRankDeficient) {
+  Matrix A = Matrix::fromRows({{1, 1}, {2, 2}, {3, 3}});
+  EXPECT_FALSE(solveLeastSquaresQr(A, {1, 2, 3}).has_value());
+}
+
+TEST(SolveTest, QrMinimisesResidualOnOverdetermined) {
+  // Fit y = 2x through noisy points; LS solution is known analytically:
+  // x = sum(t*y)/sum(t^2).
+  Matrix A = Matrix::fromRows({{1}, {2}, {3}});
+  Vec Y = {2.1, 3.9, 6.2};
+  auto X = solveLeastSquaresQr(A, Y);
+  ASSERT_TRUE(X.has_value());
+  double Expected = (1 * 2.1 + 2 * 3.9 + 3 * 6.2) / (1.0 + 4.0 + 9.0);
+  EXPECT_NEAR((*X)[0], Expected, 1e-10);
+}
+
+//===----------------------------------------------------------------------===//
+// Least squares
+//===----------------------------------------------------------------------===//
+
+TEST(LeastSquaresTest, RecoversPlantedLinearModel) {
+  Rng R(77);
+  Vec W = {2.0, -1.0, 0.5};
+  double B = 3.0;
+  std::vector<Vec> X;
+  Vec Y;
+  for (int I = 0; I < 60; ++I) {
+    Vec Row = {R.uniform(-1, 1), R.uniform(-1, 1), R.uniform(-1, 1)};
+    Y.push_back(dot(W, Row) + B);
+    X.push_back(std::move(Row));
+  }
+  auto Fit = fitLeastSquares(X, Y);
+  ASSERT_TRUE(Fit.has_value());
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_NEAR(Fit->Weights[I], W[I], 1e-8);
+  EXPECT_NEAR(Fit->Intercept, B, 1e-8);
+  EXPECT_NEAR(Fit->R2, 1.0, 1e-9);
+}
+
+/// Property: planted models of varying dimension are recovered with noise
+/// bounded error.
+class LeastSquaresPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(LeastSquaresPropertyTest, NoisyRecoveryWithinTolerance) {
+  auto [Dim, Seed] = GetParam();
+  Rng R(Seed);
+  Vec W(Dim);
+  for (double &V : W)
+    V = R.uniform(-3, 3);
+  std::vector<Vec> X;
+  Vec Y;
+  for (size_t I = 0; I < 50 * Dim; ++I) {
+    Vec Row(Dim);
+    for (double &V : Row)
+      V = R.uniform(-1, 1);
+    Y.push_back(dot(W, Row) + 1.0 + R.normal(0.0, 0.05));
+    X.push_back(std::move(Row));
+  }
+  auto Fit = fitLeastSquares(X, Y);
+  ASSERT_TRUE(Fit.has_value());
+  for (size_t I = 0; I < Dim; ++I)
+    EXPECT_NEAR(Fit->Weights[I], W[I], 0.1);
+  EXPECT_GT(Fit->R2, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, LeastSquaresPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 3, 10),
+                       ::testing::Values<uint64_t>(11, 22, 33)));
+
+TEST(LeastSquaresTest, NoInterceptOption) {
+  std::vector<Vec> X = {{1.0}, {2.0}, {3.0}};
+  Vec Y = {2.0, 4.0, 6.0};
+  LeastSquaresOptions Options;
+  Options.FitIntercept = false;
+  auto Fit = fitLeastSquares(X, Y, Options);
+  ASSERT_TRUE(Fit.has_value());
+  EXPECT_NEAR(Fit->Weights[0], 2.0, 1e-10);
+  EXPECT_DOUBLE_EQ(Fit->Intercept, 0.0);
+}
+
+TEST(LeastSquaresTest, RidgeShrinksWeights) {
+  Rng R(5);
+  std::vector<Vec> X;
+  Vec Y;
+  for (int I = 0; I < 30; ++I) {
+    Vec Row = {R.uniform(-1, 1)};
+    Y.push_back(5.0 * Row[0]);
+    X.push_back(std::move(Row));
+  }
+  auto Plain = fitLeastSquares(X, Y);
+  LeastSquaresOptions Options;
+  Options.Ridge = 100.0;
+  auto Ridged = fitLeastSquares(X, Y, Options);
+  ASSERT_TRUE(Plain && Ridged);
+  EXPECT_LT(std::fabs(Ridged->Weights[0]), std::fabs(Plain->Weights[0]));
+}
+
+TEST(LeastSquaresTest, FallsBackToRidgeWhenCollinear) {
+  // Two identical columns defeat plain QR; the ridge fallback must still
+  // produce a usable fit.
+  std::vector<Vec> X;
+  Vec Y;
+  for (int I = 0; I < 20; ++I) {
+    double T = 0.1 * I;
+    X.push_back({T, T});
+    Y.push_back(4.0 * T);
+  }
+  auto Fit = fitLeastSquares(X, Y);
+  ASSERT_TRUE(Fit.has_value());
+  // The two collinear weights must jointly act like slope 4.
+  EXPECT_NEAR(Fit->Weights[0] + Fit->Weights[1], 4.0, 1e-2);
+}
+
+TEST(LeastSquaresTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(fitLeastSquares({}, {}).has_value());
+  EXPECT_FALSE(fitLeastSquares({{1.0}}, {1.0, 2.0}).has_value());
+}
+
+TEST(LeastSquaresTest, ConstantTargetGivesR2One) {
+  std::vector<Vec> X = {{1.0}, {2.0}, {3.0}};
+  Vec Y = {5.0, 5.0, 5.0};
+  auto Fit = fitLeastSquares(X, Y);
+  ASSERT_TRUE(Fit.has_value());
+  EXPECT_NEAR(Fit->predict({9.0}), 5.0, 1e-8);
+  EXPECT_NEAR(Fit->R2, 1.0, 1e-9);
+}

@@ -1,0 +1,467 @@
+//===-- tests/MlTest.cpp - ml library tests ------------------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/CrossValidation.h"
+#include "ml/Dataset.h"
+#include "ml/FeatureImpact.h"
+#include "ml/FeatureScaler.h"
+#include "ml/FeatureSelection.h"
+#include "ml/KnnModel.h"
+#include "ml/SvrModel.h"
+#include "ml/LinearModel.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace medley;
+
+namespace {
+
+/// Builds a dataset where y = 3*x0 - 2*x1 + group-independent noise, with
+/// a third pure-noise feature, spread over \p NumGroups groups.
+Dataset makeLinearDataset(uint64_t Seed, size_t NumGroups = 4,
+                          size_t PerGroup = 40, double Noise = 0.0) {
+  Rng R(Seed);
+  Dataset Data({"x0", "x1", "noise"});
+  for (size_t G = 0; G < NumGroups; ++G)
+    for (size_t I = 0; I < PerGroup; ++I) {
+      Vec X = {R.uniform(-2, 2), R.uniform(-2, 2), R.uniform(-2, 2)};
+      double Y = 3.0 * X[0] - 2.0 * X[1] + R.normal(0.0, Noise);
+      Data.add(std::move(X), Y, "g" + std::to_string(G));
+    }
+  return Data;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dataset
+//===----------------------------------------------------------------------===//
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset Data({"a", "b"});
+  EXPECT_TRUE(Data.empty());
+  Data.add({1.0, 2.0}, 3.0, "p");
+  EXPECT_EQ(Data.size(), 1u);
+  EXPECT_EQ(Data.numFeatures(), 2u);
+  EXPECT_EQ(Data.sample(0).Y, 3.0);
+  EXPECT_EQ(Data.sample(0).Group, "p");
+}
+
+TEST(DatasetTest, GroupsInFirstSeenOrder) {
+  Dataset Data({"a"});
+  Data.add({1}, 0, "z");
+  Data.add({2}, 0, "a");
+  Data.add({3}, 0, "z");
+  EXPECT_EQ(Data.groups(), (std::vector<std::string>{"z", "a"}));
+}
+
+TEST(DatasetTest, FilterKeepsMatching) {
+  Dataset Data({"a"});
+  for (int I = 0; I < 10; ++I)
+    Data.add({double(I)}, I, "g");
+  Dataset Even =
+      Data.filter([](const Sample &S) { return int(S.Y) % 2 == 0; });
+  EXPECT_EQ(Even.size(), 5u);
+}
+
+TEST(DatasetTest, WithoutFeatureDropsColumn) {
+  Dataset Data({"a", "b", "c"});
+  Data.add({1, 2, 3}, 0, "g");
+  Dataset Reduced = Data.withoutFeature(1);
+  EXPECT_EQ(Reduced.featureNames(), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Reduced.sample(0).X, (Vec{1, 3}));
+}
+
+TEST(DatasetTest, SplitByGroup) {
+  Dataset Data({"a"});
+  Data.add({1}, 0, "p");
+  Data.add({2}, 0, "q");
+  Data.add({3}, 0, "p");
+  auto [In, Rest] = Data.splitByGroup("p");
+  EXPECT_EQ(In.size(), 2u);
+  EXPECT_EQ(Rest.size(), 1u);
+  EXPECT_EQ(Rest.sample(0).Group, "q");
+}
+
+TEST(DatasetTest, DesignMatrixAndTargets) {
+  Dataset Data({"a", "b"});
+  Data.add({1, 2}, 10, "g");
+  Data.add({3, 4}, 20, "g");
+  EXPECT_EQ(Data.designMatrix().size(), 2u);
+  EXPECT_EQ(Data.targets(), (Vec{10, 20}));
+}
+
+TEST(DatasetTest, AppendMergesSamples) {
+  Dataset A({"a"}), B({"a"});
+  A.add({1}, 1, "g");
+  B.add({2}, 2, "h");
+  A.append(B);
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_EQ(A.sample(1).Group, "h");
+}
+
+//===----------------------------------------------------------------------===//
+// FeatureScaler
+//===----------------------------------------------------------------------===//
+
+TEST(FeatureScalerTest, IdentityPassesThrough) {
+  FeatureScaler S = FeatureScaler::identity(3);
+  Vec X = {1.5, -2.0, 7.0};
+  EXPECT_EQ(S.transform(X), X);
+}
+
+TEST(FeatureScalerTest, FitStandardises) {
+  std::vector<Vec> Rows = {{0.0, 10.0}, {2.0, 10.0}, {4.0, 10.0}};
+  FeatureScaler S = FeatureScaler::fit(Rows);
+  EXPECT_NEAR(S.means()[0], 2.0, 1e-12);
+  // Standardised values have zero mean.
+  double Sum = 0.0;
+  for (const Vec &Row : S.transformAll(Rows))
+    Sum += Row[0];
+  EXPECT_NEAR(Sum, 0.0, 1e-12);
+}
+
+TEST(FeatureScalerTest, ZeroVarianceFeaturePassesCentred) {
+  std::vector<Vec> Rows = {{5.0}, {5.0}, {5.0}};
+  FeatureScaler S = FeatureScaler::fit(Rows);
+  EXPECT_DOUBLE_EQ(S.transform({5.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(S.transform({6.0})[0], 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// LinearModel
+//===----------------------------------------------------------------------===//
+
+TEST(LinearModelTest, TrainsAndPredicts) {
+  Dataset Data = makeLinearDataset(3);
+  auto Model = trainLinearModel(Data, "test");
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_EQ(Model->name(), "test");
+  EXPECT_EQ(Model->dimension(), 3u);
+  EXPECT_NEAR(Model->predict({1.0, 1.0, 0.0}), 1.0, 1e-6);
+  EXPECT_GT(Model->trainingR2(), 0.999);
+}
+
+TEST(LinearModelTest, EmptyDatasetFails) {
+  Dataset Data({"a"});
+  EXPECT_FALSE(trainLinearModel(Data, "empty").has_value());
+}
+
+TEST(LinearModelTest, SharedScalerPredictionsMatchOwnScaler) {
+  // OLS predictions are affine-equivariant: with negligible ridge, the
+  // scaler choice must not change predictions.
+  Dataset Data = makeLinearDataset(5);
+  FeatureScaler Shared = FeatureScaler::fit(Data.designMatrix());
+  LinearModelOptions WithShared;
+  WithShared.SharedScaler = &Shared;
+  auto A = trainLinearModel(Data, "own");
+  auto B = trainLinearModel(Data, "shared", WithShared);
+  ASSERT_TRUE(A && B);
+  Vec Probe = {0.3, -0.7, 1.1};
+  EXPECT_NEAR(A->predict(Probe), B->predict(Probe), 1e-6);
+}
+
+TEST(LinearModelTest, RidgeBiasesTowardMean) {
+  Dataset Data = makeLinearDataset(7);
+  LinearModelOptions Heavy;
+  Heavy.Ridge = 1e6;
+  auto Model = trainLinearModel(Data, "heavy", Heavy);
+  ASSERT_TRUE(Model.has_value());
+  double TargetMean = mean(Data.targets());
+  // With overwhelming ridge, every prediction collapses to the mean.
+  EXPECT_NEAR(Model->predict({2.0, 2.0, 2.0}), TargetMean, 0.05);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-validation
+//===----------------------------------------------------------------------===//
+
+TEST(CrossValidationTest, PerfectDataScoresPerfectly) {
+  Dataset Data = makeLinearDataset(11);
+  CrossValidationResult Result = leaveOneGroupOut(Data);
+  EXPECT_EQ(Result.NumFolds, 4u);
+  EXPECT_EQ(Result.NumSamples, Data.size());
+  EXPECT_NEAR(Result.Accuracy, 1.0, 1e-9);
+  EXPECT_NEAR(Result.Mae, 0.0, 1e-6);
+}
+
+TEST(CrossValidationTest, HeldOutGroupIsExcludedFromTraining) {
+  // One adversarial group whose labels contradict the others: CV accuracy
+  // on it must be poor, proving it was not trained on.
+  Rng R(13);
+  Dataset Data({"x"});
+  for (int I = 0; I < 50; ++I) {
+    double X = R.uniform(-1, 1);
+    Data.add({X}, X, "normal");
+  }
+  for (int I = 0; I < 50; ++I) {
+    double X = R.uniform(-1, 1);
+    Data.add({X}, 100.0 - X, "adversarial");
+  }
+  AccuracyOptions Tight;
+  Tight.RelativeTolerance = 0.05;
+  Tight.AbsoluteTolerance = 0.5;
+  CrossValidationResult Result = leaveOneGroupOut(Data, {}, Tight);
+  // The adversarial half is unpredictable from the normal half and vice
+  // versa, so overall accuracy must be well below 1.
+  EXPECT_LT(Result.Accuracy, 0.6);
+}
+
+TEST(CrossValidationTest, ModelAccuracyToleranceSemantics) {
+  Dataset Data({"x"});
+  Data.add({1.0}, 10.0, "g");
+  auto Model = trainLinearModel(Data, "m", {1e-3, true, nullptr});
+  ASSERT_TRUE(Model.has_value());
+  Dataset Probe({"x"});
+  Probe.add({1.0}, 10.5, "g"); // Within 20% relative tolerance.
+  Probe.add({1.0}, 20.0, "g"); // Outside.
+  EXPECT_NEAR(modelAccuracy(*Model, Probe), 0.5, 1e-12);
+}
+
+TEST(CrossValidationTest, MaeOnKnownModel) {
+  Dataset Train({"x"});
+  for (int I = 0; I < 10; ++I)
+    Train.add({double(I)}, 2.0 * I, "g");
+  auto Model = trainLinearModel(Train, "m");
+  ASSERT_TRUE(Model.has_value());
+  Dataset Probe({"x"});
+  Probe.add({1.0}, 3.0, "h"); // Model predicts 2 -> error 1.
+  Probe.add({2.0}, 4.0, "h"); // Model predicts 4 -> error 0.
+  EXPECT_NEAR(modelMae(*Model, Probe), 0.5, 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// Feature selection (information gain)
+//===----------------------------------------------------------------------===//
+
+TEST(FeatureSelectionTest, InformativeFeatureRanksFirst) {
+  Rng R(17);
+  Dataset Data({"signal", "noise"});
+  for (int I = 0; I < 400; ++I) {
+    double S = R.uniform(0, 1);
+    Data.add({S, R.uniform(0, 1)}, 10.0 * S, "g");
+  }
+  auto Ranked = rankFeaturesByInformationGain(Data);
+  ASSERT_EQ(Ranked.size(), 2u);
+  EXPECT_EQ(Ranked[0].Name, "signal");
+  EXPECT_GT(Ranked[0].Gain, Ranked[1].Gain);
+}
+
+TEST(FeatureSelectionTest, SelectTopFeaturesPreservesColumnOrder) {
+  Rng R(19);
+  Dataset Data({"noise1", "signal", "noise2"});
+  for (int I = 0; I < 400; ++I) {
+    double S = R.uniform(0, 1);
+    Data.add({R.uniform(0, 1), S, R.uniform(0, 1)}, 5.0 * S, "g");
+  }
+  auto [Reduced, Kept] = selectTopFeatures(Data, 2);
+  EXPECT_EQ(Reduced.numFeatures(), 2u);
+  EXPECT_EQ(Kept.size(), 2u);
+  // "signal" must be among the survivors.
+  bool HasSignal = false;
+  for (const FeatureScore &S : Kept)
+    HasSignal |= S.Name == "signal";
+  EXPECT_TRUE(HasSignal);
+  // Surviving columns stay in original order.
+  EXPECT_LT(Kept[0].Index, Kept[1].Index);
+}
+
+TEST(FeatureSelectionTest, KLargerThanFeaturesKeepsAll) {
+  Dataset Data({"a", "b"});
+  for (int I = 0; I < 20; ++I)
+    Data.add({double(I), double(-I)}, I, "g");
+  auto [Reduced, Kept] = selectTopFeatures(Data, 10);
+  EXPECT_EQ(Reduced.numFeatures(), 2u);
+  EXPECT_EQ(Kept.size(), 2u);
+}
+
+TEST(FeatureSelectionTest, EmptyDatasetYieldsNoScores) {
+  Dataset Data({"a"});
+  EXPECT_TRUE(rankFeaturesByInformationGain(Data).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Feature impact (π)
+//===----------------------------------------------------------------------===//
+
+TEST(FeatureImpactTest, CrucialFeatureHasLargestImpact) {
+  Rng R(23);
+  Dataset Data({"crucial", "noise"});
+  for (size_t G = 0; G < 4; ++G)
+    for (int I = 0; I < 60; ++I) {
+      double S = R.uniform(-1, 1);
+      Data.add({S, R.uniform(-1, 1)}, 8.0 * S, "g" + std::to_string(G));
+    }
+  auto Impacts = computeFeatureImpacts(Data);
+  ASSERT_EQ(Impacts.size(), 2u);
+  EXPECT_EQ(Impacts[0].Name, "crucial");
+  EXPECT_GT(Impacts[0].Normalized, Impacts[1].Normalized);
+}
+
+TEST(FeatureImpactTest, NormalizedValuesSumToOne) {
+  Dataset Data = makeLinearDataset(29, 4, 30, 0.2);
+  auto Impacts = computeFeatureImpacts(Data);
+  double Sum = 0.0;
+  for (const FeatureImpact &I : Impacts)
+    Sum += I.Normalized;
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(FeatureImpactTest, EmptyDataset) {
+  Dataset Data({"a"});
+  EXPECT_TRUE(computeFeatureImpacts(Data).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// k-NN model
+//===----------------------------------------------------------------------===//
+
+TEST(KnnModelTest, ExactOnTrainingPoints) {
+  Dataset Data({"x", "y"});
+  Data.add({0.0, 0.0}, 1.0, "g");
+  Data.add({1.0, 0.0}, 2.0, "g");
+  Data.add({0.0, 1.0}, 3.0, "g");
+  KnnOptions Options;
+  Options.K = 1;
+  auto Model = trainKnnModel(Data, "knn", Options);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_NEAR(Model->predict({1.0, 0.0}), 2.0, 1e-6);
+  EXPECT_NEAR(Model->predict({0.0, 1.0}), 3.0, 1e-6);
+}
+
+TEST(KnnModelTest, InterpolatesSmoothFunctions) {
+  Rng R(31);
+  Dataset Data({"x"});
+  for (int I = 0; I < 500; ++I) {
+    double X = R.uniform(0, 10);
+    Data.add({X}, X * X, "g");
+  }
+  auto Model = trainKnnModel(Data, "knn");
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_NEAR(Model->predict({5.0}), 25.0, 2.5);
+  EXPECT_NEAR(Model->predict({2.0}), 4.0, 2.0);
+}
+
+TEST(KnnModelTest, CapturesNonLinearStructureLinearModelsCannot) {
+  // y = |x|: a linear model fits slope ~0; k-NN nails it.
+  Rng R(37);
+  Dataset Data({"x"});
+  for (int I = 0; I < 400; ++I) {
+    double X = R.uniform(-5, 5);
+    Data.add({X}, std::fabs(X), "g");
+  }
+  auto Knn = trainKnnModel(Data, "knn");
+  auto Linear = trainLinearModel(Data, "lin");
+  ASSERT_TRUE(Knn && Linear);
+  EXPECT_NEAR(Knn->predict({4.0}), 4.0, 0.5);
+  EXPECT_NEAR(Knn->predict({-4.0}), 4.0, 0.5);
+  EXPECT_LT(Linear->predict({4.0}), 3.2); // The linear fit is near-flat.
+}
+
+TEST(KnnModelTest, SubsamplesLargeCorpora) {
+  Dataset Data({"x"});
+  for (int I = 0; I < 10000; ++I)
+    Data.add({double(I)}, double(I), "g");
+  KnnOptions Options;
+  Options.MaxStoredSamples = 100;
+  auto Model = trainKnnModel(Data, "knn", Options);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_LE(Model->storedSamples(), 101u);
+  // Still roughly correct despite subsampling.
+  EXPECT_NEAR(Model->predict({5000.0}), 5000.0, 300.0);
+}
+
+TEST(KnnModelTest, RejectsEmptyAndZeroK) {
+  Dataset Empty({"x"});
+  EXPECT_FALSE(trainKnnModel(Empty, "knn").has_value());
+  Dataset One({"x"});
+  One.add({1.0}, 1.0, "g");
+  KnnOptions Options;
+  Options.K = 0;
+  EXPECT_FALSE(trainKnnModel(One, "knn", Options).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Linear epsilon-SVR
+//===----------------------------------------------------------------------===//
+
+TEST(SvrModelTest, RecoversLinearSignalWithinTube) {
+  Rng R(41);
+  Dataset Data({"x0", "x1"});
+  for (int I = 0; I < 400; ++I) {
+    Vec X = {R.uniform(-2, 2), R.uniform(-2, 2)};
+    double Y = 4.0 * X[0] - 2.0 * X[1] + 10.0;
+    Data.add(std::move(X), Y, "g");
+  }
+  SvrOptions Options;
+  Options.Epsilon = 0.5;
+  Options.Epochs = 60;
+  auto Model = trainSvrModel(Data, "svr", Options);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_NEAR(Model->predict({1.0, 0.0}), 14.0, 0.8);
+  EXPECT_NEAR(Model->predict({0.0, 1.0}), 8.0, 0.8);
+  // Most points should be inside the tube after training.
+  EXPECT_LT(Model->supportFraction(), 0.5);
+}
+
+TEST(SvrModelTest, EpsilonInsensitivityIgnoresSmallNoise) {
+  Rng R(43);
+  Dataset Data({"x"});
+  for (int I = 0; I < 400; ++I) {
+    double X = R.uniform(-2, 2);
+    Data.add({X}, 3.0 * X + R.uniform(-0.4, 0.4), "g");
+  }
+  SvrOptions Options;
+  Options.Epsilon = 0.5; // Noise fits inside the tube.
+  Options.Epochs = 60;
+  auto Model = trainSvrModel(Data, "svr", Options);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_NEAR(Model->predict({1.0}) - Model->predict({0.0}), 3.0, 0.4);
+}
+
+TEST(SvrModelTest, RobustToOutliersWhereLeastSquaresIsNot) {
+  // A few wild outliers: squared loss chases them, epsilon loss does not.
+  Rng R(47);
+  Dataset Data({"x"});
+  for (int I = 0; I < 300; ++I) {
+    double X = R.uniform(-2, 2);
+    Data.add({X}, 2.0 * X, "g");
+  }
+  for (int I = 0; I < 12; ++I)
+    Data.add({R.uniform(-2, 2)}, 500.0, "g"); // Outliers.
+  SvrOptions Options;
+  Options.Epochs = 60;
+  auto Svr = trainSvrModel(Data, "svr", Options);
+  auto Ls = trainLinearModel(Data, "ls");
+  ASSERT_TRUE(Svr && Ls);
+  double SvrError = std::fabs(Svr->predict({1.0}) - 2.0);
+  double LsError = std::fabs(Ls->predict({1.0}) - 2.0);
+  EXPECT_LT(SvrError, LsError);
+  EXPECT_LT(SvrError, 3.0);
+}
+
+TEST(SvrModelTest, DeterministicTraining) {
+  Dataset Data({"x"});
+  Rng R(51);
+  for (int I = 0; I < 100; ++I) {
+    double X = R.uniform(-1, 1);
+    Data.add({X}, X, "g");
+  }
+  auto A = trainSvrModel(Data, "a");
+  auto B = trainSvrModel(Data, "b");
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A->weights(), B->weights());
+  EXPECT_DOUBLE_EQ(A->intercept(), B->intercept());
+}
+
+TEST(SvrModelTest, RejectsEmpty) {
+  Dataset Empty({"x"});
+  EXPECT_FALSE(trainSvrModel(Empty, "svr").has_value());
+}

@@ -1,0 +1,399 @@
+//===-- tests/SimTest.cpp - simulator tests ------------------------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/AvailabilityPattern.h"
+#include "sim/EnvSample.h"
+#include "sim/Machine.h"
+#include "sim/Simulation.h"
+#include "sim/SystemMonitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace medley;
+using namespace medley::sim;
+
+namespace {
+
+/// Minimal task: fixed thread count, accumulates received CPU time.
+class StubTask : public Task {
+public:
+  StubTask(std::string Name, unsigned Threads, double Demand = 0.0,
+           double WorkingSet = 100.0, double WorkNeeded = 1e18)
+      : Name(std::move(Name)), Threads(Threads), Demand(Demand),
+        WorkingSet(WorkingSet), WorkNeeded(WorkNeeded) {}
+
+  const std::string &name() const override { return Name; }
+  unsigned activeThreads() const override { return Done ? 0 : Threads; }
+  double memoryDemand() const override { return Demand; }
+  double workingSetMb() const override { return WorkingSet; }
+  bool finished() const override { return Done; }
+
+  void step(double Dt, const CpuAllocation &Allocation) override {
+    LastAllocation = Allocation;
+    ++Steps;
+    WorkDone += Dt * Allocation.CpuShare * Threads;
+    if (WorkDone >= WorkNeeded)
+      Done = true;
+  }
+
+  CpuAllocation LastAllocation;
+  size_t Steps = 0;
+  double WorkDone = 0.0;
+
+private:
+  std::string Name;
+  unsigned Threads;
+  double Demand;
+  double WorkingSet;
+  double WorkNeeded;
+  bool Done = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// EnvSample
+//===----------------------------------------------------------------------===//
+
+TEST(EnvSampleTest, ToVecOrderMatchesFeatureNames) {
+  EnvSample E;
+  E.WorkloadThreads = 1;
+  E.Processors = 2;
+  E.RunQueue = 3;
+  E.LoadAvg1 = 4;
+  E.LoadAvg5 = 5;
+  E.CachedMemory = 6;
+  E.PageFreeRate = 7;
+  EXPECT_EQ(E.toVec(), (Vec{1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(EnvSample::featureNames().size(), 7u);
+}
+
+TEST(EnvSampleTest, ScaledNormKnownValue) {
+  EnvSample E;
+  E.Processors = 32;
+  E.CachedMemory = 1.0;
+  // Only two non-zero components: (32/32)^2 + 1^2 = 2.
+  EXPECT_NEAR(E.scaledNorm(32.0), std::sqrt(2.0), 1e-12);
+}
+
+TEST(EnvSampleTest, ScaledNormScalesWithMachine) {
+  EnvSample E;
+  E.RunQueue = 16;
+  EXPECT_NEAR(E.scaledNorm(16.0), 1.0, 1e-12);
+  EXPECT_NEAR(E.scaledNorm(32.0), 0.5, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Availability patterns
+//===----------------------------------------------------------------------===//
+
+TEST(AvailabilityTest, StaticIsConstant) {
+  StaticAvailability A(16);
+  EXPECT_EQ(A.coresAt(0.0), 16u);
+  EXPECT_EQ(A.coresAt(1e6), 16u);
+}
+
+TEST(AvailabilityTest, PeriodicStaysOnLadder) {
+  auto A = PeriodicAvailability::standardLadder(32, 10.0, 7);
+  for (double T = 0.0; T < 500.0; T += 1.0) {
+    unsigned C = A->coresAt(T);
+    EXPECT_TRUE(C == 8 || C == 16 || C == 24 || C == 32) << "cores " << C;
+  }
+}
+
+TEST(AvailabilityTest, PeriodicStartsFullyAvailable) {
+  auto A = PeriodicAvailability::standardLadder(32, 20.0, 3);
+  EXPECT_EQ(A->coresAt(0.0), 32u);
+  EXPECT_EQ(A->coresAt(19.9), 32u);
+}
+
+TEST(AvailabilityTest, PeriodicChangesAtMostOneRungPerPeriod) {
+  auto A = PeriodicAvailability::standardLadder(32, 10.0, 11);
+  unsigned Prev = A->coresAt(0.0);
+  for (double T = 10.0; T < 1000.0; T += 10.0) {
+    unsigned Cur = A->coresAt(T);
+    EXPECT_LE(std::abs(int(Cur) - int(Prev)), 8) << "jumped more than a rung";
+    Prev = Cur;
+  }
+}
+
+TEST(AvailabilityTest, PeriodicResetReplaysExactly) {
+  auto A = PeriodicAvailability::standardLadder(32, 5.0, 99);
+  std::vector<unsigned> First;
+  for (double T = 0.0; T < 200.0; T += 5.0)
+    First.push_back(A->coresAt(T));
+  A->reset();
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_EQ(A->coresAt(5.0 * double(I)), First[I]);
+}
+
+TEST(AvailabilityTest, PeriodicEventuallyVaries) {
+  auto A = PeriodicAvailability::standardLadder(32, 5.0, 42);
+  bool Varied = false;
+  unsigned First = A->coresAt(0.0);
+  for (double T = 5.0; T < 500.0 && !Varied; T += 5.0)
+    Varied = A->coresAt(T) != First;
+  EXPECT_TRUE(Varied);
+}
+
+TEST(AvailabilityTest, TraceLookup) {
+  TraceAvailability A({{0.0, 32}, {10.0, 16}, {20.0, 32}});
+  EXPECT_EQ(A.coresAt(0.0), 32u);
+  EXPECT_EQ(A.coresAt(9.99), 32u);
+  EXPECT_EQ(A.coresAt(10.0), 16u);
+  EXPECT_EQ(A.coresAt(15.0), 16u);
+  EXPECT_EQ(A.coresAt(25.0), 32u);
+}
+
+TEST(AvailabilityTest, TraceBeforeFirstPoint) {
+  TraceAvailability A({{5.0, 8}});
+  EXPECT_EQ(A.coresAt(0.0), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// MachineConfig
+//===----------------------------------------------------------------------===//
+
+TEST(MachineTest, EvaluationPlatformMatchesTable2) {
+  MachineConfig M = MachineConfig::evaluationPlatform();
+  EXPECT_EQ(M.TotalCores, 32u);
+  EXPECT_EQ(M.SocketCount, 4u);
+  EXPECT_EQ(M.coresPerSocket(), 8u);
+  EXPECT_DOUBLE_EQ(M.TotalMemoryMb, 64.0 * 1024.0);
+  EXPECT_TRUE(M.valid());
+}
+
+TEST(MachineTest, TrainingPlatform12) {
+  MachineConfig M = MachineConfig::trainingPlatform12();
+  EXPECT_EQ(M.TotalCores, 12u);
+  EXPECT_EQ(M.coresPerSocket(), 6u);
+  EXPECT_TRUE(M.valid());
+}
+
+TEST(MachineTest, WithAffinity) {
+  MachineConfig M = MachineConfig::evaluationPlatform().withAffinity(0.4);
+  EXPECT_DOUBLE_EQ(M.AffinityBenefit, 0.4);
+  EXPECT_TRUE(M.valid());
+}
+
+TEST(MachineTest, InvalidConfigsDetected) {
+  MachineConfig M = MachineConfig::evaluationPlatform();
+  M.TotalCores = 0;
+  EXPECT_FALSE(M.valid());
+  M = MachineConfig::evaluationPlatform();
+  M.MemoryBandwidth = 0.0;
+  EXPECT_FALSE(M.valid());
+  M = MachineConfig::evaluationPlatform();
+  M.AffinityBenefit = 1.0;
+  EXPECT_FALSE(M.valid());
+}
+
+//===----------------------------------------------------------------------===//
+// SystemMonitor
+//===----------------------------------------------------------------------===//
+
+TEST(SystemMonitorTest, TracksRunQueueAndProcessors) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  Monitor.update(40, 16, 1000.0, 0.1);
+  EnvSample E = Monitor.sample();
+  EXPECT_DOUBLE_EQ(E.RunQueue, 40.0);
+  EXPECT_DOUBLE_EQ(E.Processors, 16.0);
+  EXPECT_DOUBLE_EQ(E.WorkloadThreads, 40.0);
+}
+
+TEST(SystemMonitorTest, ObserverThreadsExcluded) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  Monitor.update(40, 32, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(Monitor.sample(12).WorkloadThreads, 28.0);
+  // More observer threads than runnable clamps to zero.
+  EXPECT_DOUBLE_EQ(Monitor.sample(100).WorkloadThreads, 0.0);
+}
+
+TEST(SystemMonitorTest, LoadAveragesWarmUpAtDifferentSpeeds) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  Monitor.update(0, 32, 0.0, 0.1);
+  for (int I = 0; I < 300; ++I) // 30 seconds at load 32.
+    Monitor.update(32, 32, 0.0, 0.1);
+  EnvSample E = Monitor.sample();
+  EXPECT_GT(E.LoadAvg1, E.LoadAvg5); // 1-minute EMA reacts faster.
+  EXPECT_GT(E.LoadAvg1, 5.0);
+  EXPECT_LT(E.LoadAvg1, 32.0);
+}
+
+TEST(SystemMonitorTest, CachedMemoryFraction) {
+  MachineConfig M = MachineConfig::evaluationPlatform();
+  SystemMonitor Monitor(M);
+  Monitor.update(1, 32, M.TotalMemoryMb / 4.0, 0.1);
+  EXPECT_NEAR(Monitor.sample().CachedMemory, 0.75, 1e-9);
+  Monitor.update(1, 32, 2.0 * M.TotalMemoryMb, 0.1); // Clamps at full.
+  EXPECT_NEAR(Monitor.sample().CachedMemory, 0.0, 1e-9);
+}
+
+TEST(SystemMonitorTest, PageRateRespondsToChurn) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  Monitor.update(1, 32, 0.0, 0.1);
+  for (int I = 0; I < 20; ++I)
+    Monitor.update(1, 32, (I % 2) * 8000.0, 0.1);
+  EXPECT_GT(Monitor.sample().PageFreeRate, 0.0);
+}
+
+TEST(SystemMonitorTest, ResetClears) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  Monitor.update(40, 16, 5000.0, 0.1);
+  Monitor.reset();
+  EnvSample E = Monitor.sample();
+  EXPECT_DOUBLE_EQ(E.RunQueue, 0.0);
+  EXPECT_DOUBLE_EQ(E.Processors, 32.0);
+  EXPECT_DOUBLE_EQ(E.LoadAvg1, 0.0);
+}
+
+TEST(SystemMonitorTest, EnvNormUsesMachineScale) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  Monitor.update(32, 32, 0.0, 0.1);
+  EnvSample E = Monitor.sample();
+  EXPECT_NEAR(Monitor.envNorm(), E.scaledNorm(32.0), 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Simulation scheduling
+//===----------------------------------------------------------------------===//
+
+TEST(SimulationTest, UndersubscribedTasksRunFullSpeed) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  auto T = std::make_shared<StubTask>("t", 8);
+  Sim.addTask(T);
+  Sim.step();
+  EXPECT_DOUBLE_EQ(T->LastAllocation.CpuShare, 1.0);
+  EXPECT_DOUBLE_EQ(T->LastAllocation.MemFactor, 1.0);
+  EXPECT_DOUBLE_EQ(T->LastAllocation.BarrierFactor, 1.0);
+  EXPECT_EQ(T->LastAllocation.AvailableCores, 32u);
+}
+
+TEST(SimulationTest, OversubscriptionReducesShareAndConvoysBarriers) {
+  MachineConfig M = MachineConfig::evaluationPlatform();
+  Simulation Sim(M, std::make_unique<StaticAvailability>(32));
+  auto A = std::make_shared<StubTask>("a", 32);
+  auto B = std::make_shared<StubTask>("b", 32);
+  Sim.addTask(A);
+  Sim.addTask(B);
+  Sim.step();
+  double Ratio = 64.0 / 32.0;
+  double ExpectedShare =
+      (1.0 / Ratio) / (1.0 + M.ContextSwitchOverhead * (Ratio - 1.0));
+  EXPECT_NEAR(A->LastAllocation.CpuShare, ExpectedShare, 1e-12);
+  EXPECT_NEAR(A->LastAllocation.BarrierFactor,
+              1.0 + M.BarrierConvoy * (Ratio - 1.0), 1e-12);
+  EXPECT_EQ(A->LastAllocation.RunnableThreads, 64u);
+}
+
+TEST(SimulationTest, MemoryContentionKicksInAboveBandwidth) {
+  MachineConfig M = MachineConfig::evaluationPlatform();
+  Simulation Sim(M, std::make_unique<StaticAvailability>(32));
+  // Demand is scaled by share (1.0 here); 2x bandwidth demanded.
+  auto T = std::make_shared<StubTask>("t", 8, 2.0 * M.MemoryBandwidth);
+  Sim.addTask(T);
+  Sim.step();
+  EXPECT_NEAR(T->LastAllocation.MemFactor,
+              std::min(std::pow(2.0, M.MemContentionExponent),
+                       M.MemFactorCap),
+              1e-9);
+}
+
+TEST(SimulationTest, AffinityReducesMemoryPenalty) {
+  MachineConfig Plain = MachineConfig::evaluationPlatform();
+  MachineConfig Affine = Plain.withAffinity(0.5);
+
+  auto runOnce = [](const MachineConfig &M) {
+    Simulation Sim(M, std::make_unique<StaticAvailability>(32));
+    auto T = std::make_shared<StubTask>("t", 8, 2.0 * M.MemoryBandwidth);
+    Sim.addTask(T);
+    Sim.step();
+    return T->LastAllocation.MemFactor;
+  };
+  EXPECT_LT(runOnce(Affine), runOnce(Plain));
+}
+
+TEST(SimulationTest, TimeAdvancesByTicks) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32), 0.25);
+  EXPECT_DOUBLE_EQ(Sim.now(), 0.0);
+  Sim.step();
+  Sim.step();
+  EXPECT_DOUBLE_EQ(Sim.now(), 0.5);
+  EXPECT_DOUBLE_EQ(Sim.tick(), 0.25);
+}
+
+TEST(SimulationTest, FinishedTasksLeaveTheRunQueue) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  auto Short = std::make_shared<StubTask>("short", 8, 0.0, 100.0,
+                                          /*WorkNeeded=*/0.4);
+  auto Long = std::make_shared<StubTask>("long", 8);
+  Sim.addTask(Short);
+  Sim.addTask(Long);
+  Sim.runUntil([&] { return Short->finished(); }, 10.0);
+  EXPECT_TRUE(Short->finished());
+  EXPECT_EQ(Sim.runnableThreads(), 8u);
+}
+
+TEST(SimulationTest, RemoveTask) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  auto T = std::make_shared<StubTask>("t", 4);
+  Sim.addTask(T);
+  EXPECT_EQ(Sim.numTasks(), 1u);
+  Sim.removeTask(T.get());
+  EXPECT_EQ(Sim.numTasks(), 0u);
+}
+
+TEST(SimulationTest, TickHooksFireEveryStep) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  int Calls = 0;
+  Sim.addTickHook([&Calls](Simulation &) { ++Calls; });
+  Sim.step();
+  Sim.step();
+  Sim.step();
+  EXPECT_EQ(Calls, 3);
+}
+
+TEST(SimulationTest, RunUntilReportsTimeout) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  EXPECT_FALSE(Sim.runUntil([] { return false; }, 1.0));
+  EXPECT_GE(Sim.now(), 1.0);
+  EXPECT_TRUE(Sim.runUntil([] { return true; }, 2.0));
+}
+
+TEST(SimulationTest, MonitorSeesTaskActivity) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  auto T = std::make_shared<StubTask>("t", 10, 0.0, 4096.0);
+  Sim.addTask(T);
+  Sim.step();
+  EnvSample E = Sim.monitor().sample();
+  EXPECT_DOUBLE_EQ(E.RunQueue, 10.0);
+  EXPECT_LT(E.CachedMemory, 1.0);
+}
+
+TEST(SimulationTest, AvailabilityChangeReachesTasks) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<TraceAvailability>(
+                     std::vector<std::pair<double, unsigned>>{{0.0, 32},
+                                                              {0.15, 8}}),
+                 0.1);
+  auto T = std::make_shared<StubTask>("t", 16);
+  Sim.addTask(T);
+  Sim.step(); // t in [0, 0.1): 32 cores.
+  EXPECT_EQ(T->LastAllocation.AvailableCores, 32u);
+  Sim.step();
+  Sim.step(); // Beyond 0.15: 8 cores.
+  EXPECT_EQ(T->LastAllocation.AvailableCores, 8u);
+  EXPECT_LT(T->LastAllocation.CpuShare, 1.0);
+}
