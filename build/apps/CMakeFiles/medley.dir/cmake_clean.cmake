@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley.dir/medley.cpp.o"
+  "CMakeFiles/medley.dir/medley.cpp.o.d"
+  "medley"
+  "medley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_data_vs_experts.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_ext_data_vs_experts.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_ext_data_vs_experts.dir/bench_ext_data_vs_experts.cpp.o"
+  "CMakeFiles/bench_ext_data_vs_experts.dir/bench_ext_data_vs_experts.cpp.o.d"
+  "bench_ext_data_vs_experts"
+  "bench_ext_data_vs_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_data_vs_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

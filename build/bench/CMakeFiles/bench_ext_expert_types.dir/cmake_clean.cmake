@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_expert_types.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_ext_expert_types.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_ext_expert_types.dir/bench_ext_expert_types.cpp.o"
+  "CMakeFiles/bench_ext_expert_types.dir/bench_ext_expert_types.cpp.o.d"
+  "bench_ext_expert_types"
+  "bench_ext_expert_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_expert_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

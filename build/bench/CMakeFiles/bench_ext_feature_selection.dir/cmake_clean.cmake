@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_feature_selection.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_ext_feature_selection.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_ext_feature_selection.dir/bench_ext_feature_selection.cpp.o"
+  "CMakeFiles/bench_ext_feature_selection.dir/bench_ext_feature_selection.cpp.o.d"
+  "bench_ext_feature_selection"
+  "bench_ext_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

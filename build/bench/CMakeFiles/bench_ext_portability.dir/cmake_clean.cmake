@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_portability.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_ext_portability.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_ext_portability.dir/bench_ext_portability.cpp.o"
+  "CMakeFiles/bench_ext_portability.dir/bench_ext_portability.cpp.o.d"
+  "bench_ext_portability"
+  "bench_ext_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_live_trace.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig01_live_trace.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig01_live_trace.dir/bench_fig01_live_trace.cpp.o"
+  "CMakeFiles/bench_fig01_live_trace.dir/bench_fig01_live_trace.cpp.o.d"
+  "bench_fig01_live_trace"
+  "bench_fig01_live_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_live_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

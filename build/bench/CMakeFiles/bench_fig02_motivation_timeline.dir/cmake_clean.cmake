@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_motivation_timeline.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig02_motivation_timeline.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig02_motivation_timeline.dir/bench_fig02_motivation_timeline.cpp.o"
+  "CMakeFiles/bench_fig02_motivation_timeline.dir/bench_fig02_motivation_timeline.cpp.o.d"
+  "bench_fig02_motivation_timeline"
+  "bench_fig02_motivation_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_motivation_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_motivation_speedup.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig03_motivation_speedup.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig03_motivation_speedup.dir/bench_fig03_motivation_speedup.cpp.o"
+  "CMakeFiles/bench_fig03_motivation_speedup.dir/bench_fig03_motivation_speedup.cpp.o.d"
+  "bench_fig03_motivation_speedup"
+  "bench_fig03_motivation_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_motivation_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_feature_impact.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig06_feature_impact.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig06_feature_impact.dir/bench_fig06_feature_impact.cpp.o"
+  "CMakeFiles/bench_fig06_feature_impact.dir/bench_fig06_feature_impact.cpp.o.d"
+  "bench_fig06_feature_impact"
+  "bench_fig06_feature_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_feature_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

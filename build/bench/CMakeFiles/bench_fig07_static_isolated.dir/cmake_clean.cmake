@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_static_isolated.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig07_static_isolated.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig07_static_isolated.dir/bench_fig07_static_isolated.cpp.o"
+  "CMakeFiles/bench_fig07_static_isolated.dir/bench_fig07_static_isolated.cpp.o.d"
+  "bench_fig07_static_isolated"
+  "bench_fig07_static_isolated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_static_isolated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

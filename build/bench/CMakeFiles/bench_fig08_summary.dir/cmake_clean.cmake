@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_summary.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig08_summary.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig08_summary.dir/bench_fig08_summary.cpp.o"
+  "CMakeFiles/bench_fig08_summary.dir/bench_fig08_summary.cpp.o.d"
+  "bench_fig08_summary"
+  "bench_fig08_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/BenchUtil.cpp" "bench/CMakeFiles/bench_fig09_small_low.dir/BenchUtil.cpp.o" "gcc" "bench/CMakeFiles/bench_fig09_small_low.dir/BenchUtil.cpp.o.d"
+  "/root/repo/bench/bench_fig09_small_low.cpp" "bench/CMakeFiles/bench_fig09_small_low.dir/bench_fig09_small_low.cpp.o" "gcc" "bench/CMakeFiles/bench_fig09_small_low.dir/bench_fig09_small_low.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/medley_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/medley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/medley_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/medley_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/medley_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medley_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/medley_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/medley_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

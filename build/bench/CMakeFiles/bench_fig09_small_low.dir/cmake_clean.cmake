@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_small_low.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig09_small_low.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig09_small_low.dir/bench_fig09_small_low.cpp.o"
+  "CMakeFiles/bench_fig09_small_low.dir/bench_fig09_small_low.cpp.o.d"
+  "bench_fig09_small_low"
+  "bench_fig09_small_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_small_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

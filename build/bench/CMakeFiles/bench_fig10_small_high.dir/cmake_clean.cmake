@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_small_high.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig10_small_high.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig10_small_high.dir/bench_fig10_small_high.cpp.o"
+  "CMakeFiles/bench_fig10_small_high.dir/bench_fig10_small_high.cpp.o.d"
+  "bench_fig10_small_high"
+  "bench_fig10_small_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_small_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_large_high.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig12_large_high.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig12_large_high.dir/bench_fig12_large_high.cpp.o"
+  "CMakeFiles/bench_fig12_large_high.dir/bench_fig12_large_high.cpp.o.d"
+  "bench_fig12_large_high"
+  "bench_fig12_large_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_large_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

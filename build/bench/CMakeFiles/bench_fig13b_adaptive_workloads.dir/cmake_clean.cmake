@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13b_adaptive_workloads.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig13b_adaptive_workloads.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig13b_adaptive_workloads.dir/bench_fig13b_adaptive_workloads.cpp.o"
+  "CMakeFiles/bench_fig13b_adaptive_workloads.dir/bench_fig13b_adaptive_workloads.cpp.o.d"
+  "bench_fig13b_adaptive_workloads"
+  "bench_fig13b_adaptive_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b_adaptive_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14b_affinity.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig14b_affinity.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig14b_affinity.dir/bench_fig14b_affinity.cpp.o"
+  "CMakeFiles/bench_fig14b_affinity.dir/bench_fig14b_affinity.cpp.o.d"
+  "bench_fig14b_affinity"
+  "bench_fig14b_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14b_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14c_monolithic_vs_mixture.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig14c_monolithic_vs_mixture.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig14c_monolithic_vs_mixture.dir/bench_fig14c_monolithic_vs_mixture.cpp.o"
+  "CMakeFiles/bench_fig14c_monolithic_vs_mixture.dir/bench_fig14c_monolithic_vs_mixture.cpp.o.d"
+  "bench_fig14c_monolithic_vs_mixture"
+  "bench_fig14c_monolithic_vs_mixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14c_monolithic_vs_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14c_monolithic_vs_mixture.
+# This may be replaced when dependencies are built.

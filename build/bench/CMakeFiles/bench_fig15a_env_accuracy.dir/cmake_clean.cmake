@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15a_env_accuracy.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig15a_env_accuracy.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig15a_env_accuracy.dir/bench_fig15a_env_accuracy.cpp.o"
+  "CMakeFiles/bench_fig15a_env_accuracy.dir/bench_fig15a_env_accuracy.cpp.o.d"
+  "bench_fig15a_env_accuracy"
+  "bench_fig15a_env_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15a_env_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15b_expert_selection.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig15b_expert_selection.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig15b_expert_selection.dir/bench_fig15b_expert_selection.cpp.o"
+  "CMakeFiles/bench_fig15b_expert_selection.dir/bench_fig15b_expert_selection.cpp.o.d"
+  "bench_fig15b_expert_selection"
+  "bench_fig15b_expert_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15b_expert_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

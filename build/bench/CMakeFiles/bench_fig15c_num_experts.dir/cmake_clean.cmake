@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15c_num_experts.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig15c_num_experts.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig15c_num_experts.dir/bench_fig15c_num_experts.cpp.o"
+  "CMakeFiles/bench_fig15c_num_experts.dir/bench_fig15c_num_experts.cpp.o.d"
+  "bench_fig15c_num_experts"
+  "bench_fig15c_num_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15c_num_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_expert_granularity.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig16_expert_granularity.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig16_expert_granularity.dir/bench_fig16_expert_granularity.cpp.o"
+  "CMakeFiles/bench_fig16_expert_granularity.dir/bench_fig16_expert_granularity.cpp.o.d"
+  "bench_fig16_expert_granularity"
+  "bench_fig16_expert_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_expert_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_thread_distribution.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig17_thread_distribution.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig17_thread_distribution.dir/bench_fig17_thread_distribution.cpp.o"
+  "CMakeFiles/bench_fig17_thread_distribution.dir/bench_fig17_thread_distribution.cpp.o.d"
+  "bench_fig17_thread_distribution"
+  "bench_fig17_thread_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_thread_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_expert_weights.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_tab1_expert_weights.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_tab1_expert_weights.dir/bench_tab1_expert_weights.cpp.o"
+  "CMakeFiles/bench_tab1_expert_weights.dir/bench_tab1_expert_weights.cpp.o.d"
+  "bench_tab1_expert_weights"
+  "bench_tab1_expert_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_expert_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

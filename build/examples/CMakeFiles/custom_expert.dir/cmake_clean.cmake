@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_expert.dir/custom_expert.cpp.o"
+  "CMakeFiles/custom_expert.dir/custom_expert.cpp.o.d"
+  "custom_expert"
+  "custom_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

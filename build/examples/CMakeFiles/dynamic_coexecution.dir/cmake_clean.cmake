@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_coexecution.dir/dynamic_coexecution.cpp.o"
+  "CMakeFiles/dynamic_coexecution.dir/dynamic_coexecution.cpp.o.d"
+  "dynamic_coexecution"
+  "dynamic_coexecution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_coexecution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

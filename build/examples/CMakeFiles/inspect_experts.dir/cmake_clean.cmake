@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_experts.dir/inspect_experts.cpp.o"
+  "CMakeFiles/inspect_experts.dir/inspect_experts.cpp.o.d"
+  "inspect_experts"
+  "inspect_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

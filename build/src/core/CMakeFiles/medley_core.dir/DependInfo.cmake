@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Expert.cpp" "src/core/CMakeFiles/medley_core.dir/Expert.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/Expert.cpp.o.d"
+  "/root/repo/src/core/ExpertBuilder.cpp" "src/core/CMakeFiles/medley_core.dir/ExpertBuilder.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/ExpertBuilder.cpp.o.d"
+  "/root/repo/src/core/ExpertIo.cpp" "src/core/CMakeFiles/medley_core.dir/ExpertIo.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/ExpertIo.cpp.o.d"
+  "/root/repo/src/core/ExpertSelector.cpp" "src/core/CMakeFiles/medley_core.dir/ExpertSelector.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/ExpertSelector.cpp.o.d"
+  "/root/repo/src/core/ExternalExperts.cpp" "src/core/CMakeFiles/medley_core.dir/ExternalExperts.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/ExternalExperts.cpp.o.d"
+  "/root/repo/src/core/MixtureOfExperts.cpp" "src/core/CMakeFiles/medley_core.dir/MixtureOfExperts.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/MixtureOfExperts.cpp.o.d"
+  "/root/repo/src/core/MoeStats.cpp" "src/core/CMakeFiles/medley_core.dir/MoeStats.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/MoeStats.cpp.o.d"
+  "/root/repo/src/core/Oracle.cpp" "src/core/CMakeFiles/medley_core.dir/Oracle.cpp.o" "gcc" "src/core/CMakeFiles/medley_core.dir/Oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/medley_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/medley_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/medley_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medley_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/medley_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/medley_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

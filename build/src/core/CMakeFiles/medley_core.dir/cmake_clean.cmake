@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_core.dir/Expert.cpp.o"
+  "CMakeFiles/medley_core.dir/Expert.cpp.o.d"
+  "CMakeFiles/medley_core.dir/ExpertBuilder.cpp.o"
+  "CMakeFiles/medley_core.dir/ExpertBuilder.cpp.o.d"
+  "CMakeFiles/medley_core.dir/ExpertIo.cpp.o"
+  "CMakeFiles/medley_core.dir/ExpertIo.cpp.o.d"
+  "CMakeFiles/medley_core.dir/ExpertSelector.cpp.o"
+  "CMakeFiles/medley_core.dir/ExpertSelector.cpp.o.d"
+  "CMakeFiles/medley_core.dir/ExternalExperts.cpp.o"
+  "CMakeFiles/medley_core.dir/ExternalExperts.cpp.o.d"
+  "CMakeFiles/medley_core.dir/MixtureOfExperts.cpp.o"
+  "CMakeFiles/medley_core.dir/MixtureOfExperts.cpp.o.d"
+  "CMakeFiles/medley_core.dir/MoeStats.cpp.o"
+  "CMakeFiles/medley_core.dir/MoeStats.cpp.o.d"
+  "CMakeFiles/medley_core.dir/Oracle.cpp.o"
+  "CMakeFiles/medley_core.dir/Oracle.cpp.o.d"
+  "libmedley_core.a"
+  "libmedley_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

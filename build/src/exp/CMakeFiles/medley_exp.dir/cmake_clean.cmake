@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_exp.dir/Driver.cpp.o"
+  "CMakeFiles/medley_exp.dir/Driver.cpp.o.d"
+  "CMakeFiles/medley_exp.dir/PolicySet.cpp.o"
+  "CMakeFiles/medley_exp.dir/PolicySet.cpp.o.d"
+  "CMakeFiles/medley_exp.dir/Reporter.cpp.o"
+  "CMakeFiles/medley_exp.dir/Reporter.cpp.o.d"
+  "CMakeFiles/medley_exp.dir/Scenario.cpp.o"
+  "CMakeFiles/medley_exp.dir/Scenario.cpp.o.d"
+  "libmedley_exp.a"
+  "libmedley_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/LeastSquares.cpp" "src/linalg/CMakeFiles/medley_linalg.dir/LeastSquares.cpp.o" "gcc" "src/linalg/CMakeFiles/medley_linalg.dir/LeastSquares.cpp.o.d"
+  "/root/repo/src/linalg/Matrix.cpp" "src/linalg/CMakeFiles/medley_linalg.dir/Matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/medley_linalg.dir/Matrix.cpp.o.d"
+  "/root/repo/src/linalg/Solve.cpp" "src/linalg/CMakeFiles/medley_linalg.dir/Solve.cpp.o" "gcc" "src/linalg/CMakeFiles/medley_linalg.dir/Solve.cpp.o.d"
+  "/root/repo/src/linalg/Vector.cpp" "src/linalg/CMakeFiles/medley_linalg.dir/Vector.cpp.o" "gcc" "src/linalg/CMakeFiles/medley_linalg.dir/Vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

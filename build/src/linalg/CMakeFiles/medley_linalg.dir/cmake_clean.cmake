@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_linalg.dir/LeastSquares.cpp.o"
+  "CMakeFiles/medley_linalg.dir/LeastSquares.cpp.o.d"
+  "CMakeFiles/medley_linalg.dir/Matrix.cpp.o"
+  "CMakeFiles/medley_linalg.dir/Matrix.cpp.o.d"
+  "CMakeFiles/medley_linalg.dir/Solve.cpp.o"
+  "CMakeFiles/medley_linalg.dir/Solve.cpp.o.d"
+  "CMakeFiles/medley_linalg.dir/Vector.cpp.o"
+  "CMakeFiles/medley_linalg.dir/Vector.cpp.o.d"
+  "libmedley_linalg.a"
+  "libmedley_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

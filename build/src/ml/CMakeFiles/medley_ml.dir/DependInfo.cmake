@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/CrossValidation.cpp" "src/ml/CMakeFiles/medley_ml.dir/CrossValidation.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/CrossValidation.cpp.o.d"
+  "/root/repo/src/ml/Dataset.cpp" "src/ml/CMakeFiles/medley_ml.dir/Dataset.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/Dataset.cpp.o.d"
+  "/root/repo/src/ml/FeatureImpact.cpp" "src/ml/CMakeFiles/medley_ml.dir/FeatureImpact.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/FeatureImpact.cpp.o.d"
+  "/root/repo/src/ml/FeatureScaler.cpp" "src/ml/CMakeFiles/medley_ml.dir/FeatureScaler.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/FeatureScaler.cpp.o.d"
+  "/root/repo/src/ml/FeatureSelection.cpp" "src/ml/CMakeFiles/medley_ml.dir/FeatureSelection.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/FeatureSelection.cpp.o.d"
+  "/root/repo/src/ml/KnnModel.cpp" "src/ml/CMakeFiles/medley_ml.dir/KnnModel.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/KnnModel.cpp.o.d"
+  "/root/repo/src/ml/LinearModel.cpp" "src/ml/CMakeFiles/medley_ml.dir/LinearModel.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/LinearModel.cpp.o.d"
+  "/root/repo/src/ml/SvrModel.cpp" "src/ml/CMakeFiles/medley_ml.dir/SvrModel.cpp.o" "gcc" "src/ml/CMakeFiles/medley_ml.dir/SvrModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/medley_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_ml.dir/CrossValidation.cpp.o"
+  "CMakeFiles/medley_ml.dir/CrossValidation.cpp.o.d"
+  "CMakeFiles/medley_ml.dir/Dataset.cpp.o"
+  "CMakeFiles/medley_ml.dir/Dataset.cpp.o.d"
+  "CMakeFiles/medley_ml.dir/FeatureImpact.cpp.o"
+  "CMakeFiles/medley_ml.dir/FeatureImpact.cpp.o.d"
+  "CMakeFiles/medley_ml.dir/FeatureScaler.cpp.o"
+  "CMakeFiles/medley_ml.dir/FeatureScaler.cpp.o.d"
+  "CMakeFiles/medley_ml.dir/FeatureSelection.cpp.o"
+  "CMakeFiles/medley_ml.dir/FeatureSelection.cpp.o.d"
+  "CMakeFiles/medley_ml.dir/KnnModel.cpp.o"
+  "CMakeFiles/medley_ml.dir/KnnModel.cpp.o.d"
+  "CMakeFiles/medley_ml.dir/LinearModel.cpp.o"
+  "CMakeFiles/medley_ml.dir/LinearModel.cpp.o.d"
+  "CMakeFiles/medley_ml.dir/SvrModel.cpp.o"
+  "CMakeFiles/medley_ml.dir/SvrModel.cpp.o.d"
+  "libmedley_ml.a"
+  "libmedley_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/AnalyticPolicy.cpp" "src/policy/CMakeFiles/medley_policy.dir/AnalyticPolicy.cpp.o" "gcc" "src/policy/CMakeFiles/medley_policy.dir/AnalyticPolicy.cpp.o.d"
+  "/root/repo/src/policy/DefaultPolicy.cpp" "src/policy/CMakeFiles/medley_policy.dir/DefaultPolicy.cpp.o" "gcc" "src/policy/CMakeFiles/medley_policy.dir/DefaultPolicy.cpp.o.d"
+  "/root/repo/src/policy/ExtendedFeatures.cpp" "src/policy/CMakeFiles/medley_policy.dir/ExtendedFeatures.cpp.o" "gcc" "src/policy/CMakeFiles/medley_policy.dir/ExtendedFeatures.cpp.o.d"
+  "/root/repo/src/policy/Features.cpp" "src/policy/CMakeFiles/medley_policy.dir/Features.cpp.o" "gcc" "src/policy/CMakeFiles/medley_policy.dir/Features.cpp.o.d"
+  "/root/repo/src/policy/OfflinePolicy.cpp" "src/policy/CMakeFiles/medley_policy.dir/OfflinePolicy.cpp.o" "gcc" "src/policy/CMakeFiles/medley_policy.dir/OfflinePolicy.cpp.o.d"
+  "/root/repo/src/policy/OnlinePolicy.cpp" "src/policy/CMakeFiles/medley_policy.dir/OnlinePolicy.cpp.o" "gcc" "src/policy/CMakeFiles/medley_policy.dir/OnlinePolicy.cpp.o.d"
+  "/root/repo/src/policy/ThreadPolicy.cpp" "src/policy/CMakeFiles/medley_policy.dir/ThreadPolicy.cpp.o" "gcc" "src/policy/CMakeFiles/medley_policy.dir/ThreadPolicy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/medley_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/medley_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medley_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/medley_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_policy.dir/AnalyticPolicy.cpp.o"
+  "CMakeFiles/medley_policy.dir/AnalyticPolicy.cpp.o.d"
+  "CMakeFiles/medley_policy.dir/DefaultPolicy.cpp.o"
+  "CMakeFiles/medley_policy.dir/DefaultPolicy.cpp.o.d"
+  "CMakeFiles/medley_policy.dir/ExtendedFeatures.cpp.o"
+  "CMakeFiles/medley_policy.dir/ExtendedFeatures.cpp.o.d"
+  "CMakeFiles/medley_policy.dir/Features.cpp.o"
+  "CMakeFiles/medley_policy.dir/Features.cpp.o.d"
+  "CMakeFiles/medley_policy.dir/OfflinePolicy.cpp.o"
+  "CMakeFiles/medley_policy.dir/OfflinePolicy.cpp.o.d"
+  "CMakeFiles/medley_policy.dir/OnlinePolicy.cpp.o"
+  "CMakeFiles/medley_policy.dir/OnlinePolicy.cpp.o.d"
+  "CMakeFiles/medley_policy.dir/ThreadPolicy.cpp.o"
+  "CMakeFiles/medley_policy.dir/ThreadPolicy.cpp.o.d"
+  "libmedley_policy.a"
+  "libmedley_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

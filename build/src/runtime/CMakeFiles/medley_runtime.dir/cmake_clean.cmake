@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_runtime.dir/CoExecution.cpp.o"
+  "CMakeFiles/medley_runtime.dir/CoExecution.cpp.o.d"
+  "CMakeFiles/medley_runtime.dir/PolicyBinding.cpp.o"
+  "CMakeFiles/medley_runtime.dir/PolicyBinding.cpp.o.d"
+  "libmedley_runtime.a"
+  "libmedley_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

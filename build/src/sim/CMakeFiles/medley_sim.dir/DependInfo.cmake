@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/AvailabilityPattern.cpp" "src/sim/CMakeFiles/medley_sim.dir/AvailabilityPattern.cpp.o" "gcc" "src/sim/CMakeFiles/medley_sim.dir/AvailabilityPattern.cpp.o.d"
+  "/root/repo/src/sim/EnvSample.cpp" "src/sim/CMakeFiles/medley_sim.dir/EnvSample.cpp.o" "gcc" "src/sim/CMakeFiles/medley_sim.dir/EnvSample.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/sim/CMakeFiles/medley_sim.dir/Machine.cpp.o" "gcc" "src/sim/CMakeFiles/medley_sim.dir/Machine.cpp.o.d"
+  "/root/repo/src/sim/Simulation.cpp" "src/sim/CMakeFiles/medley_sim.dir/Simulation.cpp.o" "gcc" "src/sim/CMakeFiles/medley_sim.dir/Simulation.cpp.o.d"
+  "/root/repo/src/sim/SystemMonitor.cpp" "src/sim/CMakeFiles/medley_sim.dir/SystemMonitor.cpp.o" "gcc" "src/sim/CMakeFiles/medley_sim.dir/SystemMonitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/medley_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_sim.dir/AvailabilityPattern.cpp.o"
+  "CMakeFiles/medley_sim.dir/AvailabilityPattern.cpp.o.d"
+  "CMakeFiles/medley_sim.dir/EnvSample.cpp.o"
+  "CMakeFiles/medley_sim.dir/EnvSample.cpp.o.d"
+  "CMakeFiles/medley_sim.dir/Machine.cpp.o"
+  "CMakeFiles/medley_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/medley_sim.dir/Simulation.cpp.o"
+  "CMakeFiles/medley_sim.dir/Simulation.cpp.o.d"
+  "CMakeFiles/medley_sim.dir/SystemMonitor.cpp.o"
+  "CMakeFiles/medley_sim.dir/SystemMonitor.cpp.o.d"
+  "libmedley_sim.a"
+  "libmedley_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

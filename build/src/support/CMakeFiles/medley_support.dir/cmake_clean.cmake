@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_support.dir/Csv.cpp.o"
+  "CMakeFiles/medley_support.dir/Csv.cpp.o.d"
+  "CMakeFiles/medley_support.dir/Error.cpp.o"
+  "CMakeFiles/medley_support.dir/Error.cpp.o.d"
+  "CMakeFiles/medley_support.dir/Histogram.cpp.o"
+  "CMakeFiles/medley_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/medley_support.dir/Random.cpp.o"
+  "CMakeFiles/medley_support.dir/Random.cpp.o.d"
+  "CMakeFiles/medley_support.dir/Statistics.cpp.o"
+  "CMakeFiles/medley_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/medley_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/medley_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/medley_support.dir/Table.cpp.o"
+  "CMakeFiles/medley_support.dir/Table.cpp.o.d"
+  "libmedley_support.a"
+  "libmedley_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

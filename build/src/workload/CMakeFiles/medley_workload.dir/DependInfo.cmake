@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Catalog.cpp" "src/workload/CMakeFiles/medley_workload.dir/Catalog.cpp.o" "gcc" "src/workload/CMakeFiles/medley_workload.dir/Catalog.cpp.o.d"
+  "/root/repo/src/workload/LiveTrace.cpp" "src/workload/CMakeFiles/medley_workload.dir/LiveTrace.cpp.o" "gcc" "src/workload/CMakeFiles/medley_workload.dir/LiveTrace.cpp.o.d"
+  "/root/repo/src/workload/Program.cpp" "src/workload/CMakeFiles/medley_workload.dir/Program.cpp.o" "gcc" "src/workload/CMakeFiles/medley_workload.dir/Program.cpp.o.d"
+  "/root/repo/src/workload/Region.cpp" "src/workload/CMakeFiles/medley_workload.dir/Region.cpp.o" "gcc" "src/workload/CMakeFiles/medley_workload.dir/Region.cpp.o.d"
+  "/root/repo/src/workload/ThreadPattern.cpp" "src/workload/CMakeFiles/medley_workload.dir/ThreadPattern.cpp.o" "gcc" "src/workload/CMakeFiles/medley_workload.dir/ThreadPattern.cpp.o.d"
+  "/root/repo/src/workload/WorkloadSets.cpp" "src/workload/CMakeFiles/medley_workload.dir/WorkloadSets.cpp.o" "gcc" "src/workload/CMakeFiles/medley_workload.dir/WorkloadSets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/medley_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/medley_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

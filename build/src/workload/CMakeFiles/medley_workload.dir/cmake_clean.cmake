@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_workload.dir/Catalog.cpp.o"
+  "CMakeFiles/medley_workload.dir/Catalog.cpp.o.d"
+  "CMakeFiles/medley_workload.dir/LiveTrace.cpp.o"
+  "CMakeFiles/medley_workload.dir/LiveTrace.cpp.o.d"
+  "CMakeFiles/medley_workload.dir/Program.cpp.o"
+  "CMakeFiles/medley_workload.dir/Program.cpp.o.d"
+  "CMakeFiles/medley_workload.dir/Region.cpp.o"
+  "CMakeFiles/medley_workload.dir/Region.cpp.o.d"
+  "CMakeFiles/medley_workload.dir/ThreadPattern.cpp.o"
+  "CMakeFiles/medley_workload.dir/ThreadPattern.cpp.o.d"
+  "CMakeFiles/medley_workload.dir/WorkloadSets.cpp.o"
+  "CMakeFiles/medley_workload.dir/WorkloadSets.cpp.o.d"
+  "libmedley_workload.a"
+  "libmedley_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

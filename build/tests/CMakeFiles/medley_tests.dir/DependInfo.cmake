@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ContractTest.cpp" "tests/CMakeFiles/medley_tests.dir/ContractTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/ContractTest.cpp.o.d"
+  "/root/repo/tests/CoreTest.cpp" "tests/CMakeFiles/medley_tests.dir/CoreTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/CoreTest.cpp.o.d"
+  "/root/repo/tests/ExpTest.cpp" "tests/CMakeFiles/medley_tests.dir/ExpTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/ExpTest.cpp.o.d"
+  "/root/repo/tests/IntegrationTest.cpp" "tests/CMakeFiles/medley_tests.dir/IntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/IntegrationTest.cpp.o.d"
+  "/root/repo/tests/LinalgTest.cpp" "tests/CMakeFiles/medley_tests.dir/LinalgTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/LinalgTest.cpp.o.d"
+  "/root/repo/tests/MlTest.cpp" "tests/CMakeFiles/medley_tests.dir/MlTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/MlTest.cpp.o.d"
+  "/root/repo/tests/PolicyTest.cpp" "tests/CMakeFiles/medley_tests.dir/PolicyTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/PolicyTest.cpp.o.d"
+  "/root/repo/tests/RuntimeTest.cpp" "tests/CMakeFiles/medley_tests.dir/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/RuntimeTest.cpp.o.d"
+  "/root/repo/tests/SimTest.cpp" "tests/CMakeFiles/medley_tests.dir/SimTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/SimTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/medley_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/WorkloadTest.cpp" "tests/CMakeFiles/medley_tests.dir/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/medley_tests.dir/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/medley_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/medley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/medley_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/medley_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/medley_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medley_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/medley_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/medley_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/medley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medley_tests.dir/ContractTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/ContractTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/CoreTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/CoreTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/ExpTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/ExpTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/IntegrationTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/IntegrationTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/LinalgTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/LinalgTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/MlTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/MlTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/PolicyTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/PolicyTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/RuntimeTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/RuntimeTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/SimTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/SimTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/SupportTest.cpp.o.d"
+  "CMakeFiles/medley_tests.dir/WorkloadTest.cpp.o"
+  "CMakeFiles/medley_tests.dir/WorkloadTest.cpp.o.d"
+  "medley_tests"
+  "medley_tests.pdb"
+  "medley_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medley_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
