@@ -137,6 +137,7 @@ int cmdSpeedup(const Args &A) {
 
   exp::DriverOptions Options;
   Options.Repeats = A.getUnsigned("repeats", 3);
+  Options.Jobs = A.getUnsigned("jobs", 0); // 0 = MEDLEY_JOBS / hardware.
   exp::Driver Driver(Options);
   exp::PolicySet &Policies = exp::PolicySet::instance();
   double S = Driver.speedup(Target, Policies.factory(Policy), Scen);
@@ -259,7 +260,10 @@ void usage() {
          "usage:\n"
          "  medley list\n"
          "  medley speedup --target cg --policy mixture "
-         "--scenario large/low [--repeats 3]\n"
+         "--scenario large/low [--repeats 3] [--jobs N]\n"
+         "                 (--jobs 0 = auto: MEDLEY_JOBS env or all cores; "
+         "results are\n"
+         "                 identical at any value)\n"
          "  medley coexec  --target cg --policy mixture "
          "--workload bt,is,art\n"
          "                 [--cores 32] [--period 20] [--seed 42] "

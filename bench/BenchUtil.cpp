@@ -28,6 +28,9 @@ medley::bench::runSpeedupFigure(const std::string &FigureId,
                                 const exp::Scenario &Scen) {
   printBanner(FigureId, Claim);
   exp::Driver Driver;
+  std::cout << "experiment engine: " << Driver.jobs()
+            << " job(s) (set MEDLEY_JOBS to override; results are "
+               "identical at any value)\n\n";
   exp::PolicySet &Policies = exp::PolicySet::instance();
   exp::SpeedupMatrix Matrix = exp::computeSpeedupMatrix(
       Driver, Policies, workload::Catalog::evaluationTargets(),

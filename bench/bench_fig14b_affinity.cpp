@@ -35,11 +35,11 @@ double speedupVsPlainDefault(exp::Driver &D, exp::PolicySet &Policies,
   std::vector<double> V;
   for (const std::string &Target : workload::Catalog::evaluationTargets())
     for (const workload::WorkloadSet &Set : Plain.workloadSets()) {
-      const exp::Measurement &Base =
+      std::shared_ptr<const exp::Measurement> Base =
           D.defaultMeasurement(Target, Plain, &Set);
       exp::Measurement M =
           D.measure(Target, Policies.factory(Policy), Scen, &Set);
-      V.push_back(Base.MeanTargetTime / M.MeanTargetTime);
+      V.push_back(Base->MeanTargetTime / M.MeanTargetTime);
     }
   return harmonicMean(V);
 }

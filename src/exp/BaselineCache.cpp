@@ -1,0 +1,64 @@
+//===-- exp/BaselineCache.cpp - Shared default-policy cache --------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/BaselineCache.h"
+
+using namespace medley;
+using namespace medley::exp;
+
+BaselineCache &BaselineCache::instance() {
+  static BaselineCache Instance;
+  return Instance;
+}
+
+std::shared_ptr<const Measurement>
+BaselineCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  return It->second;
+}
+
+std::shared_ptr<const Measurement> BaselineCache::insert(const std::string &Key,
+                                                         Measurement M) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It != Entries.end())
+    return It->second;
+  auto Entry = std::make_shared<const Measurement>(std::move(M));
+  Entries.emplace(Key, Entry);
+  return Entry;
+}
+
+void BaselineCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+}
+
+size_t BaselineCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+uint64_t BaselineCache::hits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Hits;
+}
+
+uint64_t BaselineCache::misses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Misses;
+}
+
+void BaselineCache::resetCounters() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Hits = 0;
+  Misses = 0;
+}

@@ -1,0 +1,67 @@
+//===-- exp/BaselineCache.h - Shared default-policy cache -------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide cache of default-policy (baseline) measurements. Every
+/// speedup and workload-impact number divides by the same baseline cell,
+/// so across the policies of a bench run each baseline is worth computing
+/// exactly once. Keys fold in the cell identity (scenario, set, target),
+/// the derived repeat-0 cell seed and the driver-option fingerprint, so
+/// drivers with different options never share entries. Entries are
+/// immutable shared_ptrs: callers can hold a baseline across later
+/// measurements (or a clear()) without dangling — the fix for the old
+/// per-driver map that handed out references into itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_EXP_BASELINECACHE_H
+#define MEDLEY_EXP_BASELINECACHE_H
+
+#include "exp/Cell.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace medley::exp {
+
+/// Mutex-protected insert-once map of baseline measurements.
+class BaselineCache {
+public:
+  /// The process-wide instance.
+  static BaselineCache &instance();
+
+  /// The cached measurement for \p Key, or null. Counts a hit or a miss.
+  std::shared_ptr<const Measurement> lookup(const std::string &Key);
+
+  /// Inserts \p M for \p Key if absent and returns the stored entry. If
+  /// another thread inserted first, its entry wins and \p M is discarded
+  /// — with deterministic cells both hold identical values, so the race
+  /// is benign.
+  std::shared_ptr<const Measurement> insert(const std::string &Key,
+                                            Measurement M);
+
+  /// Drops every entry (outstanding shared_ptrs stay valid).
+  void clear();
+
+  size_t size() const;
+
+  /// Lookup counters, for tests and bench instrumentation.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  void resetCounters();
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::shared_ptr<const Measurement>> Entries;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace medley::exp
+
+#endif // MEDLEY_EXP_BASELINECACHE_H

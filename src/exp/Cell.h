@@ -1,0 +1,51 @@
+//===-- exp/Cell.h - Experiment cell plan types -----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vocabulary of the experiment engine's cell plan. A *cell* is one
+/// (target, policy, scenario, workload-set) measurement, averaged over the
+/// driver's repeats; a *run* is a single repeat of a cell. Every run's
+/// environment is seeded purely by (scenario, set, target, repeat), so the
+/// cells of a plan are independent and can execute in any order — the
+/// basis of the pooled driver's determinism contract (see DESIGN.md,
+/// "Experiment engine").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_EXP_CELL_H
+#define MEDLEY_EXP_CELL_H
+
+#include "exp/Scenario.h"
+#include "policy/ThreadPolicy.h"
+#include "runtime/CoExecution.h"
+
+namespace medley::exp {
+
+/// Mean results of the repeats of one (target, policy, scenario, set) cell.
+struct Measurement {
+  double MeanTargetTime = 0.0;
+  double MeanWorkloadThroughput = 0.0;
+  std::vector<runtime::CoExecutionResult> Runs;
+};
+
+/// One cell of an experiment plan. A null \p Factory marks a baseline
+/// cell: it runs under the OpenMP default policy and is served from /
+/// inserted into the process-wide BaselineCache.
+struct CellSpec {
+  std::string Target;
+  /// Policy under test; null = default-policy baseline (cached). Must stay
+  /// alive until the plan executes.
+  const policy::PolicyFactory *Factory = nullptr;
+  const Scenario *Scen = nullptr;
+  /// External workload (null = isolated).
+  const workload::WorkloadSet *Set = nullptr;
+  /// Optional adaptive policy for the workload programs (Section 7.4).
+  const policy::PolicyFactory *WorkloadPolicy = nullptr;
+};
+
+} // namespace medley::exp
+
+#endif // MEDLEY_EXP_CELL_H

@@ -8,10 +8,13 @@
 
 #include "policy/DefaultPolicy.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include "workload/Catalog.h"
 #include "workload/LiveTrace.h"
 
 #include <cassert>
+#include <map>
+#include <sstream>
 
 using namespace medley;
 using namespace medley::exp;
@@ -28,10 +31,46 @@ uint64_t hashCell(uint64_t Seed, const std::string &Key) {
   return H;
 }
 
+/// Everything per-driver that shapes a measurement, folded into the
+/// process-wide baseline-cache key so differently configured drivers
+/// never share entries.
+std::string fingerprintOptions(const DriverOptions &Options) {
+  const sim::MachineConfig &M = Options.Machine;
+  std::ostringstream OS;
+  OS << "n" << Options.Repeats << "|t" << Options.Tick << "|m"
+     << Options.MaxTime << "|tr" << Options.RecordTraces << "|mc"
+     << M.TotalCores << ";" << M.MemoryBandwidth << ";" << M.TotalMemoryMb
+     << ";" << M.AffinityBenefit << ";" << M.ContextSwitchOverhead << ";"
+     << M.BarrierConvoy << ";" << M.MemContentionExponent << ";"
+     << M.MemFactorCap << ";" << M.SocketCount << ";" << M.InterSocketSync;
+  return OS.str();
+}
+
 } // namespace
 
-Driver::Driver(DriverOptions Options) : Options(Options) {
+/// One repeat of one cell, fully prepared on the planning thread: the
+/// config and workload are pure functions of the cell key, and the policy
+/// instance is constructed in plan order so stateful factories (e.g. the
+/// analytic policy's seed counter) see the sequential call sequence.
+/// Workers only run the simulation.
+struct Driver::PlannedRun {
+  size_t Cell = 0; ///< Owning cell index in the plan.
+  const workload::ProgramSpec *Spec = nullptr;
+  runtime::CoExecutionConfig Config;
+  std::unique_ptr<policy::ThreadPolicy> Policy;
+  std::vector<runtime::WorkloadProgramSetup> Workload;
+  runtime::CoExecutionResult Result;
+};
+
+Driver::Driver(DriverOptions Options)
+    : Options(Options), OptionsFingerprint(fingerprintOptions(Options)) {
   assert(Options.Repeats >= 1 && "need at least one repeat");
+}
+
+Driver::~Driver() = default;
+
+unsigned Driver::jobs() const {
+  return Options.Jobs > 0 ? Options.Jobs : support::ThreadPool::defaultJobs();
 }
 
 runtime::CoExecutionConfig Driver::makeConfig(const Scenario &Scen,
@@ -126,64 +165,172 @@ Driver::makeWorkload(const Scenario &Scen, const workload::WorkloadSet *Set,
   return Setups;
 }
 
+std::string Driver::baselineKey(const std::string &Target,
+                                const Scenario &Scen,
+                                const workload::WorkloadSet *Set) const {
+  std::string SetName = Set ? Set->Name : "none";
+  std::string CellKey = Scen.Name + "|" + SetName + "|" + Target;
+  // The repeat-0 seed folds Options.Seed into the key; the fingerprint
+  // covers everything else the measurement depends on.
+  std::ostringstream OS;
+  OS << CellKey << "|s" << std::hex << hashCell(Options.Seed, CellKey + "|r0")
+     << "|" << OptionsFingerprint;
+  return OS.str();
+}
+
+void Driver::executeRuns(std::vector<PlannedRun> &Runs) {
+  auto Execute = [](PlannedRun &Run) {
+    Run.Result = runCoExecution(Run.Config, *Run.Spec, *Run.Policy,
+                                std::move(Run.Workload));
+  };
+  unsigned Jobs = jobs();
+  if (Jobs <= 1 || Runs.size() <= 1) {
+    for (PlannedRun &Run : Runs)
+      Execute(Run);
+    return;
+  }
+  if (!Pool)
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
+  Pool->parallelFor(Runs.size(), [&](size_t I) { Execute(Runs[I]); });
+}
+
+std::vector<std::shared_ptr<const Measurement>>
+Driver::measureCells(const std::vector<CellSpec> &Cells) {
+  std::vector<std::shared_ptr<const Measurement>> Results(Cells.size());
+
+  policy::PolicyFactory Default = [] {
+    return std::make_unique<policy::DefaultPolicy>();
+  };
+
+  // Plan: enumerate every (cell, repeat) run up front. Baseline cells are
+  // served from the process-wide cache when possible and deduplicated
+  // within the batch; everything else becomes planned runs. Policies are
+  // instantiated here, sequentially in plan order — see PlannedRun.
+  std::vector<PlannedRun> Runs;
+  std::vector<std::string> BaselineKeys(Cells.size());
+  std::vector<size_t> AliasOf(Cells.size(), SIZE_MAX);
+  std::map<std::string, size_t> BaselineOwner;
+
+  for (size_t C = 0; C < Cells.size(); ++C) {
+    const CellSpec &Cell = Cells[C];
+    assert(Cell.Scen && "cell without a scenario");
+    const policy::PolicyFactory *Factory = Cell.Factory;
+    if (!Factory) {
+      std::string Key = baselineKey(Cell.Target, *Cell.Scen, Cell.Set);
+      auto Owner = BaselineOwner.find(Key);
+      if (Owner != BaselineOwner.end()) {
+        AliasOf[C] = Owner->second; // Same baseline planned earlier this batch.
+        continue;
+      }
+      if (auto Cached = BaselineCache::instance().lookup(Key)) {
+        Results[C] = std::move(Cached);
+        continue;
+      }
+      BaselineOwner.emplace(Key, C);
+      BaselineKeys[C] = std::move(Key);
+      Factory = &Default;
+    }
+
+    const workload::ProgramSpec &Spec = workload::Catalog::byName(Cell.Target);
+    std::string SetName = Cell.Set ? Cell.Set->Name : "none";
+    for (unsigned R = 0; R < Options.Repeats; ++R) {
+      PlannedRun Run;
+      Run.Cell = C;
+      Run.Spec = &Spec;
+      Run.Config = makeConfig(*Cell.Scen, SetName, Cell.Target, R);
+      Run.Policy = (*Factory)();
+      Run.Workload = makeWorkload(*Cell.Scen, Cell.Set, Cell.WorkloadPolicy,
+                                  Run.Config.WorkloadSeed);
+      Runs.push_back(std::move(Run));
+    }
+  }
+
+  executeRuns(Runs);
+
+  // Reduce in cell order, repeats in order — the exact arithmetic of the
+  // sequential path, regardless of the execution interleaving above.
+  for (size_t First = 0; First < Runs.size();) {
+    size_t C = Runs[First].Cell;
+    Measurement M;
+    std::vector<double> Times, Throughputs;
+    size_t Last = First;
+    for (; Last < Runs.size() && Runs[Last].Cell == C; ++Last) {
+      runtime::CoExecutionResult &Run = Runs[Last].Result;
+      Times.push_back(Run.TargetTime);
+      Throughputs.push_back(Run.WorkloadThroughput);
+      M.Runs.push_back(std::move(Run));
+    }
+    M.MeanTargetTime = mean(Times);
+    M.MeanWorkloadThroughput = mean(Throughputs);
+    if (!BaselineKeys[C].empty())
+      Results[C] = BaselineCache::instance().insert(BaselineKeys[C],
+                                                    std::move(M));
+    else
+      Results[C] = std::make_shared<const Measurement>(std::move(M));
+    First = Last;
+  }
+
+  // Resolve within-batch baseline duplicates.
+  for (size_t C = 0; C < Cells.size(); ++C)
+    if (AliasOf[C] != SIZE_MAX)
+      Results[C] = Results[AliasOf[C]];
+
+  return Results;
+}
+
 Measurement Driver::measure(const std::string &Target,
                             const policy::PolicyFactory &Factory,
                             const Scenario &Scen,
                             const workload::WorkloadSet *Set,
                             const policy::PolicyFactory *WorkloadPolicy) {
-  const workload::ProgramSpec &Spec = workload::Catalog::byName(Target);
-  std::string SetName = Set ? Set->Name : "none";
-
-  Measurement Result;
-  std::vector<double> Times, Throughputs;
-  for (unsigned R = 0; R < Options.Repeats; ++R) {
-    runtime::CoExecutionConfig Config = makeConfig(Scen, SetName, Target, R);
-    uint64_t RepeatSeed = Config.WorkloadSeed;
-    std::unique_ptr<policy::ThreadPolicy> Policy = Factory();
-    runtime::CoExecutionResult Run = runCoExecution(
-        Config, Spec, *Policy,
-        makeWorkload(Scen, Set, WorkloadPolicy, RepeatSeed));
-    Times.push_back(Run.TargetTime);
-    Throughputs.push_back(Run.WorkloadThroughput);
-    Result.Runs.push_back(std::move(Run));
-  }
-  Result.MeanTargetTime = mean(Times);
-  Result.MeanWorkloadThroughput = mean(Throughputs);
-  return Result;
+  CellSpec Cell;
+  Cell.Target = Target;
+  Cell.Factory = &Factory;
+  Cell.Scen = &Scen;
+  Cell.Set = Set;
+  Cell.WorkloadPolicy = WorkloadPolicy;
+  return *measureCells({Cell}).front();
 }
 
-const Measurement &
+std::shared_ptr<const Measurement>
 Driver::defaultMeasurement(const std::string &Target, const Scenario &Scen,
                            const workload::WorkloadSet *Set) {
-  std::string Key =
-      Scen.Name + "|" + (Set ? Set->Name : "none") + "|" + Target;
-  auto It = DefaultCache.find(Key);
-  if (It != DefaultCache.end())
-    return It->second;
-
-  policy::PolicyFactory Default = [] {
-    return std::make_unique<policy::DefaultPolicy>();
-  };
-  Measurement M = measure(Target, Default, Scen, Set);
-  return DefaultCache.emplace(Key, std::move(M)).first->second;
+  CellSpec Cell;
+  Cell.Target = Target;
+  Cell.Scen = &Scen;
+  Cell.Set = Set;
+  return measureCells({Cell}).front();
 }
 
 double Driver::speedup(const std::string &Target,
                        const policy::PolicyFactory &Factory,
                        const Scenario &Scen) {
   const std::vector<workload::WorkloadSet> &Sets = Scen.workloadSets();
+
+  // One plan per speedup: baseline and policy cells for every set execute
+  // together across the pool.
+  std::vector<CellSpec> Cells;
+  auto AddPair = [&](const workload::WorkloadSet *Set) {
+    CellSpec Base;
+    Base.Target = Target;
+    Base.Scen = &Scen;
+    Base.Set = Set;
+    Cells.push_back(Base);
+    CellSpec Policy = Base;
+    Policy.Factory = &Factory;
+    Cells.push_back(Policy);
+  };
+  if (Sets.empty())
+    AddPair(nullptr);
+  else
+    for (const workload::WorkloadSet &Set : Sets)
+      AddPair(&Set);
+
+  auto Results = measureCells(Cells);
   std::vector<double> PerSet;
-  if (Sets.empty()) {
-    const Measurement &Base = defaultMeasurement(Target, Scen, nullptr);
-    Measurement M = measure(Target, Factory, Scen, nullptr);
-    PerSet.push_back(Base.MeanTargetTime / M.MeanTargetTime);
-  } else {
-    for (const workload::WorkloadSet &Set : Sets) {
-      const Measurement &Base = defaultMeasurement(Target, Scen, &Set);
-      Measurement M = measure(Target, Factory, Scen, &Set);
-      PerSet.push_back(Base.MeanTargetTime / M.MeanTargetTime);
-    }
-  }
+  for (size_t I = 0; I + 1 < Results.size(); I += 2)
+    PerSet.push_back(Results[I]->MeanTargetTime /
+                     Results[I + 1]->MeanTargetTime);
   return harmonicMean(PerSet);
 }
 
@@ -192,12 +339,23 @@ double Driver::workloadImpact(const std::string &Target,
                               const Scenario &Scen) {
   const std::vector<workload::WorkloadSet> &Sets = Scen.workloadSets();
   assert(!Sets.empty() && "workload impact needs an external workload");
-  std::vector<double> PerSet;
+
+  std::vector<CellSpec> Cells;
   for (const workload::WorkloadSet &Set : Sets) {
-    const Measurement &Base = defaultMeasurement(Target, Scen, &Set);
-    Measurement M = measure(Target, Factory, Scen, &Set);
-    PerSet.push_back(M.MeanWorkloadThroughput /
-                     Base.MeanWorkloadThroughput);
+    CellSpec Base;
+    Base.Target = Target;
+    Base.Scen = &Scen;
+    Base.Set = &Set;
+    Cells.push_back(Base);
+    CellSpec Policy = Base;
+    Policy.Factory = &Factory;
+    Cells.push_back(Policy);
   }
+
+  auto Results = measureCells(Cells);
+  std::vector<double> PerSet;
+  for (size_t I = 0; I + 1 < Results.size(); I += 2)
+    PerSet.push_back(Results[I + 1]->MeanWorkloadThroughput /
+                     Results[I]->MeanWorkloadThroughput);
   return harmonicMean(PerSet);
 }

@@ -13,15 +13,28 @@
 /// only, so every policy faces the identical environment — the paper's
 /// fair-comparison requirement.
 ///
+/// Execution is organised as an explicit cell plan (see exp/Cell.h): every
+/// entry point enumerates its (cell, repeat) runs up front, constructs the
+/// policy instances sequentially in plan order, executes the independent
+/// runs across a support::ThreadPool, and reduces in deterministic cell
+/// order. Results are therefore bit-identical at every job count; baseline
+/// cells are shared process-wide through exp::BaselineCache.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MEDLEY_EXP_DRIVER_H
 #define MEDLEY_EXP_DRIVER_H
 
+#include "exp/BaselineCache.h"
+#include "exp/Cell.h"
 #include "exp/Scenario.h"
 #include "runtime/CoExecution.h"
 
-#include <map>
+#include <memory>
+
+namespace medley::support {
+class ThreadPool;
+} // namespace medley::support
 
 namespace medley::exp {
 
@@ -33,19 +46,20 @@ struct DriverOptions {
   double Tick = 0.1;
   double MaxTime = 900.0;
   bool RecordTraces = false;
-};
-
-/// Mean results of the repeats of one (target, policy, scenario, set) cell.
-struct Measurement {
-  double MeanTargetTime = 0.0;
-  double MeanWorkloadThroughput = 0.0;
-  std::vector<runtime::CoExecutionResult> Runs;
+  /// Worker threads for cell execution. 0 = auto (the MEDLEY_JOBS
+  /// environment variable, else the hardware concurrency); 1 = inline
+  /// sequential execution. Results are identical at every value.
+  unsigned Jobs = 0;
 };
 
 /// Executes experiment cells and computes speedups with baseline caching.
 class Driver {
 public:
   explicit Driver(DriverOptions Options = {});
+  ~Driver();
+
+  Driver(const Driver &) = delete;
+  Driver &operator=(const Driver &) = delete;
 
   /// Runs \p Target under \p Factory against \p Set (null = isolated) in
   /// \p Scen, averaged over repeats. If \p WorkloadPolicy is non-null the
@@ -55,6 +69,14 @@ public:
                       const policy::PolicyFactory &Factory,
                       const Scenario &Scen, const workload::WorkloadSet *Set,
                       const policy::PolicyFactory *WorkloadPolicy = nullptr);
+
+  /// Executes a batch of cells as one plan: baseline cells (null Factory)
+  /// are served from the process-wide cache where possible and
+  /// deduplicated within the batch, the remaining runs execute across the
+  /// pool, and results are reduced in cell order. Returns one measurement
+  /// per input cell, in order.
+  std::vector<std::shared_ptr<const Measurement>>
+  measureCells(const std::vector<CellSpec> &Cells);
 
   /// Speedup of \p Factory over the OpenMP default for \p Target in
   /// \p Scen: per-set time ratios, harmonically averaged over the
@@ -69,17 +91,25 @@ public:
                         const policy::PolicyFactory &Factory,
                         const Scenario &Scen);
 
-  /// The cached default-policy measurement for a cell.
-  const Measurement &defaultMeasurement(const std::string &Target,
-                                        const Scenario &Scen,
-                                        const workload::WorkloadSet *Set);
+  /// The cached default-policy measurement for a cell. The returned entry
+  /// is immutable and remains valid for the caller's lifetime, across
+  /// further measurements and cache clears.
+  std::shared_ptr<const Measurement>
+  defaultMeasurement(const std::string &Target, const Scenario &Scen,
+                     const workload::WorkloadSet *Set);
 
   const DriverOptions &options() const { return Options; }
 
-  /// Clears the baseline cache (only needed if options change).
-  void clearCache() { DefaultCache.clear(); }
+  /// The resolved worker count this driver executes plans with.
+  unsigned jobs() const;
+
+  /// Clears the process-wide baseline cache (entries held by callers stay
+  /// valid; only needed to force recomputation, e.g. in benchmarks).
+  void clearCache() { BaselineCache::instance().clear(); }
 
 private:
+  struct PlannedRun;
+
   runtime::CoExecutionConfig makeConfig(const Scenario &Scen,
                                         const std::string &SetName,
                                         const std::string &Target,
@@ -90,8 +120,16 @@ private:
                const policy::PolicyFactory *WorkloadPolicy,
                uint64_t RepeatSeed) const;
 
+  /// Cache key of a baseline cell under this driver's options.
+  std::string baselineKey(const std::string &Target, const Scenario &Scen,
+                          const workload::WorkloadSet *Set) const;
+
+  /// Runs every planned run, across the pool when jobs() > 1.
+  void executeRuns(std::vector<PlannedRun> &Runs);
+
   DriverOptions Options;
-  std::map<std::string, Measurement> DefaultCache;
+  std::string OptionsFingerprint;
+  std::unique_ptr<support::ThreadPool> Pool; ///< Created on first use.
 };
 
 } // namespace medley::exp

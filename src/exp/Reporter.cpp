@@ -41,10 +41,55 @@ medley::exp::computeSpeedupMatrix(Driver &D, PolicySet &Policies,
   SpeedupMatrix Matrix;
   Matrix.Targets = Targets;
   Matrix.Policies = PolicyNames;
-  for (const std::string &Target : Targets) {
+
+  // Plan the whole figure as one cell batch: per (target, policy) one
+  // fresh factory (matching the sequential loop's factory call sequence)
+  // and one cell per workload set, with the baseline cells alongside so
+  // the driver deduplicates them and executes everything in one pool
+  // sweep. Cell layout: for each target, for each policy, the per-set
+  // (baseline, policy) pairs in set order.
+  const std::vector<workload::WorkloadSet> &Sets = Scen.workloadSets();
+  std::vector<const workload::WorkloadSet *> SetPtrs;
+  if (Sets.empty())
+    SetPtrs.push_back(nullptr);
+  else
+    for (const workload::WorkloadSet &Set : Sets)
+      SetPtrs.push_back(&Set);
+
+  std::vector<policy::PolicyFactory> Factories;
+  Factories.reserve(Targets.size() * PolicyNames.size()); // Stable pointers.
+  std::vector<CellSpec> Cells;
+  for (const std::string &Target : Targets)
+    for (const std::string &Policy : PolicyNames) {
+      Factories.push_back(Policies.factory(Policy));
+      for (const workload::WorkloadSet *Set : SetPtrs) {
+        CellSpec Base;
+        Base.Target = Target;
+        Base.Scen = &Scen;
+        Base.Set = Set;
+        Cells.push_back(Base);
+        CellSpec Cell = Base;
+        Cell.Factory = &Factories.back();
+        Cells.push_back(Cell);
+      }
+    }
+
+  auto Results = D.measureCells(Cells);
+
+  // Reduce in plan order: per-set time ratios, harmonically averaged.
+  size_t Next = 0;
+  for (size_t T = 0; T < Targets.size(); ++T) {
     std::vector<double> Row;
-    for (const std::string &Policy : PolicyNames)
-      Row.push_back(D.speedup(Target, Policies.factory(Policy), Scen));
+    for (size_t P = 0; P < PolicyNames.size(); ++P) {
+      std::vector<double> PerSet;
+      for (size_t S = 0; S < SetPtrs.size(); ++S) {
+        const Measurement &Base = *Results[Next];
+        const Measurement &Cell = *Results[Next + 1];
+        PerSet.push_back(Base.MeanTargetTime / Cell.MeanTargetTime);
+        Next += 2;
+      }
+      Row.push_back(harmonicMean(PerSet));
+    }
     Matrix.Values.push_back(std::move(Row));
   }
   return Matrix;

@@ -114,6 +114,10 @@ medley::runtime::runCoExecution(const CoExecutionConfig &Config,
   }
 
   if (Config.RecordTraces) {
+    // One trace point lands per tick; reserving the worst case up front
+    // keeps the tick loop free of reallocation stalls.
+    Result.Trace.reserve(
+        static_cast<size_t>(Config.MaxTime / Config.Tick) + 1);
     auto Capture = [&Result, Target,
                     WorkloadPrograms](sim::Simulation &Sim) {
       TracePoint Point;

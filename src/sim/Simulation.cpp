@@ -50,7 +50,24 @@ unsigned Simulation::runnableThreads() const {
 
 void Simulation::step() {
   unsigned Cores = availableCores();
-  unsigned Runnable = runnableThreads();
+
+  // One pass over the task set gathers every per-task quantity this tick
+  // needs; the virtual accessors fire once per task instead of once per
+  // use (runnable count, memory pass, env sampling).
+  Scratch.clear();
+  unsigned Runnable = 0;
+  double UsedMemory = 0.0;
+  for (const auto &T : Tasks) {
+    if (T->finished())
+      continue;
+    TaskTickState S;
+    S.T = T.get();
+    S.Threads = T->activeThreads();
+    S.Demand = T->memoryDemand();
+    Runnable += S.Threads;
+    UsedMemory += T->workingSetMb();
+    Scratch.push_back(S);
+  }
 
   // Fair time slicing with a context-switch penalty once the machine is
   // oversubscribed: each thread gets share = min(1, P/R), further scaled by
@@ -72,13 +89,8 @@ void Simulation::step() {
   // Memory contention: bandwidth demand scales with the CPU time each task
   // actually receives; factor > 1 slows the memory-bound portion of work.
   double TotalDemand = 0.0;
-  double UsedMemory = 0.0;
-  for (const auto &T : Tasks) {
-    if (T->finished())
-      continue;
-    TotalDemand += T->memoryDemand() * Share;
-    UsedMemory += T->workingSetMb();
-  }
+  for (const TaskTickState &S : Scratch)
+    TotalDemand += S.Demand * Share;
   double DemandRatio = TotalDemand / Config.MemoryBandwidth;
   double MemFactor =
       DemandRatio <= 1.0
@@ -90,21 +102,24 @@ void Simulation::step() {
 
   // Advance every unfinished task under the computed allocation. The env
   // sample is per-observer (a task does not count its own threads as
-  // external workload).
-  for (const auto &T : Tasks) {
-    if (T->finished())
-      continue;
-    CpuAllocation Allocation;
-    Allocation.CpuShare = Share;
-    Allocation.MemFactor = MemFactor;
-    Allocation.BarrierFactor = BarrierFactor;
-    Allocation.CoresPerSocket = Config.coresPerSocket();
-    Allocation.InterSocketSync = Config.InterSocketSync;
-    Allocation.AvailableCores = Cores;
-    Allocation.RunnableThreads = Runnable;
-    Allocation.Env = Monitor.sample(T->activeThreads());
-    Allocation.Now = Time;
-    T->step(Tick, Allocation);
+  // external workload), but only its WorkloadThreads field depends on the
+  // observer — sample once and rewrite that field per task.
+  EnvSample SharedEnv = Monitor.sample(0);
+  unsigned MonitorRunnable = Monitor.runnable();
+  CpuAllocation Allocation;
+  Allocation.CpuShare = Share;
+  Allocation.MemFactor = MemFactor;
+  Allocation.BarrierFactor = BarrierFactor;
+  Allocation.CoresPerSocket = Config.coresPerSocket();
+  Allocation.InterSocketSync = Config.InterSocketSync;
+  Allocation.AvailableCores = Cores;
+  Allocation.RunnableThreads = Runnable;
+  Allocation.Now = Time;
+  for (const TaskTickState &S : Scratch) {
+    Allocation.Env = SharedEnv;
+    Allocation.Env.WorkloadThreads = static_cast<double>(
+        MonitorRunnable > S.Threads ? MonitorRunnable - S.Threads : 0);
+    S.T->step(Tick, Allocation);
   }
 
   Monitor.update(Runnable, Cores, UsedMemory, Tick);

@@ -65,6 +65,14 @@ public:
   const std::vector<std::shared_ptr<Task>> &tasks() const { return Tasks; }
 
 private:
+  /// Per-task values gathered once per tick so each virtual accessor is
+  /// called exactly once per task per tick.
+  struct TaskTickState {
+    Task *T = nullptr;
+    unsigned Threads = 0;
+    double Demand = 0.0;
+  };
+
   MachineConfig Config;
   std::unique_ptr<AvailabilityPattern> Availability;
   double Tick;
@@ -72,6 +80,7 @@ private:
   SystemMonitor Monitor;
   std::vector<std::shared_ptr<Task>> Tasks;
   std::vector<std::function<void(Simulation &)>> TickHooks;
+  std::vector<TaskTickState> Scratch; ///< Reused across ticks.
 };
 
 } // namespace medley::sim

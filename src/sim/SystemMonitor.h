@@ -39,6 +39,13 @@ public:
   /// \p ObserverThreads threads runnable (excluded from WorkloadThreads).
   EnvSample sample(unsigned ObserverThreads = 0) const;
 
+  /// Machine-wide runnable thread count as of the last update. Only the
+  /// WorkloadThreads field of sample() depends on the observer, so a
+  /// caller sampling for many observers can take sample(0) once and
+  /// rewrite that one field from this count (the simulator's tick loop
+  /// does exactly that).
+  unsigned runnable() const { return RunnableThreads; }
+
   /// The paper's scalar environment value for \p ObserverThreads' view.
   double envNorm(unsigned ObserverThreads = 0) const;
 

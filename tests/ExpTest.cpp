@@ -72,10 +72,16 @@ TEST(DriverTest, DefaultPolicySpeedupIsOne) {
 TEST(DriverTest, BaselineCacheReturnsSameObject) {
   Driver D(quickOptions());
   Scenario S = Scenario::isolatedStatic();
-  const Measurement &A = D.defaultMeasurement("cg", S, nullptr);
-  const Measurement &B = D.defaultMeasurement("cg", S, nullptr);
-  EXPECT_EQ(&A, &B);
-  EXPECT_GT(A.MeanTargetTime, 0.0);
+  std::shared_ptr<const Measurement> A = D.defaultMeasurement("cg", S, nullptr);
+  std::shared_ptr<const Measurement> B = D.defaultMeasurement("cg", S, nullptr);
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_GT(A->MeanTargetTime, 0.0);
+  // The entry survives a cache clear: callers never hold dangling
+  // references into the cache (the old per-driver map could rehash away).
+  D.clearCache();
+  EXPECT_GT(A->MeanTargetTime, 0.0);
+  std::shared_ptr<const Measurement> C = D.defaultMeasurement("cg", S, nullptr);
+  EXPECT_DOUBLE_EQ(C->MeanTargetTime, A->MeanTargetTime);
 }
 
 TEST(DriverTest, MeasurementsAreDeterministic) {

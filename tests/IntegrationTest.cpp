@@ -199,10 +199,10 @@ TEST(IntegrationTest, SmartWorkloadsCreateWinWin) {
 
   policy::PolicyFactory Mixture = Policies.factory("mixture");
   Measurement Smart = D.measure("lu", Mixture, S, &Set, &Mixture);
-  const Measurement &Dumb = D.defaultMeasurement("lu", S, &Set);
-  double TargetGain = Dumb.MeanTargetTime / Smart.MeanTargetTime;
+  std::shared_ptr<const Measurement> Dumb = D.defaultMeasurement("lu", S, &Set);
+  double TargetGain = Dumb->MeanTargetTime / Smart.MeanTargetTime;
   double WorkloadGain =
-      Smart.MeanWorkloadThroughput / Dumb.MeanWorkloadThroughput;
+      Smart.MeanWorkloadThroughput / Dumb->MeanWorkloadThroughput;
   EXPECT_GT(TargetGain, 1.0);
   EXPECT_GT(WorkloadGain, 0.97);
 }

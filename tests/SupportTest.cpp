@@ -11,12 +11,16 @@
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <numeric>
 #include <sstream>
+#include <stdexcept>
 
 using namespace medley;
 
@@ -359,4 +363,60 @@ TEST(HistogramTest, ClearResets) {
   H.clear();
   EXPECT_EQ(H.total(), 0u);
   EXPECT_EQ(H.count(3), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  support::ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::vector<std::atomic<int>> Seen(1000);
+  Pool.parallelFor(Seen.size(), [&](size_t I) { ++Seen[I]; });
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineInOrder) {
+  support::ThreadPool Pool(1);
+  std::vector<size_t> Order;
+  Pool.parallelFor(8, [&](size_t I) { Order.push_back(I); });
+  std::vector<size_t> Expected(8);
+  std::iota(Expected.begin(), Expected.end(), 0u);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  support::ThreadPool Pool(4);
+  std::atomic<int> Completed{0};
+  EXPECT_THROW(Pool.parallelFor(64,
+                                [&](size_t I) {
+                                  if (I == 17)
+                                    throw std::runtime_error("cell failed");
+                                  ++Completed;
+                                }),
+               std::runtime_error);
+  // The remaining indices are still drained before the rethrow.
+  EXPECT_EQ(Completed.load(), 63);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  support::ThreadPool Pool(2);
+  std::atomic<int> Total{0};
+  Pool.parallelFor(4, [&](size_t) {
+    // Re-entering the pool from a body must not deadlock.
+    Pool.parallelFor(4, [&](size_t) { ++Total; });
+  });
+  EXPECT_EQ(Total.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  std::atomic<bool> Ran{false};
+  {
+    support::ThreadPool Pool(2);
+    Pool.submit([&] { Ran = true; });
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_TRUE(Ran.load());
 }
