@@ -6,6 +6,7 @@
 
 #include "core/ExpertIo.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -13,6 +14,8 @@
 
 using namespace medley;
 using namespace medley::core;
+using support::Error;
+using support::ErrorCode;
 
 namespace {
 
@@ -24,10 +27,31 @@ void writeVec(std::ostream &OS, const Vec &V) {
     OS << ' ' << X;
 }
 
+/// Reports \p Code/\p Message through \p Err (if any); reads as the
+/// nullopt it always returns.
+std::nullopt_t fail(Error *Err, ErrorCode Code, const std::string &Message) {
+  support::reportError(Err, Code, Message);
+  return std::nullopt;
+}
+
+/// The parse-failure taxonomy: a stream that gave out at end-of-input was
+/// truncated; one that stopped mid-stream holds an unparseable token.
+ErrorCode streamFailure(const std::istream &IS) {
+  return IS.eof() ? ErrorCode::TruncatedInput : ErrorCode::CorruptInput;
+}
+
 bool readVec(std::istream &IS, size_t N, Vec &Out) {
   Out.resize(N);
   for (size_t I = 0; I < N; ++I)
     if (!(IS >> Out[I]))
+      return false;
+  return true;
+}
+
+/// True when every entry of \p V is finite.
+bool allFinite(const Vec &V) {
+  for (double X : V)
+    if (!std::isfinite(X))
       return false;
   return true;
 }
@@ -49,24 +73,38 @@ void writeModel(std::ostream &OS, const char *Tag, const LinearModel &M) {
 }
 
 std::optional<LinearModel> readModel(std::istream &IS, const char *Tag,
-                                     size_t Dim, const std::string &Name) {
+                                     size_t Dim, const std::string &Name,
+                                     Error *Err) {
   if (!expectToken(IS, Tag) || !expectToken(IS, "means"))
-    return std::nullopt;
+    return fail(Err, streamFailure(IS),
+                "model '" + Name + "': expected '" + Tag + " means'");
   Vec Means, Scales, Weights;
   if (!readVec(IS, Dim, Means))
-    return std::nullopt;
+    return fail(Err, streamFailure(IS),
+                "model '" + Name + "': bad means vector");
   if (!expectToken(IS, "scales") || !readVec(IS, Dim, Scales))
-    return std::nullopt;
+    return fail(Err, streamFailure(IS),
+                "model '" + Name + "': bad scales vector");
   if (!expectToken(IS, "weights") || !readVec(IS, Dim, Weights))
-    return std::nullopt;
+    return fail(Err, streamFailure(IS),
+                "model '" + Name + "': bad weights vector");
   double Intercept = 0.0, R2 = 0.0;
   if (!expectToken(IS, "intercept") || !(IS >> Intercept))
-    return std::nullopt;
+    return fail(Err, streamFailure(IS),
+                "model '" + Name + "': bad intercept");
   if (!expectToken(IS, "r2") || !(IS >> R2))
-    return std::nullopt;
+    return fail(Err, streamFailure(IS), "model '" + Name + "': bad r2");
+
+  // Validate before constructing: a corrupted model must be rejected
+  // here, not fed to the selector as silent NaN predictions.
+  if (!allFinite(Means) || !allFinite(Weights) || !std::isfinite(Intercept) ||
+      !std::isfinite(R2))
+    return fail(Err, ErrorCode::NonFiniteValue,
+                "model '" + Name + "': non-finite parameter");
   for (double S : Scales)
-    if (S <= 0.0)
-      return std::nullopt;
+    if (!std::isfinite(S) || S <= 0.0)
+      return fail(Err, ErrorCode::CorruptInput,
+                  "model '" + Name + "': non-positive feature scale");
 
   LinearFit Fit;
   Fit.Weights = std::move(Weights);
@@ -100,20 +138,29 @@ bool medley::core::writeExperts(std::ostream &OS,
   return static_cast<bool>(OS);
 }
 
-std::optional<std::vector<Expert>> medley::core::readExperts(std::istream &IS) {
+std::optional<std::vector<Expert>>
+medley::core::readExperts(std::istream &IS, Error *Err) {
   std::string Token;
   int FileVersion = 0;
-  if (!(IS >> Token) || Token != Magic || !(IS >> FileVersion) ||
-      FileVersion != Version)
-    return std::nullopt;
+  if (!(IS >> Token) || Token != Magic)
+    return fail(Err, streamFailure(IS),
+                "not a medley expert file (bad magic)");
+  if (!(IS >> FileVersion) || FileVersion != Version)
+    return fail(Err, ErrorCode::CorruptInput,
+                "unsupported expert-file version");
 
   size_t Count = 0, Dim = 0;
   if (!expectToken(IS, "experts") || !(IS >> Count))
-    return std::nullopt;
+    return fail(Err, streamFailure(IS), "bad expert count header");
   if (!expectToken(IS, "features") || !(IS >> Dim))
-    return std::nullopt;
-  if (Count == 0 || Count > 1024 || Dim != policy::NumFeatures)
-    return std::nullopt;
+    return fail(Err, streamFailure(IS), "bad feature dimension header");
+  if (Count == 0 || Count > 1024)
+    return fail(Err, ErrorCode::CorruptInput,
+                "implausible expert count " + std::to_string(Count));
+  if (Dim != policy::NumFeatures)
+    return fail(Err, ErrorCode::CorruptInput,
+                "feature dimension " + std::to_string(Dim) + " != " +
+                    std::to_string(policy::NumFeatures));
 
   std::vector<Expert> Experts;
   Experts.reserve(Count);
@@ -121,16 +168,21 @@ std::optional<std::vector<Expert>> medley::core::readExperts(std::istream &IS) {
     std::string Name;
     double MeanEnv = 0.0;
     if (!expectToken(IS, "expert") || !(IS >> Name) || !(IS >> MeanEnv))
-      return std::nullopt;
+      return fail(Err, streamFailure(IS),
+                  "bad expert header at index " + std::to_string(I));
+    if (!std::isfinite(MeanEnv))
+      return fail(Err, ErrorCode::NonFiniteValue,
+                  "expert '" + Name + "': non-finite mean training env");
     if (!expectToken(IS, "description"))
-      return std::nullopt;
+      return fail(Err, streamFailure(IS),
+                  "expert '" + Name + "': missing description");
     std::string Description;
     std::getline(IS >> std::ws, Description);
 
-    std::optional<LinearModel> W = readModel(IS, "w", Dim, "w:" + Name);
+    std::optional<LinearModel> W = readModel(IS, "w", Dim, "w:" + Name, Err);
     if (!W)
       return std::nullopt;
-    std::optional<LinearModel> M = readModel(IS, "m", Dim, "m:" + Name);
+    std::optional<LinearModel> M = readModel(IS, "m", Dim, "m:" + Name, Err);
     if (!M)
       return std::nullopt;
     Experts.emplace_back(Name, Description, std::move(*W), std::move(*M),
@@ -148,9 +200,9 @@ bool medley::core::saveExpertsToFile(const std::string &Path,
 }
 
 std::optional<std::vector<Expert>>
-medley::core::loadExpertsFromFile(const std::string &Path) {
+medley::core::loadExpertsFromFile(const std::string &Path, Error *Err) {
   std::ifstream IS(Path);
   if (!IS)
-    return std::nullopt;
-  return readExperts(IS);
+    return fail(Err, ErrorCode::IoFailure, "cannot open '" + Path + "'");
+  return readExperts(IS, Err);
 }

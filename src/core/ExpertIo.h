@@ -28,6 +28,7 @@
 #define MEDLEY_CORE_EXPERTIO_H
 
 #include "core/Expert.h"
+#include "support/Error.h"
 
 #include <iosfwd>
 #include <optional>
@@ -39,15 +40,18 @@ namespace medley::core {
 bool writeExperts(std::ostream &OS, const std::vector<Expert> &Experts);
 
 /// Parses experts previously written by writeExperts. Returns std::nullopt
-/// on any malformed input (wrong magic, truncated numbers, arity
-/// mismatches).
-std::optional<std::vector<Expert>> readExperts(std::istream &IS);
+/// on any malformed input — wrong magic, truncated numbers, arity
+/// mismatches, or non-finite model parameters (a corrupted file must
+/// never leak NaN/Inf into the runtime). \p Err, when given, receives a
+/// descriptive error on failure.
+std::optional<std::vector<Expert>> readExperts(std::istream &IS,
+                                               support::Error *Err = nullptr);
 
 /// Convenience file wrappers; false / nullopt on I/O failure.
 bool saveExpertsToFile(const std::string &Path,
                        const std::vector<Expert> &Experts);
 std::optional<std::vector<Expert>>
-loadExpertsFromFile(const std::string &Path);
+loadExpertsFromFile(const std::string &Path, support::Error *Err = nullptr);
 
 } // namespace medley::core
 

@@ -25,6 +25,7 @@
 #define MEDLEY_CORE_EXPERTSELECTOR_H
 
 #include "ml/FeatureScaler.h"
+#include "support/FaultStats.h"
 #include "support/Random.h"
 
 #include <memory>
@@ -66,6 +67,11 @@ public:
   virtual std::unique_ptr<ExpertSelector> clone() const = 0;
 
   virtual const std::string &name() const = 0;
+
+  /// Quarantine queries (the degradation ladder's second rung). The base
+  /// selectors never quarantine; QuarantineSelector overrides these.
+  virtual bool isQuarantined(size_t Expert) const;
+  virtual bool allQuarantined() const;
 
   size_t numExperts() const { return NumExperts; }
 
@@ -221,6 +227,73 @@ public:
 private:
   uint64_t Seed;
   Rng Generator;
+};
+
+/// Tuning of the quarantine ladder rung.
+struct QuarantineOptions {
+  /// An update counts as a strike against expert k when its environment
+  /// error exceeds DivergenceFactor x the median error of that update
+  /// (and the absolute floor); non-finite errors always strike.
+  double DivergenceFactor = 6.0;
+  double AbsoluteErrorFloor = 0.5;
+
+  /// Consecutive strikes before the expert is quarantined.
+  unsigned Strikes = 3;
+
+  /// Updates an expert sits out after its first quarantine; doubles on
+  /// every re-quarantine (timed re-admission with exponential backoff).
+  unsigned BackoffUpdates = 16;
+  unsigned MaxBackoffUpdates = 512;
+};
+
+/// Decorator that quarantines experts whose environment-predictor error
+/// diverges from the pack. Healthy experts are selected by the wrapped
+/// (inner) selector; a quarantined choice is redirected to the healthy
+/// expert with the best recent error. Quarantined experts are re-admitted
+/// after a timed backoff that doubles on every relapse. When every expert
+/// is quarantined the mixture falls back to DefaultPolicy behaviour
+/// (MixtureOfExperts checks allQuarantined()).
+class QuarantineSelector : public ExpertSelector {
+public:
+  /// \p Stats (optional, non-owning) receives quarantine counters; it must
+  /// outlive the selector. Clones do not inherit the stats sink.
+  QuarantineSelector(std::unique_ptr<ExpertSelector> Inner,
+                     QuarantineOptions Options = {},
+                     support::FaultStats *Stats = nullptr);
+
+  size_t select(const Vec &Features) override;
+  void update(const Vec &Features, const Vec &Errors) override;
+  bool blendWeights(const Vec &Features, Vec &Weights) override;
+  void reset() override;
+  std::unique_ptr<ExpertSelector> clone() const override;
+  const std::string &name() const override;
+
+  bool isQuarantined(size_t Expert) const override;
+  bool allQuarantined() const override;
+
+  /// Number of experts currently selectable.
+  size_t healthyCount() const;
+
+  const ExpertSelector &inner() const { return *Inner; }
+
+private:
+  /// Healthy expert with the lowest recent error (SIZE_MAX when none).
+  size_t bestHealthy() const;
+
+  std::unique_ptr<ExpertSelector> Inner;
+  QuarantineOptions Options;
+  support::FaultStats *Stats;
+  std::string Name;
+
+  /// Per-expert ladder state.
+  struct ExpertState {
+    unsigned ConsecutiveStrikes = 0;
+    unsigned QuarantineRemaining = 0; ///< Updates left; 0 = healthy.
+    unsigned NextBackoff = 0;         ///< Doubles on every relapse.
+    double ErrorEma = 0.0;
+    bool Seen = false;
+  };
+  std::vector<ExpertState> States;
 };
 
 /// Always selects a fixed expert (used to evaluate single experts E^k).

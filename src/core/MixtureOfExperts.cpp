@@ -66,6 +66,30 @@ void MixtureOfExperts::judgePreviousDecision(
 unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
   judgePreviousDecision(Features);
 
+  if (Options.Faults && Features.SanitizedCount > 0)
+    Options.Faults->SanitizedValues += Features.SanitizedCount;
+
+  if (Selector->allQuarantined()) {
+    // The ladder's floor: every expert's environment predictor has
+    // diverged, so no expert can be trusted. Degrade to exactly the
+    // OpenMP-default behaviour (n = available processors) while the
+    // quarantine backoffs run down; judging continues below, so experts
+    // are re-admitted and the mixture resumes automatically.
+    if (Options.Faults)
+      ++Options.Faults->DefaultFallbacks;
+    double Processors = Features.Values[4];
+    long N = std::clamp<long>(std::lround(Processors), 1,
+                              static_cast<long>(Features.MaxThreads));
+    unsigned Threads = static_cast<unsigned>(N);
+    PendingFeatures = Features.Values;
+    PendingEnvPredictions.resize(Experts->size());
+    for (size_t K = 0; K < Experts->size(); ++K)
+      PendingEnvPredictions[K] = (*Experts)[K].predictEnvNorm(Features);
+    PendingChosen = LastExpert;
+    HasPending = true;
+    return Threads;
+  }
+
   size_t Chosen;
   unsigned Threads;
   Vec Weights;

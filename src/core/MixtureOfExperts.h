@@ -42,6 +42,11 @@ struct MixtureOptions {
   /// predictions instead of committing to one expert. Statistics still
   /// attribute each decision to the highest-weight expert.
   bool SoftBlend = true;
+
+  /// Optional (non-owning) sink for degradation counters: default-policy
+  /// fallbacks under full quarantine and sanitized feature values. Must
+  /// outlive the policy instance.
+  support::FaultStats *Faults = nullptr;
 };
 
 /// Mixture-of-experts thread-selection policy.

@@ -24,11 +24,26 @@
 
 namespace medley::exp {
 
+/// One repeat that exhausted its retry budget. The run still contributes
+/// a MaxTime penalty to the cell means, so the plan's arithmetic stays
+/// deterministic; the record preserves what went wrong.
+struct CellFailure {
+  unsigned Repeat = 0;   ///< Repeat index within the cell.
+  unsigned Attempts = 0; ///< Attempts made (1 + retries).
+  std::string Error;     ///< what() of the last failure.
+};
+
 /// Mean results of the repeats of one (target, policy, scenario, set) cell.
 struct Measurement {
   double MeanTargetTime = 0.0;
   double MeanWorkloadThroughput = 0.0;
   std::vector<runtime::CoExecutionResult> Runs;
+
+  /// Repeats that failed even after retrying (empty in healthy runs).
+  std::vector<CellFailure> Failures;
+
+  /// Injected-fault and degradation counters merged across the repeats.
+  support::FaultStats Faults;
 };
 
 /// One cell of an experiment plan. A null \p Factory marks a baseline

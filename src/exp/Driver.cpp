@@ -43,6 +43,22 @@ std::string fingerprintOptions(const DriverOptions &Options) {
      << ";" << M.AffinityBenefit << ";" << M.ContextSwitchOverhead << ";"
      << M.BarrierConvoy << ";" << M.MemContentionExponent << ";"
      << M.MemFactorCap << ";" << M.SocketCount << ";" << M.InterSocketSync;
+  if (!Options.Faults.empty()) {
+    // Fault plans change every measurement; stream the full plan so
+    // differently perturbed drivers never share baseline-cache entries.
+    const sim::FaultPlan &P = Options.Faults;
+    OS << "|fp" << P.CorruptionRate << ";" << P.DropoutRate << ";"
+       << P.StormCores;
+    auto Stream = [&OS](char Tag, const std::vector<sim::FaultWindow> &Ws) {
+      OS << ";" << Tag;
+      for (const sim::FaultWindow &W : Ws)
+        OS << W.Begin << "," << W.End << ",";
+    };
+    Stream('d', P.SensorDropout);
+    Stream('c', P.SensorCorruption);
+    Stream('u', P.UnplugStorm);
+    Stream('s', P.StaleMonitor);
+  }
   return OS.str();
 }
 
@@ -60,6 +76,11 @@ struct Driver::PlannedRun {
   std::unique_ptr<policy::ThreadPolicy> Policy;
   std::vector<runtime::WorkloadProgramSetup> Workload;
   runtime::CoExecutionResult Result;
+
+  /// Failure-isolation bookkeeping (see DriverOptions::CellRetries).
+  bool Failed = false;
+  unsigned Attempts = 0;
+  std::string Error;
 };
 
 Driver::Driver(DriverOptions Options)
@@ -118,6 +139,14 @@ runtime::CoExecutionConfig Driver::makeConfig(const Scenario &Scen,
     };
     break;
   }
+  }
+
+  if (!Options.Faults.empty()) {
+    sim::FaultPlan Plan = Options.Faults;
+    uint64_t FaultSeed = CellSeed ^ 0xFA17FA17ULL;
+    Config.Faults = [Plan, FaultSeed] {
+      return std::make_unique<sim::FaultInjector>(Plan, FaultSeed);
+    };
   }
   return Config;
 }
@@ -179,9 +208,37 @@ std::string Driver::baselineKey(const std::string &Target,
 }
 
 void Driver::executeRuns(std::vector<PlannedRun> &Runs) {
-  auto Execute = [](PlannedRun &Run) {
-    Run.Result = runCoExecution(Run.Config, *Run.Spec, *Run.Policy,
-                                std::move(Run.Workload));
+  // Cell isolation: a run that throws is retried from a clean policy
+  // state; a run that exhausts the retry budget is recorded as failed
+  // with a MaxTime penalty instead of aborting the whole plan. The
+  // workload setups are copied per attempt because runCoExecution
+  // consumes them.
+  unsigned MaxAttempts = 1 + Options.CellRetries;
+  auto Execute = [MaxAttempts](PlannedRun &Run) {
+    for (unsigned A = 0; A < MaxAttempts; ++A) {
+      try {
+        if (A > 0) {
+          Run.Policy->reset();
+          for (runtime::WorkloadProgramSetup &Setup : Run.Workload)
+            if (Setup.Policy)
+              Setup.Policy->reset();
+        }
+        std::vector<runtime::WorkloadProgramSetup> Workload = Run.Workload;
+        Run.Result = runCoExecution(Run.Config, *Run.Spec, *Run.Policy,
+                                    std::move(Workload));
+        Run.Attempts = A + 1;
+        return;
+      } catch (const std::exception &E) {
+        Run.Error = E.what();
+      } catch (...) {
+        Run.Error = "non-standard exception";
+      }
+    }
+    Run.Failed = true;
+    Run.Attempts = MaxAttempts;
+    Run.Result = runtime::CoExecutionResult();
+    Run.Result.TargetFinished = false;
+    Run.Result.TargetTime = Run.Config.MaxTime;
   };
   unsigned Jobs = jobs();
   if (Jobs <= 1 || Runs.size() <= 1) {
@@ -255,9 +312,21 @@ Driver::measureCells(const std::vector<CellSpec> &Cells) {
     std::vector<double> Times, Throughputs;
     size_t Last = First;
     for (; Last < Runs.size() && Runs[Last].Cell == C; ++Last) {
-      runtime::CoExecutionResult &Run = Runs[Last].Result;
+      PlannedRun &Planned = Runs[Last];
+      runtime::CoExecutionResult &Run = Planned.Result;
       Times.push_back(Run.TargetTime);
       Throughputs.push_back(Run.WorkloadThroughput);
+      M.Faults.merge(Run.Faults);
+      if (Planned.Attempts > 1)
+        M.Faults.CellRetries += Planned.Attempts - 1;
+      if (Planned.Failed) {
+        ++M.Faults.CellFailures;
+        CellFailure F;
+        F.Repeat = static_cast<unsigned>(Last - First);
+        F.Attempts = Planned.Attempts;
+        F.Error = std::move(Planned.Error);
+        M.Failures.push_back(std::move(F));
+      }
       M.Runs.push_back(std::move(Run));
     }
     M.MeanTargetTime = mean(Times);

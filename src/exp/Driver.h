@@ -50,6 +50,15 @@ struct DriverOptions {
   /// environment variable, else the hardware concurrency); 1 = inline
   /// sequential execution. Results are identical at every value.
   unsigned Jobs = 0;
+
+  /// Fault-injection plan applied to every run (empty = no injection).
+  /// Each run derives its injector seed from the cell seed, so the fault
+  /// streams obey the same determinism contract as everything else.
+  sim::FaultPlan Faults;
+
+  /// Retries a failed repeat gets before it is recorded as a CellFailure
+  /// with a MaxTime penalty. A failing cell never aborts the plan.
+  unsigned CellRetries = 1;
 };
 
 /// Executes experiment cells and computes speedups with baseline caching.

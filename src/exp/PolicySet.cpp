@@ -72,23 +72,20 @@ const LinearModel &PolicySet::offlineModel() {
   return *OfflineModel;
 }
 
-policy::PolicyFactory
-PolicySet::mixtureFactory(unsigned NumExperts, const std::string &SelectorKind,
-                          std::shared_ptr<core::MoeStats> Stats) {
-  auto Experts = experts(NumExperts);
+std::shared_ptr<core::ExpertSelector>
+PolicySet::selectorPrototype(unsigned NumExperts,
+                             const std::string &SelectorKind) {
   FeatureScaler Scaler = featureScaler();
 
-  std::shared_ptr<core::ExpertSelector> Prototype;
   if (SelectorKind == "perceptron")
-    Prototype = std::make_shared<core::PerceptronSelector>(NumExperts, Scaler);
-  else if (SelectorKind == "hyperplane")
-    Prototype = std::make_shared<core::HyperplaneSelector>(NumExperts, Scaler);
-  else if (SelectorKind == "accuracy")
-    Prototype = std::make_shared<core::AccuracySelector>(NumExperts);
-  else if (SelectorKind == "binned")
-    Prototype =
-        std::make_shared<core::BinnedAccuracySelector>(NumExperts, Scaler);
-  else if (SelectorKind == "regime") {
+    return std::make_shared<core::PerceptronSelector>(NumExperts, Scaler);
+  if (SelectorKind == "hyperplane")
+    return std::make_shared<core::HyperplaneSelector>(NumExperts, Scaler);
+  if (SelectorKind == "accuracy")
+    return std::make_shared<core::AccuracySelector>(NumExperts);
+  if (SelectorKind == "binned")
+    return std::make_shared<core::BinnedAccuracySelector>(NumExperts, Scaler);
+  if (SelectorKind == "regime") {
     std::vector<int> Tags;
     for (const core::BuiltExpert &B : builtExperts(NumExperts)) {
       const std::string &Description = B.E.description();
@@ -99,15 +96,37 @@ PolicySet::mixtureFactory(unsigned NumExperts, const std::string &SelectorKind,
       else
         Tags.push_back(-1);
     }
-    Prototype = std::make_shared<core::RegimeSelector>(std::move(Tags));
-  } else if (SelectorKind == "random")
-    Prototype = std::make_shared<core::RandomSelector>(NumExperts, 0xAB1E);
-  else
-    reportFatalError("unknown selector kind '" + SelectorKind + "'");
+    return std::make_shared<core::RegimeSelector>(std::move(Tags));
+  }
+  if (SelectorKind == "random")
+    return std::make_shared<core::RandomSelector>(NumExperts, 0xAB1E);
+  reportFatalError("unknown selector kind '" + SelectorKind + "'");
+}
 
+policy::PolicyFactory
+PolicySet::mixtureFactory(unsigned NumExperts, const std::string &SelectorKind,
+                          std::shared_ptr<core::MoeStats> Stats) {
+  auto Experts = experts(NumExperts);
+  auto Prototype = selectorPrototype(NumExperts, SelectorKind);
   return [Experts, Prototype, Stats]() {
     return std::make_unique<core::MixtureOfExperts>(Experts,
                                                     Prototype->clone(), Stats);
+  };
+}
+
+policy::PolicyFactory PolicySet::hardenedMixtureFactory(
+    unsigned NumExperts, const std::string &SelectorKind,
+    core::QuarantineOptions Quarantine, support::FaultStats *Faults,
+    std::shared_ptr<core::MoeStats> Stats) {
+  auto Experts = experts(NumExperts);
+  auto Prototype = selectorPrototype(NumExperts, SelectorKind);
+  return [Experts, Prototype, Quarantine, Faults, Stats]() {
+    auto Guarded = std::make_unique<core::QuarantineSelector>(
+        Prototype->clone(), Quarantine, Faults);
+    core::MixtureOptions Options;
+    Options.Faults = Faults;
+    return std::make_unique<core::MixtureOfExperts>(
+        Experts, std::move(Guarded), Stats, Options);
   };
 }
 
@@ -144,6 +163,8 @@ policy::PolicyFactory PolicySet::factory(const std::string &Name) {
   }
   if (Name == "mixture")
     return mixtureFactory(4, "regime");
+  if (Name == "mixture-hardened")
+    return hardenedMixtureFactory(4, "regime");
   reportFatalError("unknown policy '" + Name + "'");
 }
 

@@ -50,6 +50,18 @@ public:
   mixtureFactory(unsigned NumExperts, const std::string &SelectorKind,
                  std::shared_ptr<core::MoeStats> Stats = nullptr);
 
+  /// Mixture factory wrapped in the degradation ladder: the selector is
+  /// decorated with a QuarantineSelector, and the policy degrades to
+  /// DefaultPolicy behaviour whenever every expert is quarantined.
+  /// \p Faults (optional, non-owning, NOT thread-safe) receives the
+  /// degradation counters of every instance the factory creates — pass
+  /// nullptr when instances run on multiple driver threads.
+  policy::PolicyFactory
+  hardenedMixtureFactory(unsigned NumExperts, const std::string &SelectorKind,
+                         core::QuarantineOptions Quarantine = {},
+                         support::FaultStats *Faults = nullptr,
+                         std::shared_ptr<core::MoeStats> Stats = nullptr);
+
   /// Factory pinning the mixture to single expert \p Index of a
   /// \p NumExperts set (the Fig-15c single-expert bars).
   policy::PolicyFactory singleExpertFactory(unsigned NumExperts,
@@ -71,6 +83,8 @@ private:
 
   const FeatureScaler &featureScaler();
   const LinearModel &offlineModel();
+  std::shared_ptr<core::ExpertSelector>
+  selectorPrototype(unsigned NumExperts, const std::string &SelectorKind);
 };
 
 } // namespace medley::exp

@@ -98,5 +98,9 @@ Vec medley::policy::buildExtendedFeatures(
   X.push_back(std::fmod(std::floor(Rq), 3.0));
 
   assert(X.size() == numExtendedFeatures() && "candidate arity mismatch");
+  // The base ten are sanitized by buildFeatures; sweep the derived
+  // candidates too so no transform of extreme-but-finite inputs leaks a
+  // non-finite value into the feature-selection pipeline.
+  sanitizeValues(X);
   return X;
 }

@@ -7,6 +7,7 @@
 #include "policy/Features.h"
 
 #include <cassert>
+#include <cmath>
 
 using namespace medley;
 using namespace medley::policy;
@@ -20,6 +21,16 @@ const std::vector<std::string> &medley::policy::featureNames() {
   return Names;
 }
 
+unsigned medley::policy::sanitizeValues(Vec &Values) {
+  unsigned Repaired = 0;
+  for (double &X : Values)
+    if (!std::isfinite(X)) {
+      X = 0.0;
+      ++Repaired;
+    }
+  return Repaired;
+}
+
 FeatureVector
 medley::policy::buildFeatures(const workload::RegionContext &Context,
                               unsigned TotalCores) {
@@ -27,16 +38,29 @@ medley::policy::buildFeatures(const workload::RegionContext &Context,
   assert(TotalCores >= 1 && "invalid core count");
 
   const workload::CodeFeatures &Code = Context.Region->Code;
-  const sim::EnvSample &Env = Context.Env;
+
+  // Sanitize a copy of the environment first: a NaN field would otherwise
+  // poison the norm, and the norm must be computed from the same values
+  // the policies see.
+  sim::EnvSample Env = Context.Env;
+  unsigned Repaired = Env.sanitize();
 
   FeatureVector F;
   F.Values = {Code.LoadStoreRatio, Code.InstructionWeight, Code.BranchRatio,
               Env.WorkloadThreads, Env.Processors,         Env.RunQueue,
               Env.LoadAvg1,        Env.LoadAvg5,           Env.CachedMemory,
               Env.PageFreeRate};
+  // Code features come from the workload description, but guard them too:
+  // a corrupt catalog entry must not leak NaN into the models.
+  Repaired += sanitizeValues(F.Values);
   F.EnvNorm = Env.scaledNorm(static_cast<double>(TotalCores));
+  if (!std::isfinite(F.EnvNorm)) {
+    F.EnvNorm = 0.0;
+    ++Repaired;
+  }
   F.Now = Context.Now;
   F.MaxThreads = Context.MaxThreads;
+  F.SanitizedCount = Repaired;
   return F;
 }
 

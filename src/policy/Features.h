@@ -24,7 +24,8 @@ inline constexpr size_t NumFeatures = 10;
 
 /// One decision point's inputs.
 struct FeatureVector {
-  /// Raw features f1..f10 in Table-1 order.
+  /// Raw features f1..f10 in Table-1 order. Always finite: buildFeatures
+  /// sanitizes corrupted sensor readings before any policy sees them.
   Vec Values;
 
   /// The paper's environment value ||e_t|| (scaled norm of f4..f10).
@@ -35,6 +36,10 @@ struct FeatureVector {
 
   /// Clamp for thread predictions (machine core count).
   unsigned MaxThreads = 1;
+
+  /// Number of input values the sanitizer had to repair (0 on a clean
+  /// sample); feeds support::FaultStats::SanitizedValues.
+  unsigned SanitizedCount = 0;
 };
 
 /// Table-1 feature names, index-aligned with FeatureVector::Values.
@@ -42,8 +47,15 @@ const std::vector<std::string> &featureNames();
 
 /// Assembles the feature vector for a region decision. \p TotalCores is the
 /// machine's physical core count, used to scale the environment norm.
+/// Corrupted inputs (NaN/Inf fields injected by sensor faults) are
+/// sanitized here — the first rung of the degradation ladder — so every
+/// downstream policy and expert sees only finite features.
 FeatureVector buildFeatures(const workload::RegionContext &Context,
                             unsigned TotalCores);
+
+/// Repairs \p Values in place: every non-finite entry becomes 0. Returns
+/// the number of entries repaired.
+unsigned sanitizeValues(Vec &Values);
 
 /// Extracts only the environment features (f4..f10) from \p Features.
 Vec environmentPart(const FeatureVector &Features);

@@ -38,6 +38,8 @@ medley::runtime::runPairExecution(const CoExecutionConfig &Config,
 
   sim::Simulation Simulation(Config.Machine, Config.Availability(),
                              Config.Tick);
+  if (Config.Faults)
+    Simulation.setFaultInjector(Config.Faults());
   unsigned TotalCores = Config.Machine.TotalCores;
 
   auto A = std::make_shared<workload::Program>(
@@ -69,6 +71,8 @@ medley::runtime::runCoExecution(const CoExecutionConfig &Config,
 
   sim::Simulation Simulation(Config.Machine, Config.Availability(),
                              Config.Tick);
+  if (Config.Faults)
+    Simulation.setFaultInjector(Config.Faults());
   unsigned TotalCores = Config.Machine.TotalCores;
 
   CoExecutionResult Result;
@@ -145,5 +149,7 @@ medley::runtime::runCoExecution(const CoExecutionConfig &Config,
   for (const auto &Prog : WorkloadPrograms)
     WorkloadWork += Prog->workCompleted();
   Result.WorkloadThroughput = WorkloadWork / Elapsed;
+  if (const sim::FaultInjector *Injector = Simulation.faultInjector())
+    Result.Faults = Injector->stats();
   return Result;
 }

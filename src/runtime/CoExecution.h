@@ -47,6 +47,13 @@ struct CoExecutionConfig {
 
   /// Record per-tick traces (availability, workload threads, env norm).
   bool RecordTraces = false;
+
+  /// Optional fault injection (the chaos harness): when set, every run
+  /// constructs a fresh injector and hands it to the simulation, which
+  /// then perturbs sensors, availability and monitor updates according to
+  /// the injector's plan. Injectors are stateful and seeded, so runs stay
+  /// deterministic.
+  sim::FaultInjectorFactory Faults;
 };
 
 /// One workload program plus how it chooses threads. Exactly one of
@@ -82,6 +89,9 @@ struct CoExecutionResult {
 
   /// Per-tick traces (only populated when RecordTraces is set).
   std::vector<TracePoint> Trace;
+
+  /// Counters of injected faults (zero when no injector was configured).
+  support::FaultStats Faults;
 };
 
 /// Runs \p TargetSpec under \p TargetPolicy against \p Workload.

@@ -6,8 +6,24 @@
 
 #include "runtime/PolicyBinding.h"
 
+#include <algorithm>
+#include <cmath>
+
 using namespace medley;
 using namespace medley::runtime;
+
+unsigned medley::runtime::threadCeiling(const policy::FeatureVector &Features) {
+  // f5 is the observed available-processor count; buildFeatures guarantees
+  // it is finite and non-negative. During a zero-available window the
+  // ceiling is 1: a program cannot run with no threads, but it must not
+  // pile more onto a machine that has none.
+  double Processors = Features.Values[4];
+  long Avail = std::lround(std::min(
+      Processors, static_cast<double>(Features.MaxThreads)));
+  long Ceiling = std::clamp<long>(
+      Avail, 1, static_cast<long>(std::max(1u, Features.MaxThreads)));
+  return static_cast<unsigned>(Ceiling);
+}
 
 workload::ThreadChooser
 medley::runtime::bindPolicy(policy::ThreadPolicy &Policy, unsigned TotalCores,
@@ -15,9 +31,18 @@ medley::runtime::bindPolicy(policy::ThreadPolicy &Policy, unsigned TotalCores,
   return [&Policy, TotalCores, Trace](const workload::RegionContext &Context) {
     policy::FeatureVector Features =
         policy::buildFeatures(Context, TotalCores);
-    unsigned Threads = Policy.select(Features);
-    if (Trace)
-      Trace->push_back(Decision{Context.Now, Threads, Features.EnvNorm});
+    unsigned Raw = Policy.select(Features);
+    unsigned Ceiling = threadCeiling(Features);
+    unsigned Threads = std::clamp(Raw, 1u, Ceiling);
+    if (Trace) {
+      Decision D;
+      D.Time = Context.Now;
+      D.Threads = Threads;
+      D.EnvNorm = Features.EnvNorm;
+      D.AvailableProcessors = Ceiling;
+      D.Clamped = Threads != Raw;
+      Trace->push_back(D);
+    }
     return Threads;
   };
 }

@@ -25,11 +25,21 @@ struct Decision {
   double Time = 0.0;
   unsigned Threads = 0;
   double EnvNorm = 0.0;
+  /// Processors observed available at the decision (the clamp ceiling).
+  unsigned AvailableProcessors = 0;
+  /// True when the policy's raw prediction had to be clamped.
+  bool Clamped = false;
 };
 
+/// The binding-site clamp: the largest thread count any policy may emit
+/// given \p Features — min(MaxThreads, observed available processors),
+/// never below 1. No policy can oversubscribe an unplugged machine.
+unsigned threadCeiling(const policy::FeatureVector &Features);
+
 /// Builds a chooser that assembles the 10-feature vector and delegates to
-/// \p Policy. If \p Trace is non-null, each decision is appended to it.
-/// \p Policy (and \p Trace) must outlive the returned chooser.
+/// \p Policy; the result is clamped to [1, threadCeiling()]. If \p Trace
+/// is non-null, each decision is appended to it. \p Policy (and \p Trace)
+/// must outlive the returned chooser.
 workload::ThreadChooser bindPolicy(policy::ThreadPolicy &Policy,
                                    unsigned TotalCores,
                                    std::vector<Decision> *Trace = nullptr);

@@ -6,6 +6,7 @@
 
 #include "sim/EnvSample.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -26,6 +27,32 @@ double EnvSample::scaledNorm(double CoreScale) const {
   double L5 = LoadAvg5 / CoreScale;
   return std::sqrt(Wt * Wt + P * P + Rq * Rq + L1 * L1 + L5 * L5 +
                    CachedMemory * CachedMemory + PageFreeRate * PageFreeRate);
+}
+
+bool EnvSample::isFinite() const {
+  return std::isfinite(WorkloadThreads) && std::isfinite(Processors) &&
+         std::isfinite(RunQueue) && std::isfinite(LoadAvg1) &&
+         std::isfinite(LoadAvg5) && std::isfinite(CachedMemory) &&
+         std::isfinite(PageFreeRate);
+}
+
+unsigned EnvSample::sanitize() {
+  unsigned Repaired = 0;
+  auto Repair = [&Repaired](double &X, double Lo, double Hi) {
+    if (std::isfinite(X) && X >= Lo && X <= Hi)
+      return;
+    X = std::isfinite(X) ? std::clamp(X, Lo, Hi) : 0.0;
+    ++Repaired;
+  };
+  constexpr double Huge = 1e12; // Far beyond any plausible counter.
+  Repair(WorkloadThreads, 0.0, Huge);
+  Repair(Processors, 0.0, Huge);
+  Repair(RunQueue, 0.0, Huge);
+  Repair(LoadAvg1, 0.0, Huge);
+  Repair(LoadAvg5, 0.0, Huge);
+  Repair(CachedMemory, 0.0, 1.0);
+  Repair(PageFreeRate, 0.0, Huge);
+  return Repaired;
 }
 
 const std::vector<std::string> &EnvSample::featureNames() {

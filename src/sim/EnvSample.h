@@ -43,6 +43,15 @@ struct EnvSample {
 
   /// Names matching Table 1, index-aligned with toVec().
   static const std::vector<std::string> &featureNames();
+
+  /// True when every field is a finite number.
+  bool isFinite() const;
+
+  /// Repairs a corrupted sample in place: non-finite fields are zeroed,
+  /// negative counters are clamped to 0, and CachedMemory is clamped to
+  /// [0, 1]. Returns the number of fields that needed repair — the first
+  /// rung of the degradation ladder (DESIGN.md §9).
+  unsigned sanitize();
 };
 
 } // namespace medley::sim

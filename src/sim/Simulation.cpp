@@ -38,7 +38,14 @@ void Simulation::removeTask(const Task *T) {
               Tasks.end());
 }
 
-unsigned Simulation::availableCores() { return Availability->coresAt(Time); }
+unsigned Simulation::availableCores() {
+  unsigned Cores = Availability->coresAt(Time);
+  return Faults ? Faults->overrideCores(Time, Cores) : Cores;
+}
+
+void Simulation::setFaultInjector(std::unique_ptr<FaultInjector> Injector) {
+  Faults = std::move(Injector);
+}
 
 unsigned Simulation::runnableThreads() const {
   unsigned Total = 0;
@@ -71,10 +78,13 @@ void Simulation::step() {
 
   // Fair time slicing with a context-switch penalty once the machine is
   // oversubscribed: each thread gets share = min(1, P/R), further scaled by
-  // 1 / (1 + kappa * (R/P - 1)) when R > P.
+  // 1 / (1 + kappa * (R/P - 1)) when R > P. A zero-core window (hot-unplug
+  // to 0 during a fault storm) parks every thread: share 0, no penalties.
   double Share = 1.0;
   double BarrierFactor = 1.0;
-  if (Runnable > 0) {
+  if (Cores == 0) {
+    Share = 0.0;
+  } else if (Runnable > 0) {
     double Ratio = static_cast<double>(Runnable) / Cores;
     Share = std::min(1.0, 1.0 / Ratio);
     if (Ratio > 1.0) {
@@ -106,6 +116,8 @@ void Simulation::step() {
   // observer — sample once and rewrite that field per task.
   EnvSample SharedEnv = Monitor.sample(0);
   unsigned MonitorRunnable = Monitor.runnable();
+  if (Faults)
+    Faults->perturbEnv(Time, SharedEnv);
   CpuAllocation Allocation;
   Allocation.CpuShare = Share;
   Allocation.MemFactor = MemFactor;
@@ -122,7 +134,10 @@ void Simulation::step() {
     S.T->step(Tick, Allocation);
   }
 
-  Monitor.update(Runnable, Cores, UsedMemory, Tick);
+  // A stale-monitor fault suppresses the update: observers keep reading
+  // the aging snapshot until the window passes.
+  if (!Faults || !Faults->monitorStale(Time))
+    Monitor.update(Runnable, Cores, UsedMemory, Tick);
   Time += Tick;
 
   for (const auto &Hook : TickHooks)

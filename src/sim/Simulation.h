@@ -17,6 +17,7 @@
 #define MEDLEY_SIM_SIMULATION_H
 
 #include "sim/AvailabilityPattern.h"
+#include "sim/FaultInjector.h"
 #include "sim/Machine.h"
 #include "sim/SystemMonitor.h"
 #include "sim/Task.h"
@@ -50,6 +51,15 @@ public:
   /// Registers a hook invoked after every tick (monitoring, logging).
   void addTickHook(std::function<void(Simulation &)> Hook);
 
+  /// Installs a fault injector perturbing this simulation (null = none).
+  /// Storm windows override the availability pattern, stale windows
+  /// suppress monitor updates, and sensor faults corrupt the EnvSamples
+  /// that tasks observe.
+  void setFaultInjector(std::unique_ptr<FaultInjector> Injector);
+
+  /// The installed injector, or null.
+  const FaultInjector *faultInjector() const { return Faults.get(); }
+
   double now() const { return Time; }
   double tick() const { return Tick; }
   const MachineConfig &machine() const { return Config; }
@@ -75,6 +85,7 @@ private:
 
   MachineConfig Config;
   std::unique_ptr<AvailabilityPattern> Availability;
+  std::unique_ptr<FaultInjector> Faults;
   double Tick;
   double Time = 0.0;
   SystemMonitor Monitor;

@@ -7,6 +7,7 @@
 #include "support/ThreadPool.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <string>
@@ -24,15 +25,27 @@ thread_local bool InsideParallelBody = false;
 
 } // namespace
 
+unsigned ThreadPool::maxSaneJobs() { return 1024; }
+
 unsigned ThreadPool::defaultJobs() {
-  if (const char *Env = std::getenv("MEDLEY_JOBS")) {
-    char *End = nullptr;
-    long Jobs = std::strtol(Env, &End, 10);
-    if (End && *End == '\0' && Jobs > 0)
-      return static_cast<unsigned>(Jobs);
-  }
   unsigned Hardware = std::thread::hardware_concurrency();
-  return Hardware > 0 ? Hardware : 1;
+  if (Hardware == 0)
+    Hardware = 1;
+  const char *Env = std::getenv("MEDLEY_JOBS");
+  if (!Env || *Env == '\0')
+    return Hardware;
+  // A malformed or absurd MEDLEY_JOBS (non-numeric, trailing junk, zero,
+  // negative, overflow, or more workers than any sane machine) falls back
+  // to the hardware concurrency instead of crashing or spawning a thread
+  // per digit typo.
+  errno = 0;
+  char *End = nullptr;
+  long Jobs = std::strtol(Env, &End, 10);
+  if (errno != 0 || !End || End == Env || *End != '\0')
+    return Hardware;
+  if (Jobs <= 0 || Jobs > static_cast<long>(maxSaneJobs()))
+    return Hardware;
+  return static_cast<unsigned>(Jobs);
 }
 
 ThreadPool::ThreadPool(unsigned Threads)

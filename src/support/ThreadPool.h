@@ -53,9 +53,14 @@ public:
   void submit(std::function<void()> Task);
 
   /// The process-wide default worker count: the MEDLEY_JOBS environment
-  /// variable when set to a positive integer, otherwise the hardware
-  /// concurrency (at least 1).
+  /// variable when set to a positive integer no larger than maxSaneJobs(),
+  /// otherwise the hardware concurrency (at least 1). Malformed values
+  /// (non-numeric, trailing junk, zero, negative, overflow, absurdly
+  /// large) fall back to the hardware concurrency.
   static unsigned defaultJobs();
+
+  /// Upper bound accepted from MEDLEY_JOBS before falling back.
+  static unsigned maxSaneJobs();
 
 private:
   struct ForJob;

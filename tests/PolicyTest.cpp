@@ -9,6 +9,7 @@
 #include "policy/Features.h"
 #include "policy/OfflinePolicy.h"
 #include "policy/OnlinePolicy.h"
+#include "runtime/PolicyBinding.h"
 #include "workload/Catalog.h"
 
 #include <gtest/gtest.h>
@@ -370,4 +371,93 @@ TEST(ExtendedFeaturesTest, DerivedValuesAreConsistent) {
   EXPECT_DOUBLE_EQ(At("procs squared"), 576.0);
   EXPECT_DOUBLE_EQ(At("cached minus cached (zero)"), 0.0);
   EXPECT_DOUBLE_EQ(At("page size (const)"), 4096.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Feature sanitization (degradation-ladder rung 1)
+//===----------------------------------------------------------------------===//
+
+TEST(FeaturesTest, SanitizeValuesZeroesNonFiniteEntries) {
+  Vec Values = {1.0, std::nan(""), -std::numeric_limits<double>::infinity(),
+                4.0};
+  EXPECT_EQ(sanitizeValues(Values), 2u);
+  EXPECT_EQ(Values, (Vec{1.0, 0.0, 0.0, 4.0}));
+  EXPECT_EQ(sanitizeValues(Values), 0u);
+}
+
+TEST(FeaturesTest, BuildFeaturesSanitizesCorruptSample) {
+  const workload::ProgramSpec &Spec = workload::Catalog::byName("lu");
+  workload::RegionContext Context;
+  Context.Program = &Spec;
+  Context.Region = &Spec.Regions[0];
+  Context.Env.WorkloadThreads = std::nan("");
+  Context.Env.Processors = std::numeric_limits<double>::infinity();
+  Context.Env.RunQueue = -1e18;
+  Context.Env.CachedMemory = 0.5;
+  Context.MaxThreads = 32;
+
+  FeatureVector F = buildFeatures(Context, 32);
+  for (double V : F.Values)
+    EXPECT_TRUE(std::isfinite(V));
+  EXPECT_TRUE(std::isfinite(F.EnvNorm));
+  EXPECT_GE(F.SanitizedCount, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Binding-site thread clamp (degradation-ladder rung 4)
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadClampTest, CeilingIsAvailableProcessors) {
+  EXPECT_EQ(runtime::threadCeiling(makeFeatures(4, 2, 6)), 4u);
+  EXPECT_EQ(runtime::threadCeiling(makeFeatures(24, 2, 6)), 24u);
+}
+
+TEST(ThreadClampTest, ZeroAvailableWindowStillAllowsOneThread) {
+  EXPECT_EQ(runtime::threadCeiling(makeFeatures(0, 2, 6)), 1u);
+}
+
+TEST(ThreadClampTest, CeilingNeverExceedsMachineCores) {
+  // A corrupt (already sanitized but huge) processor reading must not
+  // push the ceiling beyond the machine.
+  EXPECT_EQ(runtime::threadCeiling(makeFeatures(64, 2, 6, /*MaxThreads=*/32)),
+            32u);
+}
+
+namespace {
+
+/// Policy that deliberately oversubscribes: always asks for far more
+/// threads than the machine has.
+class GreedyPolicy : public ThreadPolicy {
+public:
+  unsigned select(const FeatureVector &) override { return 999; }
+  void reset() override {}
+  const std::string &name() const override {
+    static const std::string N = "greedy";
+    return N;
+  }
+};
+
+} // namespace
+
+TEST(ThreadClampTest, BindPolicyClampsOversubscription) {
+  GreedyPolicy Greedy;
+  std::vector<runtime::Decision> Trace;
+  workload::ThreadChooser Chooser = runtime::bindPolicy(Greedy, 32, &Trace);
+
+  const workload::ProgramSpec &Spec = workload::Catalog::byName("lu");
+  workload::RegionContext Context;
+  Context.Program = &Spec;
+  Context.Region = &Spec.Regions[0];
+  Context.Env.Processors = 6;
+  Context.MaxThreads = 32;
+
+  EXPECT_EQ(Chooser(Context), 6u);
+  ASSERT_EQ(Trace.size(), 1u);
+  EXPECT_EQ(Trace[0].Threads, 6u);
+  EXPECT_EQ(Trace[0].AvailableProcessors, 6u);
+  EXPECT_TRUE(Trace[0].Clamped);
+
+  // During a total outage the clamp floors at one thread.
+  Context.Env.Processors = 0;
+  EXPECT_EQ(Chooser(Context), 1u);
 }

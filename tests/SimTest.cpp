@@ -6,6 +6,7 @@
 
 #include "sim/AvailabilityPattern.h"
 #include "sim/EnvSample.h"
+#include "sim/FaultInjector.h"
 #include "sim/Machine.h"
 #include "sim/Simulation.h"
 #include "sim/SystemMonitor.h"
@@ -13,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace medley;
 using namespace medley::sim;
@@ -396,4 +398,235 @@ TEST(SimulationTest, AvailabilityChangeReachesTasks) {
   Sim.step(); // Beyond 0.15: 8 cores.
   EXPECT_EQ(T->LastAllocation.AvailableCores, 8u);
   EXPECT_LT(T->LastAllocation.CpuShare, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// EnvSample sanitization
+//===----------------------------------------------------------------------===//
+
+TEST(EnvSampleTest, SanitizeRepairsNonFiniteFields) {
+  EnvSample E;
+  E.WorkloadThreads = std::nan("");
+  E.Processors = std::numeric_limits<double>::infinity();
+  E.RunQueue = 5.0;
+  E.CachedMemory = 3.5; // Fraction: must clamp to [0, 1].
+  unsigned Repaired = E.sanitize();
+  EXPECT_GE(Repaired, 3u);
+  EXPECT_TRUE(E.isFinite());
+  EXPECT_DOUBLE_EQ(E.WorkloadThreads, 0.0);
+  EXPECT_DOUBLE_EQ(E.Processors, 0.0);
+  EXPECT_DOUBLE_EQ(E.RunQueue, 5.0);
+  EXPECT_DOUBLE_EQ(E.CachedMemory, 1.0);
+}
+
+TEST(EnvSampleTest, SanitizeLeavesCleanSamplesAlone) {
+  EnvSample E;
+  E.WorkloadThreads = 4;
+  E.Processors = 16;
+  E.CachedMemory = 0.5;
+  EXPECT_EQ(E.sanitize(), 0u);
+  EXPECT_TRUE(E.isFinite());
+}
+
+//===----------------------------------------------------------------------===//
+// SystemMonitor under zero-available-processor windows
+//===----------------------------------------------------------------------===//
+
+TEST(SystemMonitorTest, ZeroAvailableWindowStaysFinite) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  // A hot-unplug storm: runnable work but zero cores for many ticks.
+  for (int I = 0; I < 50; ++I)
+    Monitor.update(/*RunnableThreads=*/12, /*AvailableCores=*/0,
+                   /*UsedMemoryMb=*/4096.0, /*Dt=*/0.1);
+  EnvSample E = Monitor.sample(0);
+  EXPECT_TRUE(E.isFinite());
+  EXPECT_DOUBLE_EQ(E.Processors, 0.0);
+  EXPECT_DOUBLE_EQ(E.RunQueue, 12.0);
+  EXPECT_TRUE(std::isfinite(Monitor.envNorm(0)));
+}
+
+TEST(SystemMonitorTest, RecoversAfterZeroAvailableWindow) {
+  SystemMonitor Monitor(MachineConfig::evaluationPlatform());
+  for (int I = 0; I < 10; ++I)
+    Monitor.update(8, 0, 1024.0, 0.1);
+  for (int I = 0; I < 10; ++I)
+    Monitor.update(8, 16, 1024.0, 0.1);
+  EnvSample E = Monitor.sample(0);
+  EXPECT_DOUBLE_EQ(E.Processors, 16.0);
+  EXPECT_TRUE(E.isFinite());
+}
+
+TEST(SimulationTest, ZeroCoreWindowGivesZeroShare) {
+  MachineConfig Machine = MachineConfig::evaluationPlatform();
+  Simulation Sim(Machine, std::make_unique<StaticAvailability>(0), 0.1);
+  auto Task = std::make_shared<StubTask>("stalled", 4);
+  Sim.addTask(Task);
+  for (int I = 0; I < 20; ++I)
+    Sim.step();
+  EXPECT_DOUBLE_EQ(Task->LastAllocation.CpuShare, 0.0);
+  EXPECT_DOUBLE_EQ(Task->WorkDone, 0.0);
+  EXPECT_TRUE(Sim.monitor().sample(0).isFinite());
+  EXPECT_TRUE(std::isfinite(Sim.monitor().envNorm(0)));
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorTest, EmptyPlanInjectsNothing) {
+  FaultInjector Injector(FaultPlan{}, 1);
+  EnvSample E;
+  E.Processors = 16;
+  for (double T = 0.0; T < 5.0; T += 0.1) {
+    EXPECT_EQ(Injector.overrideCores(T, 8), 8u);
+    EXPECT_FALSE(Injector.monitorStale(T));
+    Injector.perturbEnv(T, E);
+  }
+  EXPECT_DOUBLE_EQ(E.Processors, 16.0);
+  EXPECT_TRUE(Injector.stats().clean());
+}
+
+TEST(FaultInjectorTest, StormForcesCoreCount) {
+  FaultPlan Plan;
+  Plan.UnplugStorm.push_back({1.0, 2.0});
+  Plan.StormCores = 0;
+  FaultInjector Injector(Plan, 7);
+  EXPECT_EQ(Injector.overrideCores(0.5, 8), 8u);
+  EXPECT_EQ(Injector.overrideCores(1.5, 8), 0u);
+  EXPECT_EQ(Injector.overrideCores(2.5, 8), 8u);
+  EXPECT_EQ(Injector.stats().UnplugOverrides, 1u);
+}
+
+TEST(FaultInjectorTest, StormNeverRaisesCores) {
+  FaultPlan Plan;
+  Plan.UnplugStorm.push_back({0.0, 10.0});
+  Plan.StormCores = 16;
+  FaultInjector Injector(Plan, 7);
+  // The pattern says 4; a "storm" of 16 must not add cores.
+  EXPECT_EQ(Injector.overrideCores(5.0, 4), 4u);
+}
+
+TEST(FaultInjectorTest, DropoutZeroesTheSample) {
+  FaultPlan Plan;
+  Plan.SensorDropout.push_back({0.0, 1.0});
+  Plan.DropoutRate = 1.0;
+  FaultInjector Injector(Plan, 3);
+  EnvSample E;
+  E.WorkloadThreads = 6;
+  E.Processors = 16;
+  E.RunQueue = 9;
+  Injector.perturbEnv(0.5, E);
+  EXPECT_DOUBLE_EQ(E.WorkloadThreads, 0.0);
+  EXPECT_DOUBLE_EQ(E.Processors, 0.0);
+  EXPECT_DOUBLE_EQ(E.RunQueue, 0.0);
+  EXPECT_EQ(Injector.stats().SensorDropouts, 1u);
+}
+
+TEST(FaultInjectorTest, CorruptionNeedsSanitizing) {
+  FaultPlan Plan;
+  Plan.SensorCorruption.push_back({0.0, 1.0});
+  Plan.CorruptionRate = 1.0;
+  FaultInjector Injector(Plan, 11);
+  EnvSample E;
+  E.Processors = 16;
+  Injector.perturbEnv(0.5, E);
+  EXPECT_GE(Injector.stats().SensorCorruptions, 1u);
+  // Whatever garbage was injected (NaN, Inf, +-1e18), the sanitizer must
+  // have something to repair.
+  EXPECT_GE(E.sanitize(), 1u);
+  EXPECT_TRUE(E.isFinite());
+}
+
+TEST(FaultInjectorTest, StaleWindowSuppressesMonitorUpdates) {
+  FaultPlan Plan;
+  Plan.StaleMonitor.push_back({2.0, 3.0});
+  FaultInjector Injector(Plan, 5);
+  EXPECT_FALSE(Injector.monitorStale(1.0));
+  EXPECT_TRUE(Injector.monitorStale(2.5));
+  EXPECT_FALSE(Injector.monitorStale(3.5));
+  EXPECT_EQ(Injector.stats().StaleTicks, 1u);
+}
+
+TEST(FaultInjectorTest, ReplayIsDeterministic) {
+  FaultPlan Plan = FaultPlan::chaosSchedule(30.0);
+  auto Run = [&Plan](uint64_t Seed) {
+    FaultInjector Injector(Plan, Seed);
+    std::vector<double> Observed;
+    for (double T = 0.0; T < 30.0; T += 0.1) {
+      EnvSample E;
+      E.WorkloadThreads = 4;
+      E.Processors = 16;
+      E.RunQueue = 6;
+      Injector.perturbEnv(T, E);
+      E.sanitize(); // Compare post-repair: NaN != NaN would break EQ.
+      for (double V : E.toVec())
+        Observed.push_back(V);
+      Observed.push_back(Injector.overrideCores(T, 8));
+      Observed.push_back(Injector.monitorStale(T) ? 1.0 : 0.0);
+    }
+    return Observed;
+  };
+  EXPECT_EQ(Run(42), Run(42));
+  EXPECT_NE(Run(42), Run(43));
+}
+
+TEST(FaultInjectorTest, ResetReplaysTheSameFaults) {
+  FaultPlan Plan = FaultPlan::chaosSchedule(10.0);
+  FaultInjector Injector(Plan, 9);
+  auto Sweep = [&Injector] {
+    std::vector<double> Observed;
+    for (double T = 0.0; T < 10.0; T += 0.1) {
+      EnvSample E;
+      E.Processors = 16;
+      Injector.perturbEnv(T, E);
+      E.sanitize();
+      for (double V : E.toVec())
+        Observed.push_back(V);
+    }
+    return Observed;
+  };
+  std::vector<double> First = Sweep();
+  Injector.reset();
+  EXPECT_EQ(First, Sweep());
+}
+
+TEST(FaultInjectorTest, ChaosScheduleCoversEveryFaultClass) {
+  FaultPlan Plan = FaultPlan::chaosSchedule(100.0);
+  EXPECT_FALSE(Plan.empty());
+  EXPECT_GE(Plan.SensorDropout.size(), 2u);
+  EXPECT_GE(Plan.SensorCorruption.size(), 2u);
+  EXPECT_GE(Plan.UnplugStorm.size(), 2u);
+  EXPECT_GE(Plan.StaleMonitor.size(), 2u);
+  for (const auto *Windows :
+       {&Plan.SensorDropout, &Plan.SensorCorruption, &Plan.UnplugStorm,
+        &Plan.StaleMonitor})
+    for (const FaultWindow &W : *Windows) {
+      EXPECT_LT(W.Begin, W.End);
+      EXPECT_LE(W.End, 100.0);
+    }
+}
+
+TEST(SimulationTest, FaultInjectorStormReachesAvailability) {
+  MachineConfig Machine = MachineConfig::evaluationPlatform();
+  FaultPlan Plan;
+  Plan.UnplugStorm.push_back({0.5, 1.5});
+  Plan.StormCores = 0;
+  Simulation Sim(Machine,
+                 std::make_unique<StaticAvailability>(Machine.TotalCores),
+                 0.1);
+  Sim.setFaultInjector(std::make_unique<FaultInjector>(Plan, 1));
+  auto Task = std::make_shared<StubTask>("victim", 4);
+  Sim.addTask(Task);
+  std::vector<unsigned> Cores;
+  Sim.addTickHook([&Cores](Simulation &S) {
+    Cores.push_back(S.availableCores());
+  });
+  for (int I = 0; I < 20; ++I)
+    Sim.step();
+  ASSERT_EQ(Cores.size(), 20u);
+  // Ticks inside [0.5, 1.5) must observe the outage; the rest must not.
+  EXPECT_EQ(Cores.front(), Machine.TotalCores);
+  EXPECT_EQ(Cores[10], 0u);
+  EXPECT_EQ(Cores.back(), Machine.TotalCores);
+  EXPECT_TRUE(Sim.monitor().sample(0).isFinite());
 }

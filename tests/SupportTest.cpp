@@ -6,6 +6,7 @@
 
 #include "support/Csv.h"
 #include "support/Error.h"
+#include "support/FaultStats.h"
 #include "support/Histogram.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -17,10 +18,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cmath>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 using namespace medley;
 
@@ -419,4 +422,144 @@ TEST(ThreadPoolTest, SubmitRunsTask) {
     // Destructor drains the queue before joining.
   }
   EXPECT_TRUE(Ran.load());
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool MEDLEY_JOBS hardening
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// RAII override of MEDLEY_JOBS; restores the previous value on exit.
+class ScopedJobsEnv {
+public:
+  explicit ScopedJobsEnv(const char *Value) {
+    const char *Old = std::getenv("MEDLEY_JOBS");
+    if (Old) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    if (Value)
+      setenv("MEDLEY_JOBS", Value, /*overwrite=*/1);
+    else
+      unsetenv("MEDLEY_JOBS");
+  }
+  ~ScopedJobsEnv() {
+    if (HadOld)
+      setenv("MEDLEY_JOBS", OldValue.c_str(), 1);
+    else
+      unsetenv("MEDLEY_JOBS");
+  }
+
+private:
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+/// What defaultJobs must fall back to when MEDLEY_JOBS is unusable.
+unsigned hardwareFallback() {
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware == 0 ? 1 : Hardware;
+}
+
+} // namespace
+
+TEST(ThreadPoolTest, JobsEnvSaneValueIsUsed) {
+  ScopedJobsEnv Env("7");
+  EXPECT_EQ(support::ThreadPool::defaultJobs(), 7u);
+}
+
+TEST(ThreadPoolTest, JobsEnvUnsetFallsBackToHardware) {
+  ScopedJobsEnv Env(nullptr);
+  EXPECT_EQ(support::ThreadPool::defaultJobs(), hardwareFallback());
+}
+
+TEST(ThreadPoolTest, JobsEnvNonNumericFallsBack) {
+  for (const char *Bad : {"", "abc", "12abc", "1e3", " 4x", "--2"}) {
+    ScopedJobsEnv Env(Bad);
+    EXPECT_EQ(support::ThreadPool::defaultJobs(), hardwareFallback())
+        << "MEDLEY_JOBS='" << Bad << "'";
+  }
+}
+
+TEST(ThreadPoolTest, JobsEnvNonPositiveFallsBack) {
+  for (const char *Bad : {"0", "-3"}) {
+    ScopedJobsEnv Env(Bad);
+    EXPECT_EQ(support::ThreadPool::defaultJobs(), hardwareFallback())
+        << "MEDLEY_JOBS='" << Bad << "'";
+  }
+}
+
+TEST(ThreadPoolTest, JobsEnvAbsurdFallsBack) {
+  // Above the sanity cap and beyond long's range (strtol ERANGE).
+  for (const char *Bad : {"1000000", "999999999999999999999999"}) {
+    ScopedJobsEnv Env(Bad);
+    EXPECT_EQ(support::ThreadPool::defaultJobs(), hardwareFallback())
+        << "MEDLEY_JOBS='" << Bad << "'";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Error taxonomy
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, DefaultIsSuccess) {
+  support::Error E;
+  EXPECT_FALSE(E);
+  EXPECT_EQ(E.code(), support::ErrorCode::None);
+}
+
+TEST(ErrorTest, ReportCarriesCodeAndMessage) {
+  support::Error E;
+  support::reportError(&E, support::ErrorCode::TruncatedInput,
+                       "file ended early");
+  EXPECT_TRUE(E);
+  EXPECT_EQ(E.code(), support::ErrorCode::TruncatedInput);
+  EXPECT_EQ(E.message(), "file ended early");
+  EXPECT_EQ(E.str(), "truncated-input: file ended early");
+}
+
+TEST(ErrorTest, NullSinkIsIgnored) {
+  support::reportError(nullptr, support::ErrorCode::IoFailure, "dropped");
+}
+
+TEST(ErrorTest, CodeNamesAreStable) {
+  EXPECT_STREQ(support::errorCodeName(support::ErrorCode::None), "none");
+  EXPECT_STREQ(support::errorCodeName(support::ErrorCode::CorruptInput),
+               "corrupt-input");
+  EXPECT_STREQ(support::errorCodeName(support::ErrorCode::NonFiniteValue),
+               "non-finite-value");
+}
+
+//===----------------------------------------------------------------------===//
+// FaultStats
+//===----------------------------------------------------------------------===//
+
+TEST(FaultStatsTest, FreshIsClean) {
+  support::FaultStats S;
+  EXPECT_TRUE(S.clean());
+  EXPECT_EQ(S.summary(), "");
+}
+
+TEST(FaultStatsTest, MergeAddsEveryCounter) {
+  support::FaultStats A, B;
+  A.SensorDropouts = 2;
+  A.Quarantines = 1;
+  B.SensorDropouts = 3;
+  B.CellFailures = 4;
+  A.merge(B);
+  EXPECT_EQ(A.SensorDropouts, 5u);
+  EXPECT_EQ(A.Quarantines, 1u);
+  EXPECT_EQ(A.CellFailures, 4u);
+  EXPECT_FALSE(A.clean());
+}
+
+TEST(FaultStatsTest, SummaryListsNonZeroCountersOnly) {
+  support::FaultStats S;
+  S.SensorCorruptions = 7;
+  S.DefaultFallbacks = 2;
+  std::string Text = S.summary();
+  EXPECT_NE(Text.find("corruptions=7"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("fallbacks=2"), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("dropouts"), std::string::npos) << Text;
 }
