@@ -37,20 +37,21 @@ namespace medley::core {
 
 /// Serialises \p Experts to \p OS. Returns false (writing nothing useful)
 /// if any expert is not linear.
-bool writeExperts(std::ostream &OS, const std::vector<Expert> &Experts);
+[[nodiscard]] bool writeExperts(std::ostream &OS,
+                                const std::vector<Expert> &Experts);
 
 /// Parses experts previously written by writeExperts. Returns std::nullopt
 /// on any malformed input — wrong magic, truncated numbers, arity
 /// mismatches, or non-finite model parameters (a corrupted file must
 /// never leak NaN/Inf into the runtime). \p Err, when given, receives a
 /// descriptive error on failure.
-std::optional<std::vector<Expert>> readExperts(std::istream &IS,
-                                               support::Error *Err = nullptr);
+[[nodiscard]] std::optional<std::vector<Expert>>
+readExperts(std::istream &IS, support::Error *Err = nullptr);
 
 /// Convenience file wrappers; false / nullopt on I/O failure.
-bool saveExpertsToFile(const std::string &Path,
-                       const std::vector<Expert> &Experts);
-std::optional<std::vector<Expert>>
+[[nodiscard]] bool saveExpertsToFile(const std::string &Path,
+                                     const std::vector<Expert> &Experts);
+[[nodiscard]] std::optional<std::vector<Expert>>
 loadExpertsFromFile(const std::string &Path, support::Error *Err = nullptr);
 
 } // namespace medley::core

@@ -72,6 +72,8 @@ Matrix Matrix::multiply(const Matrix &B) const {
   for (size_t R = 0; R < NumRows; ++R)
     for (size_t K = 0; K < NumCols; ++K) {
       double A = at(R, K);
+      // Exact zero-skip: only a true 0.0 contributes nothing to the
+      // product. medley-lint: allow(float-equality)
       if (A == 0.0)
         continue;
       for (size_t C = 0; C < B.NumCols; ++C)

@@ -104,7 +104,8 @@ public:
   /// Deterministically corrupts the file at \p Path in place — truncation
   /// or byte garbage depending on \p Seed — for on-disk expert-model
   /// fault tests. Returns false when the file cannot be read or written.
-  static bool corruptFile(const std::string &Path, uint64_t Seed);
+  [[nodiscard]] static bool corruptFile(const std::string &Path,
+                                        uint64_t Seed);
 
 private:
   /// Writes seeded garbage (NaN, infinities, huge magnitudes, negative

@@ -66,6 +66,8 @@ double Rng::normal(double Mean, double Stddev) {
     U = uniform(-1.0, 1.0);
     V = uniform(-1.0, 1.0);
     S = U * U + V * V;
+    // Marsaglia polar rejection: S == 0 would divide by zero below, and
+    // only the exact value does. medley-lint: allow(float-equality)
   } while (S >= 1.0 || S == 0.0);
   double Factor = std::sqrt(-2.0 * std::log(S) / S);
   Spare = V * Factor;

@@ -1,0 +1,522 @@
+//===-- tests/LintTest.cpp - medley-lint rule & CLI tests ----------------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each rule family is exercised on a known-bad fixture (must fire) and
+/// a known-good one (must stay quiet); the allow-annotation and baseline
+/// escape hatches round-trip; and the CLI's exit-code contract
+/// (0 clean, 1 findings, 2 usage error) is checked end to end against
+/// the real binary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "medley-lint/Lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sys/wait.h>
+
+using namespace medley::lint;
+
+namespace {
+
+/// Lints \p Source as if it lived at src/core/Fixture.cpp.
+std::vector<Finding> lintAsSrc(const std::string &Source) {
+  return lintSource("src/core/Fixture.cpp", Source, FileKind::Src);
+}
+
+/// The rule names present in \p Findings, joined for diagnostics.
+std::string rulesOf(const std::vector<Finding> &Findings) {
+  std::string Out;
+  for (const Finding &F : Findings)
+    Out += F.Rule + ";";
+  return Out;
+}
+
+bool hasRule(const std::vector<Finding> &Findings, const std::string &Rule) {
+  for (const Finding &F : Findings)
+    if (F.Rule == Rule)
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LintLexerTest, TracksLinesAndColumns) {
+  LexedFile L = lex("int a;\n  foo(1.5);\n");
+  ASSERT_GE(L.Tokens.size(), 7u);
+  EXPECT_EQ(L.Tokens[0].Text, "int");
+  EXPECT_EQ(L.Tokens[0].Line, 1u);
+  EXPECT_EQ(L.Tokens[3].Text, "foo");
+  EXPECT_EQ(L.Tokens[3].Line, 2u);
+  EXPECT_EQ(L.Tokens[3].Col, 3u);
+  EXPECT_EQ(L.Tokens[5].Text, "1.5");
+  EXPECT_EQ(L.Tokens[5].K, Token::Number);
+}
+
+TEST(LintLexerTest, BannedNamesInsideStringsAndCommentsAreNotTokens) {
+  // "rand(" in a string literal or comment must not produce Ident
+  // tokens, or every log message would trip the lint.
+  LexedFile L = lex("auto S = \"rand() time()\"; // rand() here too\n"
+                    "/* std::rand() */ int X;\n");
+  for (const Token &T : L.Tokens)
+    if (T.K == Token::Ident) {
+      EXPECT_NE(T.Text, "rand");
+    }
+}
+
+TEST(LintLexerTest, RawStringsAreOpaque) {
+  LexedFile L = lex("auto S = R\"(srand(1) random_device)\"; int Y;\n");
+  for (const Token &T : L.Tokens)
+    if (T.K == Token::Ident) {
+      EXPECT_NE(T.Text, "srand");
+      EXPECT_NE(T.Text, "random_device");
+    }
+}
+
+TEST(LintLexerTest, AllowAnnotationsParse) {
+  LexedFile L = lex("int A; // medley-lint: allow(float-equality)\n"
+                    "// medley-lint: allow(nondeterminism, raw-concurrency)\n"
+                    "int B;\n");
+  ASSERT_TRUE(L.AllowedByLine.count(1));
+  EXPECT_TRUE(L.AllowedByLine[1].count("float-equality"));
+  ASSERT_TRUE(L.AllowedByLine.count(2));
+  EXPECT_TRUE(L.AllowedByLine[2].count("nondeterminism"));
+  EXPECT_TRUE(L.AllowedByLine[2].count("raw-concurrency"));
+}
+
+//===----------------------------------------------------------------------===//
+// Path classification
+//===----------------------------------------------------------------------===//
+
+TEST(LintPathTest, ClassifiesTreePositions) {
+  EXPECT_EQ(classifyPath("src/core/Expert.cpp"), FileKind::Src);
+  EXPECT_EQ(classifyPath("/abs/repo/src/exp/Driver.cpp"), FileKind::Src);
+  EXPECT_EQ(classifyPath("src/support/ThreadPool.cpp"), FileKind::SrcSupport);
+  EXPECT_EQ(classifyPath("apps/medley.cpp"), FileKind::Apps);
+  EXPECT_EQ(classifyPath("bench/bench_fig08_summary.cpp"), FileKind::Bench);
+  EXPECT_EQ(classifyPath("tests/CoreTest.cpp"), FileKind::Tests);
+  EXPECT_EQ(classifyPath("docs/example.cpp"), FileKind::Other);
+}
+
+//===----------------------------------------------------------------------===//
+// L1: nondeterminism
+//===----------------------------------------------------------------------===//
+
+TEST(LintNondeterminismTest, FiresOnEachBannedSource) {
+  const char *Bad[] = {
+      "int f() { return std::rand(); }",
+      "int f() { return rand(); }",
+      "void f() { srand(42); }",
+      "long f() { return time(nullptr); }",
+      "auto f() { return std::chrono::system_clock::now(); }",
+      "auto f() { return std::chrono::steady_clock::now(); }",
+      "auto f() { return std::chrono::high_resolution_clock::now(); }",
+      "unsigned f() { std::random_device D; return D(); }",
+  };
+  for (const char *Source : Bad) {
+    auto Findings = lintAsSrc(Source);
+    EXPECT_TRUE(hasRule(Findings, "nondeterminism"))
+        << "expected a finding for: " << Source;
+  }
+}
+
+TEST(LintNondeterminismTest, QuietOnSeededRngAndLookalikes) {
+  const char *Good[] = {
+      "double f(Rng &R) { return R.uniform(0.0, 1.0); }",
+      "double f(const Trace &T) { return T.time(); }",   // member named time
+      "int f() { return mylib::rand(); }",               // other namespace
+      "double sleepTime(int N) { return N * 0.5; }",     // suffix lookalike
+      "using Clock = std::chrono::steady_clock;",        // alias, no read
+  };
+  for (const char *Source : Good) {
+    auto Findings = lintAsSrc(Source);
+    EXPECT_FALSE(hasRule(Findings, "nondeterminism"))
+        << "unexpected finding " << rulesOf(Findings) << " for: " << Source;
+  }
+}
+
+TEST(LintNondeterminismTest, OnlyAppliesUnderSrc) {
+  std::string Source = "auto f() { return std::chrono::steady_clock::now(); }";
+  EXPECT_TRUE(hasRule(lintAsSrc(Source), "nondeterminism"));
+  EXPECT_FALSE(hasRule(
+      lintSource("bench/bench_x.cpp", Source, FileKind::Bench),
+      "nondeterminism"));
+  EXPECT_FALSE(hasRule(lintSource("tests/XTest.cpp", Source, FileKind::Tests),
+                       "nondeterminism"));
+}
+
+//===----------------------------------------------------------------------===//
+// L2: unordered-reduction
+//===----------------------------------------------------------------------===//
+
+TEST(LintUnorderedReductionTest, FiresOnRangeForAccumulation) {
+  auto Findings = lintAsSrc(
+      "double total(const std::unordered_map<std::string, double> &M) {\n"
+      "  double Sum = 0;\n"
+      "  for (const auto &[K, V] : M)\n"
+      "    Sum += V;\n"
+      "  return Sum;\n"
+      "}\n");
+  EXPECT_TRUE(hasRule(Findings, "unordered-reduction"));
+}
+
+TEST(LintUnorderedReductionTest, FiresOnIteratorLoopPushBack) {
+  auto Findings = lintAsSrc(
+      "std::vector<int> keys(const std::unordered_set<int> &S) {\n"
+      "  std::vector<int> Out;\n"
+      "  for (auto It = S.begin(); It != S.end(); ++It)\n"
+      "    Out.push_back(*It);\n"
+      "  return Out;\n"
+      "}\n");
+  EXPECT_TRUE(hasRule(Findings, "unordered-reduction"));
+}
+
+TEST(LintUnorderedReductionTest, QuietOnOrderedMapAndNonReductions) {
+  const char *Good[] = {
+      // Ordered container: iteration order is the key order.
+      "double total(const std::map<std::string, double> &M) {\n"
+      "  double Sum = 0;\n"
+      "  for (const auto &[K, V] : M) Sum += V;\n"
+      "  return Sum;\n}\n",
+      // Unordered, but the body only reads.
+      "bool anyNeg(const std::unordered_map<int, int> &M) {\n"
+      "  for (const auto &[K, V] : M) if (V < 0) return true;\n"
+      "  return false;\n}\n",
+      // Counting loop over a vector that merely checks size.
+      "int f(const std::vector<int> &V) {\n"
+      "  int N = 0;\n"
+      "  for (size_t I = 0; I < V.size(); ++I) N += V[I];\n"
+      "  return N;\n}\n",
+  };
+  for (const char *Source : Good) {
+    auto Findings = lintAsSrc(Source);
+    EXPECT_FALSE(hasRule(Findings, "unordered-reduction"))
+        << "unexpected finding for: " << Source;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L3: raw-concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(LintRawConcurrencyTest, FiresOnThreadDetachAndRawLock) {
+  const char *Bad[] = {
+      "void f() { std::thread T([] {}); T.join(); }",
+      "void f(std::thread &T) { T.detach(); }",
+      "void f(std::mutex &M) { M.lock(); }",
+  };
+  for (const char *Source : Bad) {
+    auto Findings = lintAsSrc(Source);
+    EXPECT_TRUE(hasRule(Findings, "raw-concurrency"))
+        << "expected a finding for: " << Source;
+  }
+}
+
+TEST(LintRawConcurrencyTest, QuietOnPoolQueriesAndGuards) {
+  const char *Good[] = {
+      "unsigned f() { return std::thread::hardware_concurrency(); }",
+      "void f(std::mutex &M) { std::lock_guard<std::mutex> G(M); }",
+      "void f(support::ThreadPool &P) { P.parallelFor(8, [](size_t) {}); }",
+  };
+  for (const char *Source : Good) {
+    auto Findings = lintAsSrc(Source);
+    EXPECT_FALSE(hasRule(Findings, "raw-concurrency"))
+        << "unexpected finding " << rulesOf(Findings) << " for: " << Source;
+  }
+}
+
+TEST(LintRawConcurrencyTest, SupportTreeIsExempt) {
+  std::string Source = "void f() { std::thread T([] {}); T.join(); }";
+  EXPECT_TRUE(hasRule(lintAsSrc(Source), "raw-concurrency"));
+  EXPECT_FALSE(hasRule(lintSource("src/support/ThreadPool.cpp", Source,
+                                  FileKind::SrcSupport),
+                       "raw-concurrency"));
+}
+
+//===----------------------------------------------------------------------===//
+// L4: float-equality
+//===----------------------------------------------------------------------===//
+
+TEST(LintFloatEqualityTest, FiresOnLiteralComparisons) {
+  const char *Bad[] = {
+      "bool f(double X) { return X == 1.0; }",
+      "bool f(double X) { return 0.5 != X; }",
+      "bool f(double X) { return X == -2.5; }",
+      "bool f(double X) { return X == 1e-6; }",
+  };
+  for (const char *Source : Bad) {
+    auto Findings = lintAsSrc(Source);
+    EXPECT_TRUE(hasRule(Findings, "float-equality"))
+        << "expected a finding for: " << Source;
+  }
+}
+
+TEST(LintFloatEqualityTest, QuietOnIntegersToleranceAndAssertions) {
+  const char *Good[] = {
+      "bool f(int X) { return X == 1; }",
+      "bool f(unsigned X) { return X == 0x10; }",
+      "bool f(double X) { return std::abs(X - 1.0) < 1e-9; }",
+      "void t(double X) { EXPECT_EQ(X, 1.0); }",
+      "void t(double X) { ASSERT_TRUE(X == 1.0); }",
+      "void t(double X) { EXPECT_TRUE(near(X == 1.0 ? X : 0.0, 0.0)); }",
+  };
+  for (const char *Source : Good) {
+    auto Findings =
+        lintSource("tests/XTest.cpp", Source, FileKind::Tests);
+    EXPECT_FALSE(hasRule(Findings, "float-equality"))
+        << "unexpected finding for: " << Source;
+  }
+}
+
+TEST(LintFloatEqualityTest, BareComparisonStillFiresInTests) {
+  auto Findings = lintSource("tests/XTest.cpp",
+                             "bool f(double X) { return X == 1.0; }",
+                             FileKind::Tests);
+  EXPECT_TRUE(hasRule(Findings, "float-equality"));
+}
+
+//===----------------------------------------------------------------------===//
+// L5: error-check
+//===----------------------------------------------------------------------===//
+
+TEST(LintErrorCheckTest, FiresOnIgnoredOutParam) {
+  auto Findings = lintAsSrc(
+      "std::optional<int> load(const std::string &Path, Error *Err) {\n"
+      "  if (Path.empty())\n"
+      "    return std::nullopt;\n"
+      "  return 42;\n"
+      "}\n");
+  EXPECT_TRUE(hasRule(Findings, "error-check"));
+}
+
+TEST(LintErrorCheckTest, QuietWhenParamIsUsedOrDeclarationOnly) {
+  const char *Good[] = {
+      // Forwarded to the reporting helper.
+      "std::optional<int> load(const std::string &P, Error *Err) {\n"
+      "  reportError(Err, ErrorCode::IoFailure, \"cannot open\");\n"
+      "  return std::nullopt;\n}\n",
+      // Assigned directly.
+      "bool f(support::Error *Err) {\n"
+      "  if (Err) *Err = Error(ErrorCode::CorruptInput, \"bad\");\n"
+      "  return false;\n}\n",
+      // Declaration: no body to check.
+      "std::optional<int> load(const std::string &Path, Error *Err = nullptr);",
+      // Out-param with an unrelated name is outside the heuristic.
+      "void g(Error *Sink) { (void)0; }",
+  };
+  for (const char *Source : Good) {
+    auto Findings = lintAsSrc(Source);
+    EXPECT_FALSE(hasRule(Findings, "error-check"))
+        << "unexpected finding for: " << Source;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Allow annotations
+//===----------------------------------------------------------------------===//
+
+TEST(LintAllowTest, SameLineAndLineAboveSuppress) {
+  EXPECT_TRUE(lintAsSrc("bool f(double X) { return X == 1.0; } "
+                        "// medley-lint: allow(float-equality)\n")
+                  .empty());
+  EXPECT_TRUE(lintAsSrc("// medley-lint: allow(float-equality)\n"
+                        "bool f(double X) { return X == 1.0; }\n")
+                  .empty());
+}
+
+TEST(LintAllowTest, WrongRuleDoesNotSuppress) {
+  auto Findings = lintAsSrc("bool f(double X) { return X == 1.0; } "
+                            "// medley-lint: allow(nondeterminism)\n");
+  EXPECT_TRUE(hasRule(Findings, "float-equality"));
+}
+
+TEST(LintAllowTest, AllSuppressesEverything) {
+  EXPECT_TRUE(lintAsSrc("// medley-lint: allow(all)\n"
+                        "int f() { return std::rand(); }\n")
+                  .empty());
+}
+
+TEST(LintAllowTest, DoesNotLeakPastTheNextLine) {
+  auto Findings = lintAsSrc("// medley-lint: allow(float-equality)\n"
+                            "int A;\n"
+                            "bool f(double X) { return X == 1.0; }\n");
+  EXPECT_TRUE(hasRule(Findings, "float-equality"));
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics, baseline, JSON
+//===----------------------------------------------------------------------===//
+
+TEST(LintReportTest, TextFormatIsGccStyle) {
+  auto Findings = lintAsSrc("bool f(double X) { return X == 1.0; }\n");
+  ASSERT_EQ(Findings.size(), 1u);
+  std::string Text = renderText(Findings[0]);
+  EXPECT_EQ(Text.rfind("src/core/Fixture.cpp:1:", 0), 0u) << Text;
+  EXPECT_NE(Text.find("[float-equality]"), std::string::npos) << Text;
+}
+
+TEST(LintReportTest, FindingsAreSortedByPosition) {
+  auto Findings = lintAsSrc("bool g(double X) { return X == 2.0; }\n"
+                            "int h() { return std::rand(); }\n"
+                            "bool i(double X) { return X != 3.0; }\n");
+  ASSERT_EQ(Findings.size(), 3u);
+  EXPECT_LT(Findings[0].Line, Findings[1].Line);
+  EXPECT_LT(Findings[1].Line, Findings[2].Line);
+}
+
+TEST(LintBaselineTest, RoundTripSuppressesExactlyOnce) {
+  std::string Source = "bool f(double X) { return X == 1.0; }\n"
+                       "bool g(double X) { return X == 1.0; }\n";
+  auto Findings = lintAsSrc(Source);
+  ASSERT_EQ(Findings.size(), 2u);
+
+  // A full baseline silences the file...
+  auto Lines = renderBaseline(Findings);
+  EXPECT_TRUE(applyBaseline(Findings, Lines).empty());
+
+  // ...and one entry forgives exactly one of two identical findings.
+  // (Both source lines differ here, so drop one suppression.)
+  Lines.pop_back();
+  EXPECT_EQ(applyBaseline(Findings, Lines).size(), 1u);
+}
+
+TEST(LintBaselineTest, SurvivesLineNumberDrift) {
+  auto Before = lintAsSrc("bool f(double X) { return X == 1.0; }\n");
+  auto Lines = renderBaseline(Before);
+  // The same finding two lines further down still matches: the key is
+  // the source text, not the position.
+  auto After = lintAsSrc("int A;\nint B;\n"
+                         "bool f(double X) { return X == 1.0; }\n");
+  EXPECT_TRUE(applyBaseline(After, Lines).empty());
+}
+
+TEST(LintBaselineTest, CommentsAndBlanksIgnored) {
+  auto Findings = lintAsSrc("bool f(double X) { return X == 1.0; }\n");
+  EXPECT_EQ(applyBaseline(Findings, {"# comment", "", "  "}).size(), 1u);
+}
+
+TEST(LintReportTest, JsonIsStableAndComplete) {
+  auto Findings = lintAsSrc("bool f(double X) { return X == 1.0; }\n"
+                            "int g() { return std::rand(); }\n");
+  std::string Json = renderJson(Findings);
+  EXPECT_EQ(Json, renderJson(Findings)); // deterministic
+  EXPECT_NE(Json.find("\"float-equality\": 1"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"nondeterminism\": 1"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"total\": 2"), std::string::npos) << Json;
+  EXPECT_EQ(renderJson({}).find("\"total\": 0") == std::string::npos, false);
+}
+
+//===----------------------------------------------------------------------===//
+// CLI exit codes (drives the real binary)
+//===----------------------------------------------------------------------===//
+
+#ifdef MEDLEY_LINT_BIN
+
+namespace {
+
+/// Runs the medley-lint binary and returns its exit status (-1 when the
+/// shell invocation itself failed).
+int runLint(const std::string &Args) {
+  std::string Cmd = std::string(MEDLEY_LINT_BIN) + " " + Args +
+                    " > /dev/null 2> /dev/null";
+  int Status = std::system(Cmd.c_str());
+  if (Status == -1 || !WIFEXITED(Status))
+    return -1;
+  return WEXITSTATUS(Status);
+}
+
+/// A scratch tree under the gtest temp dir with one good and one bad
+/// source file laid out like the real repo.
+class LintCliTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // One scratch tree per test case: ctest -j runs each case as its
+    // own process, so a shared directory would race.
+    const auto *Info = ::testing::UnitTest::GetInstance()->current_test_info();
+    Dir = std::filesystem::path(::testing::TempDir()) /
+          (std::string("medley_lint_cli_") + Info->name());
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir / "src" / "core");
+    write("src/core/Good.cpp",
+          "int add(int A, int B) { return A + B; }\n");
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+
+  void write(const std::string &Rel, const std::string &Contents) {
+    std::ofstream Out(Dir / Rel);
+    Out << Contents;
+  }
+
+  std::string path(const std::string &Rel = "") const {
+    return (Dir / Rel).string();
+  }
+
+  std::filesystem::path Dir;
+};
+
+} // namespace
+
+TEST_F(LintCliTest, ExitsZeroOnCleanTree) {
+  EXPECT_EQ(runLint(path("src")), 0);
+}
+
+TEST_F(LintCliTest, ExitsOneOnFindings) {
+  write("src/core/Bad.cpp", "int f() { return std::rand(); }\n");
+  EXPECT_EQ(runLint(path("src")), 1);
+}
+
+TEST_F(LintCliTest, ExitsTwoOnUsageErrors) {
+  EXPECT_EQ(runLint(""), 2);                        // no paths
+  EXPECT_EQ(runLint("--frobnicate " + path("src")), 2); // unknown flag
+  EXPECT_EQ(runLint(path("no/such/dir")), 2);       // missing path
+  EXPECT_EQ(runLint("--baseline " + path("missing.txt") + " " + path("src")),
+            2); // unreadable baseline
+}
+
+TEST_F(LintCliTest, BaselineRoundTripThroughFiles) {
+  write("src/core/Bad.cpp", "int f() { return std::rand(); }\n");
+  std::string Baseline = path("baseline.txt");
+  // Write the baseline (still exits 1: the findings exist)...
+  EXPECT_EQ(runLint("--write-baseline " + Baseline + " " + path("src")), 1);
+  // ...then a run against it is clean,
+  EXPECT_EQ(runLint("--baseline " + Baseline + " " + path("src")), 0);
+  // and a *new* finding still fails against the old baseline.
+  write("src/core/Worse.cpp", "void g() { srand(7); }\n");
+  EXPECT_EQ(runLint("--baseline " + Baseline + " " + path("src")), 1);
+}
+
+TEST_F(LintCliTest, WritesJsonReport) {
+  write("src/core/Bad.cpp", "int f() { return std::rand(); }\n");
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--json " + Json + " " + path("src")), 1);
+  std::ifstream In(Json);
+  ASSERT_TRUE(In.good());
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(Contents.find("\"nondeterminism\""), std::string::npos);
+}
+
+TEST_F(LintCliTest, RootStripsPathPrefix) {
+  write("src/core/Bad.cpp", "int f() { return std::rand(); }\n");
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + path() + " --json " + Json + " " + path("src")),
+            1);
+  std::ifstream In(Json);
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(Contents.find("\"src/core/Bad.cpp\""), std::string::npos)
+      << Contents;
+}
+
+#endif // MEDLEY_LINT_BIN

@@ -1,0 +1,40 @@
+//===-- tools/medley-lint/Internal.h - Shared internals ---------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internals shared between the lint driver and the rule
+/// implementations; not part of the tool's public surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_TOOLS_LINT_INTERNAL_H
+#define MEDLEY_TOOLS_LINT_INTERNAL_H
+
+#include "medley-lint/Lint.h"
+
+namespace medley::lint {
+
+/// Canonical rule names, in reporting order.
+inline constexpr const char *RuleNondeterminism = "nondeterminism";
+inline constexpr const char *RuleUnorderedReduction = "unordered-reduction";
+inline constexpr const char *RuleRawConcurrency = "raw-concurrency";
+inline constexpr const char *RuleFloatEquality = "float-equality";
+inline constexpr const char *RuleErrorCheck = "error-check";
+
+/// Runs every rule family applicable to \p Kind over \p Lexed, appending
+/// raw (un-suppressed, unsorted) findings to \p Out. \p SourceLines is
+/// the file split at newlines, 0-indexed, used to fill
+/// Finding::SourceLine.
+void runRules(const std::string &Path, FileKind Kind, const LexedFile &Lexed,
+              const std::vector<std::string> &SourceLines,
+              std::vector<Finding> &Out);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string &S);
+
+} // namespace medley::lint
+
+#endif // MEDLEY_TOOLS_LINT_INTERNAL_H

@@ -1,0 +1,224 @@
+//===-- tools/medley-lint/Lint.cpp - Lint driver & reports ---------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "medley-lint/Internal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace medley::lint;
+
+std::string medley::lint::trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+namespace {
+
+/// Splits \p Path at '/' into components.
+std::vector<std::string> components(const std::string &Path) {
+  std::vector<std::string> Out;
+  std::string Part;
+  for (char C : Path) {
+    if (C == '/') {
+      if (!Part.empty())
+        Out.push_back(Part);
+      Part.clear();
+    } else {
+      Part += C;
+    }
+  }
+  if (!Part.empty())
+    Out.push_back(Part);
+  return Out;
+}
+
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  std::string Line;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines.push_back(Line);
+      Line.clear();
+    } else {
+      Line += C;
+    }
+  }
+  Lines.push_back(Line);
+  return Lines;
+}
+
+bool findingLess(const Finding &A, const Finding &B) {
+  if (A.File != B.File)
+    return A.File < B.File;
+  if (A.Line != B.Line)
+    return A.Line < B.Line;
+  if (A.Col != B.Col)
+    return A.Col < B.Col;
+  return A.Rule < B.Rule;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string baselineLineFor(const Finding &F) {
+  return F.File + "|" + F.Rule + "|" + F.SourceLine;
+}
+
+} // namespace
+
+FileKind medley::lint::classifyPath(const std::string &Path) {
+  std::vector<std::string> Parts = components(Path);
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (Parts[I] == "src") {
+      if (I + 1 < Parts.size() && Parts[I + 1] == "support")
+        return FileKind::SrcSupport;
+      return FileKind::Src;
+    }
+    if (Parts[I] == "apps")
+      return FileKind::Apps;
+    if (Parts[I] == "bench")
+      return FileKind::Bench;
+    if (Parts[I] == "tests")
+      return FileKind::Tests;
+  }
+  return FileKind::Other;
+}
+
+std::string medley::lint::renderText(const Finding &F) {
+  std::ostringstream OS;
+  OS << F.File << ":" << F.Line << ":" << F.Col << ": [" << F.Rule << "] "
+     << F.Message;
+  return OS.str();
+}
+
+std::vector<Finding> medley::lint::lintSource(const std::string &Path,
+                                              const std::string &Source,
+                                              FileKind Kind) {
+  LexedFile Lexed = lex(Source);
+  std::vector<std::string> Lines = splitLines(Source);
+  std::vector<Finding> Raw;
+  runRules(Path, Kind, Lexed, Lines, Raw);
+
+  // An allow annotation covers its own line and the next one, so both
+  //   stmt;  // medley-lint: allow(rule)
+  // and
+  //   // medley-lint: allow(rule)
+  //   stmt;
+  // work. "all" silences every rule at that point.
+  std::vector<Finding> Kept;
+  for (Finding &F : Raw) {
+    bool Allowed = false;
+    for (unsigned Line : {F.Line, F.Line > 0 ? F.Line - 1 : 0u}) {
+      auto It = Lexed.AllowedByLine.find(Line);
+      if (It != Lexed.AllowedByLine.end() &&
+          (It->second.count(F.Rule) || It->second.count("all")))
+        Allowed = true;
+    }
+    if (!Allowed)
+      Kept.push_back(std::move(F));
+  }
+  std::sort(Kept.begin(), Kept.end(), findingLess);
+  return Kept;
+}
+
+std::vector<Finding> medley::lint::lintSource(const std::string &Path,
+                                              const std::string &Source) {
+  return lintSource(Path, Source, classifyPath(Path));
+}
+
+std::vector<std::string>
+medley::lint::renderBaseline(const std::vector<Finding> &Findings) {
+  std::vector<std::string> Lines;
+  Lines.reserve(Findings.size());
+  for (const Finding &F : Findings)
+    Lines.push_back(baselineLineFor(F));
+  std::sort(Lines.begin(), Lines.end());
+  return Lines;
+}
+
+std::vector<Finding>
+medley::lint::applyBaseline(std::vector<Finding> Findings,
+                            const std::vector<std::string> &Lines) {
+  // Multiset of suppressions: each baseline line forgives exactly one
+  // matching finding, so a file that grows a second identical problem
+  // still fails.
+  std::multiset<std::string> Suppressed;
+  for (const std::string &Raw : Lines) {
+    std::string Line = trim(Raw);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    Suppressed.insert(Line);
+  }
+  std::vector<Finding> Kept;
+  for (Finding &F : Findings) {
+    auto It = Suppressed.find(baselineLineFor(F));
+    if (It != Suppressed.end())
+      Suppressed.erase(It);
+    else
+      Kept.push_back(std::move(F));
+  }
+  std::sort(Kept.begin(), Kept.end(), findingLess);
+  return Kept;
+}
+
+std::string medley::lint::renderJson(const std::vector<Finding> &Findings) {
+  std::vector<Finding> Sorted = Findings;
+  std::sort(Sorted.begin(), Sorted.end(), findingLess);
+  std::map<std::string, unsigned> ByRule;
+  for (const Finding &F : Sorted)
+    ++ByRule[F.Rule];
+
+  std::ostringstream OS;
+  OS << "{\n  \"findings\": [";
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    const Finding &F = Sorted[I];
+    OS << (I ? ",\n" : "\n");
+    OS << "    {\"file\": \"" << jsonEscape(F.File) << "\", \"line\": "
+       << F.Line << ", \"col\": " << F.Col << ", \"rule\": \""
+       << jsonEscape(F.Rule) << "\", \"message\": \"" << jsonEscape(F.Message)
+       << "\"}";
+  }
+  OS << (Sorted.empty() ? "],\n" : "\n  ],\n");
+  OS << "  \"counts\": {";
+  bool First = true;
+  for (const auto &[Rule, Count] : ByRule) {
+    OS << (First ? "" : ", ") << "\"" << jsonEscape(Rule) << "\": " << Count;
+    First = false;
+  }
+  OS << "},\n  \"total\": " << Sorted.size() << "\n}\n";
+  return OS.str();
+}

@@ -1,0 +1,120 @@
+//===-- tools/medley-lint/Lint.h - Determinism lint -------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// medley-lint: a project-specific static-analysis pass over the Medley
+/// sources enforcing the invariants the experiment engine's determinism
+/// contract rests on (DESIGN.md §10). Five rule families:
+///
+///   nondeterminism     (L1)  wall-clock / unseeded entropy in src/
+///   unordered-reduction(L2)  reductions fed by unordered-container order
+///   raw-concurrency    (L3)  std::thread / detach / raw mutex.lock()
+///                            outside src/support/
+///   float-equality     (L4)  ==/!= against floating literals outside
+///                            test assertions
+///   error-check        (L5)  support::Error* out-params a function body
+///                            never touches
+///
+/// The analysis is a tokenizer plus per-rule heuristics — deliberately
+/// not a real C++ front end. It trades soundness for zero dependencies
+/// and sub-second runtime over the whole tree; escape hatches are the
+/// `// medley-lint: allow(<rule>)` annotation (same line or the line
+/// above) and `--baseline` suppression files for burn-down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_TOOLS_LINT_H
+#define MEDLEY_TOOLS_LINT_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace medley::lint {
+
+/// One C++ token with its source position. The lexer understands
+/// comments, string/char literals (including raw strings), numbers and
+/// multi-character operators; everything it does not model becomes a
+/// single-character Punct token.
+struct Token {
+  enum Kind { Ident, Number, String, Punct };
+  Kind K = Punct;
+  std::string Text;
+  unsigned Line = 0; ///< 1-based.
+  unsigned Col = 0;  ///< 1-based.
+};
+
+/// The lexed form of one translation unit: the token stream plus the
+/// `// medley-lint: allow(rule)` annotations, keyed by the line the
+/// comment sits on. An annotation suppresses findings of the named
+/// rules on its own line and on the following line.
+struct LexedFile {
+  std::vector<Token> Tokens;
+  std::map<unsigned, std::set<std::string>> AllowedByLine;
+};
+
+/// Tokenizes \p Source. Never fails: unterminated constructs consume to
+/// end of input.
+LexedFile lex(const std::string &Source);
+
+/// Where a file sits in the tree, which decides rule applicability.
+enum class FileKind {
+  Src,        ///< src/ outside support/ — every rule.
+  SrcSupport, ///< src/support/ — concurrency primitives live here.
+  Apps,
+  Bench,
+  Tests, ///< assertion macros exempt from float-equality.
+  Other,
+};
+
+/// Classifies \p Path by its directory components ("src", "src/support",
+/// "apps", "bench", "tests" anywhere in the path).
+FileKind classifyPath(const std::string &Path);
+
+/// One diagnostic.
+struct Finding {
+  std::string File;
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Rule;
+  std::string Message;
+  /// The trimmed source line, used as the position-independent baseline
+  /// key so suppressions survive unrelated edits above the finding.
+  std::string SourceLine;
+};
+
+/// "file:line:col: [rule] message" — the GCC-style diagnostic form.
+std::string renderText(const Finding &F);
+
+/// Runs every applicable rule over \p Source, honouring allow
+/// annotations. Findings come back sorted by (file, line, col, rule).
+std::vector<Finding> lintSource(const std::string &Path,
+                                const std::string &Source);
+
+/// As above with the tree position forced — lets tests exercise
+/// src-only rules on fixture snippets.
+std::vector<Finding> lintSource(const std::string &Path,
+                                const std::string &Source, FileKind Kind);
+
+/// Baseline files: one suppression per line, `file|rule|trimmed source
+/// line`, '#' comments and blank lines ignored. Each line suppresses
+/// one matching finding (multiset semantics).
+std::vector<std::string> renderBaseline(const std::vector<Finding> &Findings);
+
+/// Parses baseline lines (as read from disk) and removes one matching
+/// finding per suppression. Returns the survivors, still sorted.
+std::vector<Finding> applyBaseline(std::vector<Finding> Findings,
+                                   const std::vector<std::string> &Lines);
+
+/// The whole report as pretty-printed JSON: a sorted findings array
+/// plus per-rule counts. Stable across runs — no timestamps, no paths
+/// outside the findings themselves.
+std::string renderJson(const std::vector<Finding> &Findings);
+
+} // namespace medley::lint
+
+#endif // MEDLEY_TOOLS_LINT_H

@@ -1,0 +1,185 @@
+//===-- tools/medley-lint/main.cpp - CLI entry point ---------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// medley-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+///
+///   medley-lint [options] <path>...
+///     --root DIR            strip DIR/ from reported paths (stable diffs)
+///     --baseline FILE       suppress findings listed in FILE
+///     --write-baseline FILE write the current findings as a baseline
+///     --json FILE           write the JSON report to FILE
+///
+/// Paths may be files or directories; directories are scanned
+/// recursively for *.cpp / *.h. Output is sorted by (file, line, col,
+/// rule) and carries no timestamps, so consecutive runs diff cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "medley-lint/Lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <tuple>
+
+using namespace medley::lint;
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(const std::string &Message) {
+  std::cerr << "medley-lint: " << Message << "\n"
+            << "usage: medley-lint [--root DIR] [--baseline FILE] "
+               "[--write-baseline FILE] [--json FILE] <path>...\n";
+  return 2;
+}
+
+bool lintableFile(const fs::path &P) {
+  std::string Ext = P.extension().string();
+  return Ext == ".cpp" || Ext == ".h";
+}
+
+/// Expands files and recursively-scanned directories into a sorted,
+/// de-duplicated file list.
+std::vector<std::string> collectFiles(const std::vector<std::string> &Paths,
+                                      std::string &Error) {
+  std::vector<std::string> Files;
+  for (const std::string &Path : Paths) {
+    std::error_code EC;
+    if (fs::is_directory(Path, EC)) {
+      for (fs::recursive_directory_iterator It(Path, EC), End;
+           It != End && !EC; It.increment(EC))
+        if (It->is_regular_file() && lintableFile(It->path()))
+          Files.push_back(It->path().string());
+    } else if (fs::is_regular_file(Path, EC)) {
+      Files.push_back(Path);
+    } else {
+      Error = "no such file or directory: " + Path;
+      return {};
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  Files.erase(std::unique(Files.begin(), Files.end()), Files.end());
+  return Files;
+}
+
+/// Reported path: \p Path with the --root prefix stripped, so reports
+/// are machine-independent.
+std::string reportPath(const std::string &Path, const std::string &Root) {
+  if (Root.empty())
+    return Path;
+  std::string Prefix = Root;
+  if (!Prefix.empty() && Prefix.back() != '/')
+    Prefix += '/';
+  if (Path.rfind(Prefix, 0) == 0)
+    return Path.substr(Prefix.size());
+  return Path;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Root, BaselinePath, WriteBaselinePath, JsonPath;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    if (Arg == "--root") {
+      if (!Value(Root))
+        return usage("--root needs a directory");
+    } else if (Arg == "--baseline") {
+      if (!Value(BaselinePath))
+        return usage("--baseline needs a file");
+    } else if (Arg == "--write-baseline") {
+      if (!Value(WriteBaselinePath))
+        return usage("--write-baseline needs a file");
+    } else if (Arg == "--json") {
+      if (!Value(JsonPath))
+        return usage("--json needs a file");
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage("project-specific determinism & concurrency lint");
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage("unknown option: " + Arg);
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty())
+    return usage("no paths given");
+
+  std::string CollectError;
+  std::vector<std::string> Files = collectFiles(Paths, CollectError);
+  if (!CollectError.empty())
+    return usage(CollectError);
+
+  std::vector<Finding> Findings;
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    if (!In)
+      return usage("cannot read: " + File);
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    std::vector<Finding> FileFindings =
+        lintSource(reportPath(File, Root), Buffer.str());
+    Findings.insert(Findings.end(),
+                    std::make_move_iterator(FileFindings.begin()),
+                    std::make_move_iterator(FileFindings.end()));
+  }
+
+  if (!WriteBaselinePath.empty()) {
+    std::ofstream Out(WriteBaselinePath);
+    if (!Out)
+      return usage("cannot write baseline: " + WriteBaselinePath);
+    Out << "# medley-lint baseline — one suppression per line:\n"
+        << "# file|rule|trimmed source line\n";
+    for (const std::string &Line : renderBaseline(Findings))
+      Out << Line << "\n";
+  }
+
+  if (!BaselinePath.empty()) {
+    std::ifstream In(BaselinePath);
+    if (!In)
+      return usage("cannot read baseline: " + BaselinePath);
+    std::vector<std::string> Lines;
+    std::string Line;
+    while (std::getline(In, Line))
+      Lines.push_back(Line);
+    Findings = applyBaseline(std::move(Findings), Lines);
+  }
+
+  // Findings arrive sorted per file and files are visited in sorted
+  // order, but re-sort globally so --root stripping cannot reorder.
+  std::sort(Findings.begin(), Findings.end(),
+            [](const Finding &A, const Finding &B) {
+              return std::tie(A.File, A.Line, A.Col, A.Rule) <
+                     std::tie(B.File, B.Line, B.Col, B.Rule);
+            });
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out)
+      return usage("cannot write report: " + JsonPath);
+    Out << renderJson(Findings);
+  }
+
+  for (const Finding &F : Findings)
+    std::cout << renderText(F) << "\n";
+  std::cout << "medley-lint: " << Files.size() << " files, "
+            << Findings.size() << " finding"
+            << (Findings.size() == 1 ? "" : "s") << "\n";
+  return Findings.empty() ? 0 : 1;
+}
