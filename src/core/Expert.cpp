@@ -40,13 +40,30 @@ Expert::Expert(std::string Name, std::string Description, PredictFn ThreadFn,
 }
 
 unsigned Expert::predictThreads(const policy::FeatureVector &Features) const {
-  long N = std::lround(ThreadFn(Features.Values));
+  // Standard linear experts skip the std::function trampoline: the lambda
+  // stored in ThreadFn would do exactly this call, so going direct is
+  // bit-identical and keeps the per-decision path free of indirection.
+  double Raw = LinearThread ? LinearThread->predict(Features.Values)
+                            : ThreadFn(Features.Values);
+  long N = std::lround(Raw);
+  N = std::clamp<long>(N, 1, static_cast<long>(Features.MaxThreads));
+  return static_cast<unsigned>(N);
+}
+
+unsigned
+Expert::predictThreadsStandardized(const policy::FeatureVector &Features,
+                                   const Vec &Std) const {
+  assert(LinearThread && "standardised prediction needs a linear expert");
+  double Raw = LinearThread->predictStandardized(Std);
+  long N = std::lround(Raw);
   N = std::clamp<long>(N, 1, static_cast<long>(Features.MaxThreads));
   return static_cast<unsigned>(N);
 }
 
 double Expert::predictEnvNorm(const policy::FeatureVector &Features) const {
-  return std::max(0.0, EnvFn(Features.Values));
+  double Raw = LinearEnv ? LinearEnv->predict(Features.Values)
+                         : EnvFn(Features.Values);
+  return std::max(0.0, Raw);
 }
 
 void Expert::observeEnvironment(const Vec &Features,

@@ -60,6 +60,13 @@ public:
   /// Thread prediction n = clamp(round(w . f + beta), 1, MaxThreads).
   unsigned predictThreads(const policy::FeatureVector &Features) const;
 
+  /// Thread prediction from a pre-standardised feature vector \p Std
+  /// (threadModel()->scaler() applied to Features.Values). Only valid for
+  /// linear experts; bit-identical to predictThreads. The mixture uses this
+  /// to standardise once per decision when all experts share a scaler.
+  unsigned predictThreadsStandardized(const policy::FeatureVector &Features,
+                                      const Vec &Std) const;
+
   /// Environment prediction ||ê_{t+1}|| = m . f_t + beta.
   double predictEnvNorm(const policy::FeatureVector &Features) const;
 
@@ -78,6 +85,11 @@ public:
   /// Mean environment norm of the expert's training data; used to order
   /// experts along the hyperplane selector's axis.
   double meanTrainingEnv() const { return MeanTrainingEnv; }
+
+  /// True when the expert learns its environment model online and wants
+  /// observeEnvironment callbacks; the mixture skips the feedback loop
+  /// entirely when no expert does.
+  bool hasEnvObserver() const { return static_cast<bool>(ObserveEnv); }
 
 private:
   std::string Name;

@@ -6,6 +6,8 @@
 
 #include "core/ExpertSelector.h"
 
+#include "linalg/Vector.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -20,9 +22,12 @@ ExpertSelector::ExpertSelector(size_t NumExperts) : NumExperts(NumExperts) {
 ExpertSelector::~ExpertSelector() = default;
 
 size_t ExpertSelector::winnerOf(const Vec &Errors) {
-  assert(!Errors.empty() && "empty error vector");
-  return static_cast<size_t>(
-      std::min_element(Errors.begin(), Errors.end()) - Errors.begin());
+  return winnerOfSpan(Errors.data(), Errors.size());
+}
+
+size_t ExpertSelector::winnerOfSpan(const double *Errors, size_t N) {
+  assert(N > 0 && "empty error vector");
+  return static_cast<size_t>(std::min_element(Errors, Errors + N) - Errors);
 }
 
 bool ExpertSelector::blendWeights(const Vec &, Vec &) { return false; }
@@ -32,23 +37,35 @@ bool ExpertSelector::isQuarantined(size_t) const { return false; }
 bool ExpertSelector::allQuarantined() const { return false; }
 
 Vec ExpertSelector::softmaxOfErrors(const Vec &Errors) {
-  assert(!Errors.empty() && "empty error vector");
-  double Mean = 0.0;
-  for (double E : Errors)
-    Mean += E;
-  Mean /= static_cast<double>(Errors.size());
+  Vec Weights;
+  softmaxOfErrorsInto(Errors.data(), Errors.size(), Weights);
+  return Weights;
+}
+
+void ExpertSelector::softmaxOfErrorsInto(const double *Errors, size_t N,
+                                         Vec &Weights) {
+  assert(N > 0 && "empty error vector");
+  // Mean and minimum in one pass: the sum accumulates in index order
+  // exactly as before, and the running minimum is comparison-only, so the
+  // fusion cannot change any result bit.
+  double Mean = Errors[0];
+  double MinError = Errors[0];
+  for (size_t K = 1; K < N; ++K) {
+    Mean += Errors[K];
+    if (Errors[K] < MinError)
+      MinError = Errors[K];
+  }
+  Mean /= static_cast<double>(N);
   double Tau = std::max(1e-9, 0.3 * Mean);
 
-  Vec Weights(Errors.size());
+  Weights.resize(N);
   double Sum = 0.0;
-  double MinError = *std::min_element(Errors.begin(), Errors.end());
-  for (size_t K = 0; K < Errors.size(); ++K) {
+  for (size_t K = 0; K < N; ++K) {
     Weights[K] = std::exp(-(Errors[K] - MinError) / Tau);
     Sum += Weights[K];
   }
   for (double &W : Weights)
     W /= Sum;
-  return Weights;
 }
 
 //===----------------------------------------------------------------------===//
@@ -74,8 +91,9 @@ void HyperplaneSelector::initBoundaries() {
                     static_cast<double>(NumExperts);
 }
 
-double HyperplaneSelector::project(const Vec &Features) const {
-  return norm2(Scaler.transform(Features));
+double HyperplaneSelector::project(const Vec &Features) {
+  Scaler.transformInto(Features, ScratchStd);
+  return norm2(ScratchStd);
 }
 
 size_t HyperplaneSelector::select(const Vec &Features) {
@@ -137,10 +155,17 @@ PerceptronSelector::PerceptronSelector(size_t NumExperts, FeatureScaler Scaler,
   reset();
 }
 
-Vec PerceptronSelector::augmented(const Vec &Features) const {
-  Vec X = Scaler.transform(Features);
-  X.push_back(1.0); // Bias term.
-  return X;
+void PerceptronSelector::augmentedInto(const Vec &Features, Vec &X) const {
+  // Standardised features with a trailing bias term; same values as
+  // Scaler.transform + push_back(1.0), built into a reused buffer.
+  size_t D = Scaler.dimension();
+  assert(Features.size() == D && "scaler dimension mismatch");
+  const Vec &Means = Scaler.means();
+  const Vec &Scales = Scaler.scales();
+  X.resize(D + 1);
+  for (size_t I = 0; I < D; ++I)
+    X[I] = (Features[I] - Means[I]) / Scales[I];
+  X[D] = 1.0;
 }
 
 size_t PerceptronSelector::select(const Vec &Features) {
@@ -152,11 +177,14 @@ size_t PerceptronSelector::select(const Vec &Features) {
         std::max_element(RecentWins.begin(), RecentWins.end()) -
         RecentWins.begin());
   }
-  Vec X = augmented(Features);
+  augmentedInto(Features, ScratchX);
+  // One gemv over the flat weight rows scores every expert; each row
+  // accumulates like dot(), so the scores match the per-row dots bitwise.
+  gemv(FlatWeights, NumExperts, ScratchX.size(), ScratchX, ScratchScores);
   size_t Best = 0;
-  double BestScore = dot(Weights[0], X);
+  double BestScore = ScratchScores[0];
   for (size_t K = 1; K < NumExperts; ++K) {
-    double Score = dot(Weights[K], X);
+    double Score = ScratchScores[K];
     if (Score > BestScore) {
       BestScore = Score;
       Best = K;
@@ -176,14 +204,17 @@ void PerceptronSelector::update(const Vec &Features, const Vec &Errors) {
   if (Predicted == BestExpert)
     return;
 
-  // Standard multiclass perceptron step.
-  Vec X = augmented(Features);
-  axpy(Weights[BestExpert], LearningRate, X);
-  axpy(Weights[Predicted], -LearningRate, X);
+  // Standard multiclass perceptron step, applied to the flat rows.
+  augmentedInto(Features, ScratchX);
+  size_t Stride = ScratchX.size();
+  axpySpan(FlatWeights.data() + BestExpert * Stride, LearningRate,
+           ScratchX.data(), Stride);
+  axpySpan(FlatWeights.data() + Predicted * Stride, -LearningRate,
+           ScratchX.data(), Stride);
 }
 
 void PerceptronSelector::reset() {
-  Weights.assign(NumExperts, Vec(Scaler.dimension() + 1, 0.0));
+  FlatWeights.assign(NumExperts * (Scaler.dimension() + 1), 0.0);
   RecentWins.assign(NumExperts, 1.0 / static_cast<double>(NumExperts));
   Trained = false;
 }
@@ -226,7 +257,7 @@ void AccuracySelector::update(const Vec &, const Vec &Errors) {
 bool AccuracySelector::blendWeights(const Vec &, Vec &Weights) {
   if (!Trained)
     return false;
-  Weights = softmaxOfErrors(ErrorEma);
+  softmaxOfErrorsInto(ErrorEma.data(), ErrorEma.size(), Weights);
   return true;
 }
 
@@ -258,11 +289,12 @@ BinnedAccuracySelector::BinnedAccuracySelector(size_t NumExperts,
   reset();
 }
 
-size_t BinnedAccuracySelector::binOf(const Vec &Features) const {
+size_t BinnedAccuracySelector::binOf(const Vec &Features) {
   // The norm of a standardised d-vector concentrates around sqrt(d); map
   // [0, 2 sqrt(d)) onto the bins.
   double Span = 2.0 * std::sqrt(static_cast<double>(Scaler.dimension()));
-  double S = norm2(Scaler.transform(Features));
+  Scaler.transformInto(Features, ScratchStd);
+  double S = norm2(ScratchStd);
   auto Bin = static_cast<size_t>(S / Span * static_cast<double>(NumBins));
   return std::min(Bin, NumBins - 1);
 }
@@ -271,7 +303,9 @@ size_t BinnedAccuracySelector::select(const Vec &Features) {
   if (!Trained)
     return 0;
   size_t Bin = binOf(Features);
-  return winnerOf(BinTouched[Bin] ? BinErrors[Bin] : GlobalErrors);
+  return winnerOfSpan(BinTouched[Bin] ? FlatBinErrors.data() + Bin * NumExperts
+                                      : GlobalErrors.data(),
+                      NumExperts);
 }
 
 void BinnedAccuracySelector::update(const Vec &Features, const Vec &Errors) {
@@ -284,25 +318,29 @@ void BinnedAccuracySelector::update(const Vec &Features, const Vec &Errors) {
     for (size_t K = 0; K < NumExperts; ++K)
       GlobalErrors[K] += Alpha * (Errors[K] - GlobalErrors[K]);
   }
+  double *Row = FlatBinErrors.data() + Bin * NumExperts;
   if (!BinTouched[Bin]) {
-    BinErrors[Bin] = Errors;
+    for (size_t K = 0; K < NumExperts; ++K)
+      Row[K] = Errors[K];
     BinTouched[Bin] = true;
     return;
   }
   for (size_t K = 0; K < NumExperts; ++K)
-    BinErrors[Bin][K] += Alpha * (Errors[K] - BinErrors[Bin][K]);
+    Row[K] += Alpha * (Errors[K] - Row[K]);
 }
 
 bool BinnedAccuracySelector::blendWeights(const Vec &Features, Vec &Weights) {
   if (!Trained)
     return false;
   size_t Bin = binOf(Features);
-  Weights = softmaxOfErrors(BinTouched[Bin] ? BinErrors[Bin] : GlobalErrors);
+  softmaxOfErrorsInto(BinTouched[Bin] ? FlatBinErrors.data() + Bin * NumExperts
+                                      : GlobalErrors.data(),
+                      NumExperts, Weights);
   return true;
 }
 
 void BinnedAccuracySelector::reset() {
-  BinErrors.assign(NumBins, Vec(NumExperts, 0.0));
+  FlatBinErrors.assign(NumBins * NumExperts, 0.0);
   BinTouched.assign(NumBins, false);
   GlobalErrors.assign(NumExperts, 0.0);
   Trained = false;
@@ -335,22 +373,22 @@ bool RegimeSelector::contended(const Vec &Features) {
   return Features[5] > Features[4];
 }
 
-std::vector<size_t> RegimeSelector::candidates(const Vec &Features) const {
+void RegimeSelector::candidatesInto(const Vec &Features,
+                                    std::vector<size_t> &Matching) const {
   int Want = contended(Features) ? 1 : 0;
-  std::vector<size_t> Matching;
+  Matching.clear();
   for (size_t K = 0; K < NumExperts; ++K)
     if (RegimeTags[K] == Want || RegimeTags[K] == -1)
       Matching.push_back(K);
   if (Matching.empty())
     for (size_t K = 0; K < NumExperts; ++K)
       Matching.push_back(K);
-  return Matching;
 }
 
 size_t RegimeSelector::select(const Vec &Features) {
-  std::vector<size_t> Matching = candidates(Features);
-  size_t Best = Matching.front();
-  for (size_t K : Matching)
+  candidatesInto(Features, ScratchMatching);
+  size_t Best = ScratchMatching.front();
+  for (size_t K : ScratchMatching)
     if (ErrorEma[K] < ErrorEma[Best])
       Best = K;
   return Best;
@@ -370,15 +408,15 @@ void RegimeSelector::update(const Vec &, const Vec &Errors) {
 bool RegimeSelector::blendWeights(const Vec &Features, Vec &Weights) {
   if (!Trained)
     return false;
-  std::vector<size_t> Matching = candidates(Features);
-  Vec Errors;
-  Errors.reserve(Matching.size());
-  for (size_t K : Matching)
-    Errors.push_back(ErrorEma[K]);
-  Vec Inner = softmaxOfErrors(Errors);
+  candidatesInto(Features, ScratchMatching);
+  ScratchErrors.clear();
+  for (size_t K : ScratchMatching)
+    ScratchErrors.push_back(ErrorEma[K]);
+  softmaxOfErrorsInto(ScratchErrors.data(), ScratchErrors.size(),
+                      ScratchInner);
   Weights.assign(NumExperts, 0.0);
-  for (size_t I = 0; I < Matching.size(); ++I)
-    Weights[Matching[I]] = Inner[I];
+  for (size_t I = 0; I < ScratchMatching.size(); ++I)
+    Weights[ScratchMatching[I]] = ScratchInner[I];
   return true;
 }
 
@@ -485,24 +523,25 @@ void QuarantineSelector::update(const Vec &Features, const Vec &Errors) {
 
   // Median of the finite errors — the yardstick a diverging expert is
   // measured against. A wholly non-finite update strikes everyone.
-  Vec Finite;
-  Finite.reserve(NumExperts);
+  ScratchFinite.clear();
   for (double E : Errors)
     if (std::isfinite(E))
-      Finite.push_back(E);
+      ScratchFinite.push_back(E);
   double Median = 0.0;
-  if (!Finite.empty()) {
-    std::sort(Finite.begin(), Finite.end());
-    Median = Finite[Finite.size() / 2];
+  if (!ScratchFinite.empty()) {
+    std::sort(ScratchFinite.begin(), ScratchFinite.end());
+    Median = ScratchFinite[ScratchFinite.size() / 2];
   }
   double StrikeThreshold =
       std::max(Options.DivergenceFactor * Median, Options.AbsoluteErrorFloor);
   // Non-finite errors reach the inner selector as a large finite penalty
   // so its own EMA/weights stay finite.
   double Penalty =
-      2.0 * std::max(Finite.empty() ? 0.0 : Finite.back(), StrikeThreshold);
+      2.0 * std::max(ScratchFinite.empty() ? 0.0 : ScratchFinite.back(),
+                     StrikeThreshold);
 
-  Vec Sanitized(Errors);
+  Vec &Sanitized = ScratchSanitized;
+  Sanitized = Errors;
   for (size_t K = 0; K < NumExperts; ++K) {
     ExpertState &S = States[K];
     bool Diverged = !std::isfinite(Errors[K]) || Errors[K] > StrikeThreshold;

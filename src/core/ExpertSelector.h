@@ -51,6 +51,9 @@ public:
   /// index).
   static size_t winnerOf(const Vec &Errors);
 
+  /// winnerOf over a raw span (flat per-bin error rows).
+  static size_t winnerOfSpan(const double *Errors, size_t N);
+
   /// Soft gating (Jacobs et al.'s original formulation): fills \p Weights
   /// with a distribution over experts for \p Features and returns true, or
   /// returns false when the selector only supports hard selection.
@@ -59,6 +62,11 @@ public:
   /// Softmax of negative errors with a temperature relative to their mean;
   /// shared by the accuracy-based selectors.
   static Vec softmaxOfErrors(const Vec &Errors);
+
+  /// softmaxOfErrors into a caller-owned buffer (allocation-free once
+  /// \p Weights has capacity); bit-identical to the value-returning form.
+  static void softmaxOfErrorsInto(const double *Errors, size_t N,
+                                  Vec &Weights);
 
   /// Rewinds online adaptation.
   virtual void reset() = 0;
@@ -100,12 +108,13 @@ public:
   const Vec &boundaries() const { return Boundaries; }
 
 private:
-  double project(const Vec &Features) const;
+  double project(const Vec &Features);
   void initBoundaries();
 
   FeatureScaler Scaler;
   double LearningRate;
   Vec Boundaries;
+  Vec ScratchStd; ///< Reused standardised copy (hot path, never shared).
 };
 
 /// Multiclass-perceptron gating network over standardised features.
@@ -121,12 +130,18 @@ public:
   const std::string &name() const override;
 
 private:
-  Vec augmented(const Vec &Features) const;
+  /// Writes the standardised, bias-augmented feature vector into \p X.
+  void augmentedInto(const Vec &Features, Vec &X) const;
 
   FeatureScaler Scaler;
   double LearningRate;
-  std::vector<Vec> Weights; ///< One (dim + 1)-vector per expert.
+  /// All K scoring vectors in one contiguous row-major buffer
+  /// (NumExperts x (dim + 1)), so scoring every expert is a single gemv
+  /// over the standardised features instead of K pointer-chased dots.
+  Vec FlatWeights;
   std::vector<double> RecentWins; ///< EMA of supervision wins (tie-break).
+  Vec ScratchX;      ///< Reused augmented feature buffer.
+  Vec ScratchScores; ///< Reused per-expert score buffer.
   bool Trained = false;
 };
 
@@ -168,16 +183,18 @@ public:
   const std::string &name() const override;
 
 private:
-  size_t binOf(const Vec &Features) const;
+  size_t binOf(const Vec &Features);
 
   FeatureScaler Scaler;
   size_t NumBins;
   double Alpha;
-  /// Per-bin EMA errors; a bin untouched so far falls back to the global
-  /// EMA.
-  std::vector<Vec> BinErrors;
+  /// Per-bin EMA errors as one flat pre-sized buffer (NumBins x
+  /// NumExperts, row-major); a bin untouched so far falls back to the
+  /// global EMA.
+  Vec FlatBinErrors;
   std::vector<bool> BinTouched;
   Vec GlobalErrors;
+  Vec ScratchStd; ///< Reused standardised copy for binOf.
   bool Trained = false;
 };
 
@@ -203,13 +220,17 @@ private:
   /// True when the current state is oversubscribed.
   static bool contended(const Vec &Features);
 
-  /// Experts matching the regime of \p Features (all of them if no tag
-  /// matches).
-  std::vector<size_t> candidates(const Vec &Features) const;
+  /// Fills \p Matching with the experts whose tag fits the regime of
+  /// \p Features (all of them if no tag matches).
+  void candidatesInto(const Vec &Features,
+                      std::vector<size_t> &Matching) const;
 
   std::vector<int> RegimeTags;
   double Alpha;
   Vec ErrorEma;
+  std::vector<size_t> ScratchMatching; ///< Reused candidate list.
+  Vec ScratchErrors;                   ///< Reused blend error buffer.
+  Vec ScratchInner;                    ///< Reused blend softmax buffer.
   bool Trained = false;
 };
 
@@ -294,6 +315,8 @@ private:
     bool Seen = false;
   };
   std::vector<ExpertState> States;
+  Vec ScratchFinite;    ///< Reused finite-error buffer (update()).
+  Vec ScratchSanitized; ///< Reused sanitised-error buffer (update()).
 };
 
 /// Always selects a fixed expert (used to evaluate single experts E^k).

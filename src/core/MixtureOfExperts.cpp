@@ -25,6 +25,54 @@ MixtureOfExperts::MixtureOfExperts(
          this->Selector->numExperts() == this->Experts->size() &&
          "selector arity must match the expert count");
   assert(!this->Stats || this->Stats->numExperts() == this->Experts->size());
+
+  // ExpertBuilder trains every thread predictor with one corpus-wide
+  // scaler; when that holds (element-wise identical moments), the decision
+  // path standardises features once and scores all experts from the shared
+  // copy — bit-identical, but K-1 fewer standardisations per decision.
+  const LinearModel *First = (*this->Experts)[0].threadModel();
+  if (First) {
+    SharedThreadScaler = &First->scaler();
+    for (size_t K = 1; K < this->Experts->size(); ++K) {
+      const LinearModel *M = (*this->Experts)[K].threadModel();
+      if (!M || M->scaler().means() != First->scaler().means() ||
+          M->scaler().scales() != First->scaler().scales()) {
+        SharedThreadScaler = nullptr;
+        break;
+      }
+    }
+  }
+
+  for (const Expert &E : *this->Experts) {
+    if (E.hasEnvObserver())
+      AnyEnvObserver = true;
+    if (const LinearModel *M = E.envModel())
+      EnvModels.push_back(M);
+  }
+  if (EnvModels.size() != this->Experts->size())
+    EnvModels.clear(); // Mixed linear/external experts: keep the slow path.
+  if (SharedThreadScaler)
+    for (const Expert &E : *this->Experts)
+      ThreadModels.push_back(E.threadModel());
+}
+
+void MixtureOfExperts::stashPending(const policy::FeatureVector &Features,
+                                    size_t Chosen) {
+  PendingFeatures = Features.Values;
+  PendingEnvPredictions.resize(Experts->size());
+  if (!EnvModels.empty()) {
+    // Direct linear path, bit-identical to Expert::predictEnvNorm: batch
+    // the raw predictions, then clamp at zero like predictEnvNorm does.
+    LinearModel::predictMany(EnvModels.data(), EnvModels.size(),
+                             Features.Values, PendingEnvPredictions.data());
+    for (size_t K = 0; K < EnvModels.size(); ++K)
+      PendingEnvPredictions[K] = std::max(0.0, PendingEnvPredictions[K]);
+  } else {
+    for (size_t K = 0; K < Experts->size(); ++K)
+      PendingEnvPredictions[K] = (*Experts)[K].predictEnvNorm(Features);
+  }
+  PendingChosen = Chosen;
+  HasPending = true;
 }
 
 void MixtureOfExperts::judgePreviousDecision(
@@ -35,15 +83,16 @@ void MixtureOfExperts::judgePreviousDecision(
   // How far off was each expert's environment prediction made at the
   // previous region, now that the environment is observable?
   double Observed = Features.EnvNorm;
-  Vec Errors(PendingEnvPredictions.size());
+  ScratchErrors.resize(PendingEnvPredictions.size());
   for (size_t K = 0; K < PendingEnvPredictions.size(); ++K)
-    Errors[K] = std::fabs(PendingEnvPredictions[K] - Observed);
-  Selector->update(PendingFeatures, Errors);
+    ScratchErrors[K] = std::fabs(PendingEnvPredictions[K] - Observed);
+  Selector->update(PendingFeatures, ScratchErrors);
 
   // Experts that learn their environment model online (Section 4.1's
   // retrofit path) receive the realised observation.
-  for (const Expert &E : *Experts)
-    E.observeEnvironment(PendingFeatures, Observed);
+  if (AnyEnvObserver)
+    for (const Expert &E : *Experts)
+      E.observeEnvironment(PendingFeatures, Observed);
 
   if (Stats) {
     double Tolerance =
@@ -81,32 +130,46 @@ unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
     long N = std::clamp<long>(std::lround(Processors), 1,
                               static_cast<long>(Features.MaxThreads));
     unsigned Threads = static_cast<unsigned>(N);
-    PendingFeatures = Features.Values;
-    PendingEnvPredictions.resize(Experts->size());
-    for (size_t K = 0; K < Experts->size(); ++K)
-      PendingEnvPredictions[K] = (*Experts)[K].predictEnvNorm(Features);
-    PendingChosen = LastExpert;
-    HasPending = true;
+    stashPending(Features, LastExpert);
     return Threads;
   }
 
   size_t Chosen;
   unsigned Threads;
-  Vec Weights;
+  bool HaveThreadPreds = false;
+  Vec &Weights = ScratchWeights;
   if (Options.SoftBlend &&
       Selector->blendWeights(Features.Values, Weights)) {
     // Soft gating: accuracy-weighted blend of the expert predictions.
+    if (SharedThreadScaler) {
+      SharedThreadScaler->transformInto(Features.Values, ScratchStd);
+      ScratchRawThreads.resize(ThreadModels.size());
+      LinearModel::predictStandardizedMany(ThreadModels.data(),
+                                           ThreadModels.size(), ScratchStd,
+                                           ScratchRawThreads.data());
+    }
+    ScratchThreadPreds.resize(Experts->size());
     double Blend = 0.0;
     double BestWeight = -1.0;
     Chosen = 0;
     for (size_t K = 0; K < Experts->size(); ++K) {
-      unsigned N = (*Experts)[K].predictThreads(Features);
+      unsigned N;
+      if (SharedThreadScaler) {
+        // Same rounding and clamping as Expert::predictThreads.
+        long R = std::lround(ScratchRawThreads[K]);
+        R = std::clamp<long>(R, 1, static_cast<long>(Features.MaxThreads));
+        N = static_cast<unsigned>(R);
+      } else {
+        N = (*Experts)[K].predictThreads(Features);
+      }
+      ScratchThreadPreds[K] = N;
       Blend += Weights[K] * static_cast<double>(N);
       if (Weights[K] > BestWeight) {
         BestWeight = Weights[K];
         Chosen = K;
       }
     }
+    HaveThreadPreds = true;
     long Rounded = std::lround(Blend);
     Rounded = std::clamp<long>(Rounded, 1,
                                static_cast<long>(Features.MaxThreads));
@@ -120,18 +183,20 @@ unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
 
   // Stash this decision's environment predictions; they are judged at the
   // next region, which is the paper's next timestamp.
-  PendingFeatures = Features.Values;
-  PendingEnvPredictions.resize(Experts->size());
-  for (size_t K = 0; K < Experts->size(); ++K)
-    PendingEnvPredictions[K] = (*Experts)[K].predictEnvNorm(Features);
-  PendingChosen = Chosen;
-  HasPending = true;
+  stashPending(Features, Chosen);
 
   if (Stats) {
     ++Stats->SelectionCounts[Chosen];
     Stats->MixtureThreads.add(Threads);
+    // predictThreads is pure, so the per-expert predictions cached by the
+    // blend loop above are exactly what a recomputation would produce.
+    if (!HaveThreadPreds) {
+      ScratchThreadPreds.resize(Experts->size());
+      for (size_t K = 0; K < Experts->size(); ++K)
+        ScratchThreadPreds[K] = (*Experts)[K].predictThreads(Features);
+    }
     for (size_t K = 0; K < Experts->size(); ++K)
-      Stats->ExpertThreads[K].add((*Experts)[K].predictThreads(Features));
+      Stats->ExpertThreads[K].add(ScratchThreadPreds[K]);
   }
   return Threads;
 }

@@ -73,6 +73,10 @@ public:
 private:
   void judgePreviousDecision(const policy::FeatureVector &Features);
 
+  /// Records this decision's per-expert environment predictions so the
+  /// next call can judge them.
+  void stashPending(const policy::FeatureVector &Features, size_t Chosen);
+
   std::shared_ptr<const std::vector<Expert>> Experts;
   std::unique_ptr<ExpertSelector> Selector;
   std::shared_ptr<MoeStats> Stats;
@@ -83,6 +87,34 @@ private:
   Vec PendingEnvPredictions;
   size_t PendingChosen = 0;
   size_t LastExpert = 0;
+
+  // Per-decision scratch: capacity sticks after the first decision, so the
+  // steady-state path never allocates. Instances are per-worker (factory
+  // clones), so plain members need no synchronisation.
+  Vec ScratchErrors;
+  Vec ScratchWeights;
+  Vec ScratchStd;
+  Vec ScratchRawThreads;
+  std::vector<unsigned> ScratchThreadPreds;
+
+  /// Set when every expert's thread predictor is linear and uses the same
+  /// feature scaler (the ExpertBuilder trains them that way): features are
+  /// then standardised once per decision instead of once per expert.
+  /// Points into the shared expert vector, which the policy keeps alive.
+  const FeatureScaler *SharedThreadScaler = nullptr;
+
+  /// Raw thread-model pointers, filled exactly when SharedThreadScaler is
+  /// set; scored in one batch from the shared standardised features.
+  std::vector<const LinearModel *> ThreadModels;
+
+  /// Raw environment-model pointers (same lifetime as above), filled only
+  /// when every expert is linear: the pending-prediction loop then skips
+  /// the per-call Expert indirection. Empty otherwise.
+  std::vector<const LinearModel *> EnvModels;
+
+  /// Any expert with an online environment-learning hook? When false the
+  /// per-decision observeEnvironment fan-out is a guaranteed no-op.
+  bool AnyEnvObserver = false;
 };
 
 } // namespace medley::core

@@ -6,6 +6,7 @@
 
 #include "exp/Reporter.h"
 
+#include "support/Csv.h"
 #include "support/Error.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
@@ -115,6 +116,19 @@ void medley::exp::printSpeedupMatrix(std::ostream &OS,
     T.addCell(V);
   T.print(OS);
   OS << '\n';
+}
+
+void medley::exp::writeSpeedupMatrixCsv(std::ostream &OS,
+                                        const SpeedupMatrix &Matrix) {
+  CsvWriter W(OS, /*BufferBytes=*/1 << 16);
+  std::vector<std::string> Header;
+  Header.reserve(Matrix.Policies.size() + 1);
+  Header.push_back("benchmark");
+  Header.insert(Header.end(), Matrix.Policies.begin(), Matrix.Policies.end());
+  W.writeRow(Header);
+  for (size_t R = 0; R < Matrix.Targets.size(); ++R)
+    W.writeRow(Matrix.Targets[R], Matrix.Values[R]);
+  W.writeRow("hmean", Matrix.hmeanPerPolicy());
 }
 
 void medley::exp::printBars(std::ostream &OS, const std::string &Title,

@@ -46,6 +46,11 @@ SpeedupMatrix computeSpeedupMatrix(Driver &D, PolicySet &Policies,
 void printSpeedupMatrix(std::ostream &OS, const std::string &Title,
                         const SpeedupMatrix &Matrix);
 
+/// Writes \p Matrix as CSV (header row, one row per target, hmean row)
+/// through a buffered CsvWriter: the whole matrix reaches \p OS in a
+/// handful of stream writes regardless of row count.
+void writeSpeedupMatrixCsv(std::ostream &OS, const SpeedupMatrix &Matrix);
+
 /// Prints a one-line "policy: value" bar chart.
 void printBars(std::ostream &OS, const std::string &Title,
                const std::vector<std::string> &Labels,

@@ -62,4 +62,45 @@ Vec hadamard(const Vec &A, const Vec &B) {
   return R;
 }
 
+void addInto(const Vec &A, const Vec &B, Vec &Out) {
+  assert(A.size() == B.size() && "addInto: dimension mismatch");
+  Out.resize(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Out[I] = A[I] + B[I];
+}
+
+void subInto(const Vec &A, const Vec &B, Vec &Out) {
+  assert(A.size() == B.size() && "subInto: dimension mismatch");
+  Out.resize(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Out[I] = A[I] - B[I];
+}
+
+void scaleInto(const Vec &A, double S, Vec &Out) {
+  Out.resize(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Out[I] = A[I] * S;
+}
+
+double dotSpan(const double *A, const double *B, size_t N) {
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+void axpySpan(double *Y, double S, const double *X, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] += S * X[I];
+}
+
+void gemv(const Vec &FlatM, size_t Rows, size_t Cols, const Vec &X,
+          Vec &Out) {
+  assert(FlatM.size() == Rows * Cols && "gemv: matrix shape mismatch");
+  assert(X.size() == Cols && "gemv: vector dimension mismatch");
+  Out.resize(Rows);
+  for (size_t R = 0; R < Rows; ++R)
+    Out[R] = dotSpan(FlatM.data() + R * Cols, X.data(), Cols);
+}
+
 } // namespace medley

@@ -48,6 +48,39 @@ double distance(const Vec &A, const Vec &B);
 /// Element-wise product (Hadamard); dimensions must match.
 Vec hadamard(const Vec &A, const Vec &B);
 
+//===----------------------------------------------------------------------===//
+// Allocation-free kernels
+//
+// In-place/span counterparts of the value-returning helpers above, for the
+// decision hot path (DESIGN.md §11). Each performs exactly the same
+// floating-point operations in exactly the same order as its counterpart,
+// so results are bit-identical; the only difference is that the output
+// lands in a caller-owned buffer whose capacity is reused across calls.
+// Out may alias A or B.
+//===----------------------------------------------------------------------===//
+
+/// Out = A + B without allocating (Out is resized; capacity is kept).
+void addInto(const Vec &A, const Vec &B, Vec &Out);
+
+/// Out = A - B without allocating.
+void subInto(const Vec &A, const Vec &B, Vec &Out);
+
+/// Out = S * A without allocating.
+void scaleInto(const Vec &A, double S, Vec &Out);
+
+/// Dot product over raw spans; same accumulation order as dot().
+double dotSpan(const double *A, const double *B, size_t N);
+
+/// In-place Y[0..N) += S * X[0..N); same order as axpy().
+void axpySpan(double *Y, double S, const double *X, size_t N);
+
+/// Row-major dense matrix-vector product: Out[R] = dot(M[R*Cols ..], X).
+/// \p FlatM holds Rows x Cols values row-major; each row accumulates in
+/// index order, exactly like dot(), so scoring K experts through one gemv
+/// is bit-identical to K separate dot() calls.
+void gemv(const Vec &FlatM, size_t Rows, size_t Cols, const Vec &X,
+          Vec &Out);
+
 } // namespace medley
 
 #endif // MEDLEY_LINALG_VECTOR_H

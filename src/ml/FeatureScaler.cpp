@@ -57,11 +57,17 @@ FeatureScaler FeatureScaler::fit(const std::vector<Vec> &Rows) {
 }
 
 Vec FeatureScaler::transform(const Vec &X) const {
+  Vec Out;
+  transformInto(X, Out);
+  return Out;
+}
+
+void FeatureScaler::transformInto(const Vec &X, Vec &Out) const {
   assert(X.size() == Means.size() && "scaler dimension mismatch");
-  Vec Out(X.size());
+  assert(&X != &Out && "transformInto: output must not alias the input");
+  Out.resize(X.size());
   for (size_t I = 0; I < X.size(); ++I)
     Out[I] = (X[I] - Means[I]) / Scales[I];
-  return Out;
 }
 
 std::vector<Vec> FeatureScaler::transformAll(const std::vector<Vec> &Rows) const {

@@ -35,6 +35,10 @@ public:
   /// Standardises \p X.
   Vec transform(const Vec &X) const;
 
+  /// Standardises \p X into \p Out without allocating (capacity reused
+  /// across calls); bit-identical to transform(). Out must not alias X.
+  void transformInto(const Vec &X, Vec &Out) const;
+
   /// Applies transform to every row.
   std::vector<Vec> transformAll(const std::vector<Vec> &Rows) const;
 

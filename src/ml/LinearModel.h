@@ -42,6 +42,26 @@ public:
   /// Predicts the target for raw (unscaled) features \p X.
   double predict(const Vec &X) const;
 
+  /// Predicts from already-standardised features \p Z (as produced by
+  /// scaler().transformInto). Bit-identical to predict(X) when Z holds the
+  /// standardised values of X; callers scoring many models that share one
+  /// scaler use this to standardise once per decision.
+  double predictStandardized(const Vec &Z) const;
+
+  /// Scores \p NumModels models over the same raw features into \p Out.
+  /// Each model's accumulation runs in its own register chain in the exact
+  /// index order of predict(), so every Out[K] is bit-identical to
+  /// Models[K]->predict(X) — the interleaving only buys instruction-level
+  /// parallelism across the independent chains. The mixture calls this
+  /// once per decision for the per-expert environment predictions.
+  static void predictMany(const LinearModel *const *Models, size_t NumModels,
+                          const Vec &X, double *Out);
+
+  /// Batch form of predictStandardized; same bit-identity guarantee.
+  static void predictStandardizedMany(const LinearModel *const *Models,
+                                      size_t NumModels, const Vec &Z,
+                                      double *Out);
+
   /// Weights in standardised feature space (the paper's Table-1 entries).
   const Vec &weights() const { return Fit.Weights; }
   double intercept() const { return Fit.Intercept; }

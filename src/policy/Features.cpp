@@ -34,6 +34,13 @@ unsigned medley::policy::sanitizeValues(Vec &Values) {
 FeatureVector
 medley::policy::buildFeatures(const workload::RegionContext &Context,
                               unsigned TotalCores) {
+  FeatureVector F;
+  buildFeatures(Context, TotalCores, F);
+  return F;
+}
+
+void medley::policy::buildFeatures(const workload::RegionContext &Context,
+                                   unsigned TotalCores, FeatureVector &Out) {
   assert(Context.Region && "region context without a region");
   assert(TotalCores >= 1 && "invalid core count");
 
@@ -45,23 +52,28 @@ medley::policy::buildFeatures(const workload::RegionContext &Context,
   sim::EnvSample Env = Context.Env;
   unsigned Repaired = Env.sanitize();
 
-  FeatureVector F;
-  F.Values = {Code.LoadStoreRatio, Code.InstructionWeight, Code.BranchRatio,
-              Env.WorkloadThreads, Env.Processors,         Env.RunQueue,
-              Env.LoadAvg1,        Env.LoadAvg5,           Env.CachedMemory,
-              Env.PageFreeRate};
+  Out.Values.resize(NumFeatures);
+  Out.Values[0] = Code.LoadStoreRatio;
+  Out.Values[1] = Code.InstructionWeight;
+  Out.Values[2] = Code.BranchRatio;
+  Out.Values[3] = Env.WorkloadThreads;
+  Out.Values[4] = Env.Processors;
+  Out.Values[5] = Env.RunQueue;
+  Out.Values[6] = Env.LoadAvg1;
+  Out.Values[7] = Env.LoadAvg5;
+  Out.Values[8] = Env.CachedMemory;
+  Out.Values[9] = Env.PageFreeRate;
   // Code features come from the workload description, but guard them too:
   // a corrupt catalog entry must not leak NaN into the models.
-  Repaired += sanitizeValues(F.Values);
-  F.EnvNorm = Env.scaledNorm(static_cast<double>(TotalCores));
-  if (!std::isfinite(F.EnvNorm)) {
-    F.EnvNorm = 0.0;
+  Repaired += sanitizeValues(Out.Values);
+  Out.EnvNorm = Env.scaledNorm(static_cast<double>(TotalCores));
+  if (!std::isfinite(Out.EnvNorm)) {
+    Out.EnvNorm = 0.0;
     ++Repaired;
   }
-  F.Now = Context.Now;
-  F.MaxThreads = Context.MaxThreads;
-  F.SanitizedCount = Repaired;
-  return F;
+  Out.Now = Context.Now;
+  Out.MaxThreads = Context.MaxThreads;
+  Out.SanitizedCount = Repaired;
 }
 
 Vec medley::policy::environmentPart(const FeatureVector &Features) {

@@ -53,6 +53,19 @@ const std::vector<std::string> &featureNames();
 FeatureVector buildFeatures(const workload::RegionContext &Context,
                             unsigned TotalCores);
 
+/// In-place variant: fills \p Out, reusing its Values capacity so the
+/// steady-state decision path performs no heap allocation. Produces exactly
+/// the same FeatureVector as the value-returning overload.
+void buildFeatures(const workload::RegionContext &Context, unsigned TotalCores,
+                   FeatureVector &Out);
+
+/// Reusable per-binding decision state. Each policy binding (one per
+/// experiment cell / worker thread) owns one, so consecutive decisions
+/// share buffers without any cross-thread contention.
+struct DecisionScratch {
+  FeatureVector Features;
+};
+
 /// Repairs \p Values in place: every non-finite entry becomes 0. Returns
 /// the number of entries repaired.
 unsigned sanitizeValues(Vec &Values);

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 using namespace medley;
 using namespace medley::runtime;
@@ -28,9 +29,14 @@ unsigned medley::runtime::threadCeiling(const policy::FeatureVector &Features) {
 workload::ThreadChooser
 medley::runtime::bindPolicy(policy::ThreadPolicy &Policy, unsigned TotalCores,
                             std::vector<Decision> *Trace) {
-  return [&Policy, TotalCores, Trace](const workload::RegionContext &Context) {
-    policy::FeatureVector Features =
-        policy::buildFeatures(Context, TotalCores);
+  // One scratch per binding: the chooser is called once per region decision
+  // on a single worker, so the feature buffers are reused allocation-free
+  // across decisions without any synchronisation.
+  auto Scratch = std::make_shared<policy::DecisionScratch>();
+  return [&Policy, TotalCores, Trace,
+          Scratch](const workload::RegionContext &Context) {
+    policy::FeatureVector &Features = Scratch->Features;
+    policy::buildFeatures(Context, TotalCores, Features);
     unsigned Raw = Policy.select(Features);
     unsigned Ceiling = threadCeiling(Features);
     unsigned Threads = std::clamp(Raw, 1u, Ceiling);

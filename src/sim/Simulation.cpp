@@ -31,11 +31,24 @@ void Simulation::addTask(std::shared_ptr<Task> T) {
 }
 
 void Simulation::removeTask(const Task *T) {
-  Tasks.erase(std::remove_if(Tasks.begin(), Tasks.end(),
-                             [T](const std::shared_ptr<Task> &Entry) {
-                               return Entry.get() == T;
-                             }),
-              Tasks.end());
+  // Tombstone instead of erase: nulling the slot releases the task now but
+  // leaves the survivors in place, so k removals between ticks cost one
+  // compaction pass (at the next step or accessor) rather than k
+  // element-shifting erases. Iteration order is insertion order throughout —
+  // the per-tick FP reductions in step() accumulate in task order, so a
+  // swap-and-pop would change results.
+  for (std::shared_ptr<Task> &Entry : Tasks)
+    if (Entry.get() == T) {
+      Entry.reset();
+      ++TombstonedTasks;
+    }
+}
+
+void Simulation::compactTasks() const {
+  if (TombstonedTasks == 0)
+    return;
+  Tasks.erase(std::remove(Tasks.begin(), Tasks.end(), nullptr), Tasks.end());
+  TombstonedTasks = 0;
 }
 
 unsigned Simulation::availableCores() {
@@ -48,6 +61,7 @@ void Simulation::setFaultInjector(std::unique_ptr<FaultInjector> Injector) {
 }
 
 unsigned Simulation::runnableThreads() const {
+  compactTasks();
   unsigned Total = 0;
   for (const auto &T : Tasks)
     if (!T->finished())
@@ -56,6 +70,7 @@ unsigned Simulation::runnableThreads() const {
 }
 
 void Simulation::step() {
+  compactTasks();
   unsigned Cores = availableCores();
 
   // One pass over the task set gathers every per-task quantity this tick

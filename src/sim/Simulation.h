@@ -71,10 +71,20 @@ public:
   /// Total runnable threads across unfinished tasks.
   unsigned runnableThreads() const;
 
-  size_t numTasks() const { return Tasks.size(); }
-  const std::vector<std::shared_ptr<Task>> &tasks() const { return Tasks; }
+  size_t numTasks() const {
+    compactTasks();
+    return Tasks.size();
+  }
+  const std::vector<std::shared_ptr<Task>> &tasks() const {
+    compactTasks();
+    return Tasks;
+  }
 
 private:
+  /// Squeezes out tombstoned (null) entries left by removeTask, keeping the
+  /// surviving tasks in insertion order. Called before any code can observe
+  /// the task list, so a null entry is never visible outside this class.
+  void compactTasks() const;
   /// Per-task values gathered once per tick so each virtual accessor is
   /// called exactly once per task per tick.
   struct TaskTickState {
@@ -89,7 +99,12 @@ private:
   double Tick;
   double Time = 0.0;
   SystemMonitor Monitor;
-  std::vector<std::shared_ptr<Task>> Tasks;
+  /// Task list in insertion order. removeTask tombstones (nulls) the slot
+  /// instead of erasing, so a burst of removals costs one compaction pass
+  /// instead of one element-shifting erase each. Mutable so the const
+  /// accessors can compact lazily; nulls never escape compactTasks.
+  mutable std::vector<std::shared_ptr<Task>> Tasks;
+  mutable size_t TombstonedTasks = 0;
   std::vector<std::function<void(Simulation &)>> TickHooks;
   std::vector<TaskTickState> Scratch; ///< Reused across ticks.
 };

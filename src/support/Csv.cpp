@@ -10,35 +10,58 @@
 
 using namespace medley;
 
-static std::string escapeCell(const std::string &Cell) {
+/// Appends \p Cell to \p Out, quoting when the cell contains a comma,
+/// quote or newline.
+static void appendCell(std::string &Out, const std::string &Cell) {
   bool NeedsQuoting = Cell.find_first_of(",\"\n") != std::string::npos;
-  if (!NeedsQuoting)
-    return Cell;
-  std::string Out = "\"";
+  if (!NeedsQuoting) {
+    Out += Cell;
+    return;
+  }
+  Out += '"';
   for (char C : Cell) {
     if (C == '"')
       Out += '"';
     Out += C;
   }
   Out += '"';
-  return Out;
+}
+
+void CsvWriter::emitRow() {
+  Row += '\n';
+  if (BufferBytes == 0) {
+    OS << Row;
+    return;
+  }
+  Buffer += Row;
+  if (Buffer.size() >= BufferBytes)
+    flush();
+}
+
+void CsvWriter::flush() {
+  if (Buffer.empty())
+    return;
+  OS << Buffer;
+  Buffer.clear();
 }
 
 void CsvWriter::writeRow(const std::vector<std::string> &Cells) {
+  Row.clear();
   for (size_t I = 0; I < Cells.size(); ++I) {
     if (I != 0)
-      OS << ',';
-    OS << escapeCell(Cells[I]);
+      Row += ',';
+    appendCell(Row, Cells[I]);
   }
-  OS << '\n';
+  emitRow();
 }
 
 void CsvWriter::writeRow(const std::string &Label,
                          const std::vector<double> &Values, int Precision) {
-  std::vector<std::string> Cells;
-  Cells.reserve(Values.size() + 1);
-  Cells.push_back(Label);
-  for (double V : Values)
-    Cells.push_back(formatDouble(V, Precision));
-  writeRow(Cells);
+  Row.clear();
+  appendCell(Row, Label);
+  for (double V : Values) {
+    Row += ',';
+    Row += formatDouble(V, Precision); // Numbers never need quoting.
+  }
+  emitRow();
 }

@@ -20,9 +20,23 @@
 namespace medley {
 
 /// Streams rows of comma-separated values, quoting cells that need it.
+///
+/// Each row is assembled in a reused scratch string and handed to the
+/// stream as one write, not one write per cell. With \p BufferBytes > 0
+/// rows additionally accumulate in an internal buffer that is flushed to
+/// the stream only when it exceeds that size (and on flush()/destruction),
+/// so emitting thousands of rows costs a handful of stream operations.
 class CsvWriter {
 public:
-  explicit CsvWriter(std::ostream &OS) : OS(OS) {}
+  /// \p BufferBytes = 0 (the default) writes each row through immediately;
+  /// larger values batch rows until the buffer exceeds the threshold.
+  explicit CsvWriter(std::ostream &OS, size_t BufferBytes = 0)
+      : OS(OS), BufferBytes(BufferBytes) {}
+
+  CsvWriter(const CsvWriter &) = delete;
+  CsvWriter &operator=(const CsvWriter &) = delete;
+
+  ~CsvWriter() { flush(); }
 
   /// Writes one row; cells containing commas, quotes or newlines are quoted.
   void writeRow(const std::vector<std::string> &Cells);
@@ -31,8 +45,17 @@ public:
   void writeRow(const std::string &Label, const std::vector<double> &Values,
                 int Precision = 4);
 
+  /// Drains any buffered rows to the stream.
+  void flush();
+
 private:
+  /// Emits the assembled Row (newline included) honouring the buffer.
+  void emitRow();
+
   std::ostream &OS;
+  size_t BufferBytes;
+  std::string Row;    ///< Scratch: the row being assembled, reused.
+  std::string Buffer; ///< Pending rows when BufferBytes > 0.
 };
 
 } // namespace medley

@@ -454,6 +454,82 @@ TEST(MixtureTest, RespectsMaxThreads) {
 }
 
 //===----------------------------------------------------------------------===//
+// Golden decision sequence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds one golden expert from a deterministically generated corpus. The
+/// construction (and the sequence below) reproduces exactly what the
+/// pre-refactor code computed; the expected decisions were captured from it
+/// and pinned. Any change to FP operation order on the decision path —
+/// selector scoring, standardisation, blending — shows up here as a
+/// mismatch, which is the bit-identity contract of DESIGN.md §11.
+Expert makeGoldenExpert(const std::string &Name, double ThreadBias,
+                        double EnvBias, uint64_t Seed) {
+  Dataset ThreadData(policy::featureNames());
+  Dataset EnvData(policy::featureNames());
+  Rng Gen(Seed);
+  for (int I = 0; I < 200; ++I) {
+    Vec X = {Gen.uniform(0.1, 1.0),  Gen.uniform(0.2, 1.0),
+             Gen.uniform(0.05, 0.5), Gen.uniform(0.0, 24.0),
+             Gen.uniform(4.0, 32.0), Gen.uniform(0.0, 48.0),
+             Gen.uniform(0.0, 32.0), Gen.uniform(0.0, 32.0),
+             Gen.uniform(0.0, 1.0),  Gen.uniform(0.0, 0.1)};
+    double Threads = ThreadBias + 0.4 * X[4] - 0.2 * X[5] +
+                     2.0 * X[0] + Gen.normal(0.0, 0.5);
+    double EnvNorm = EnvBias + 0.05 * X[5] + 0.02 * X[3] +
+                     Gen.normal(0.0, 0.1);
+    ThreadData.add(X, Threads);
+    EnvData.add(X, EnvNorm);
+  }
+  auto ThreadModel = trainLinearModel(ThreadData, Name + ".w");
+  auto EnvModel = trainLinearModel(EnvData, Name + ".m");
+  return Expert(Name, "golden", *ThreadModel, *EnvModel, EnvBias);
+}
+
+std::vector<unsigned> goldenDecisionSequence() {
+  auto Experts = std::make_shared<std::vector<Expert>>();
+  Experts->push_back(makeGoldenExpert("e0", 4.0, 0.3, 101));
+  Experts->push_back(makeGoldenExpert("e1", 10.0, 0.8, 202));
+  Experts->push_back(makeGoldenExpert("e2", 16.0, 1.4, 303));
+  Experts->push_back(makeGoldenExpert("e3", 24.0, 2.0, 404));
+  auto Selector =
+      std::make_unique<RegimeSelector>(std::vector<int>{0, 0, 1, 1});
+  MixtureOfExperts Mixture(Experts, std::move(Selector));
+
+  Rng Gen(0x601D);
+  std::vector<unsigned> Decisions;
+  for (int I = 0; I < 64; ++I) {
+    policy::FeatureVector F;
+    F.Values = {Gen.uniform(0.1, 1.0),  Gen.uniform(0.2, 1.0),
+                Gen.uniform(0.05, 0.5), Gen.uniform(0.0, 24.0),
+                Gen.uniform(4.0, 32.0), Gen.uniform(0.0, 48.0),
+                Gen.uniform(0.0, 32.0), Gen.uniform(0.0, 32.0),
+                Gen.uniform(0.0, 1.0),  Gen.uniform(0.0, 0.1)};
+    F.EnvNorm = Gen.uniform(0.2, 2.0);
+    F.Now = 0.1 * I;
+    F.MaxThreads = 32;
+    Decisions.push_back(Mixture.select(F));
+  }
+  return Decisions;
+}
+
+} // namespace
+
+TEST(MixtureTest, GoldenDecisionSequenceIsByteIdentical) {
+  // Captured from the pre-refactor implementation; every element must match
+  // exactly. If an intentional semantics change ever invalidates this,
+  // regenerate by printing goldenDecisionSequence() from the old code.
+  const std::vector<unsigned> Expected = {
+      18, 20, 19, 20, 21, 15, 18, 22, 12, 17, 18, 15, 21, 22, 13, 13,
+      23, 12, 23, 15, 12, 18, 17, 22, 19, 12, 21, 11, 18, 17, 14, 24,
+      24, 12, 18, 13, 17, 24, 14, 10, 12, 15, 14, 18, 13, 15, 22, 25,
+      19, 18, 13, 16, 15, 17, 23, 26, 13, 18, 14, 14, 14, 13, 22, 11};
+  EXPECT_EQ(goldenDecisionSequence(), Expected);
+}
+
+//===----------------------------------------------------------------------===//
 // ExpertBuilder (small config to keep runtime bounded)
 //===----------------------------------------------------------------------===//
 

@@ -156,6 +156,20 @@ TEST(ReporterTest, PrintSpeedupMatrixContainsRows) {
   EXPECT_NE(Out.find("hmean"), std::string::npos);
 }
 
+TEST(ReporterTest, SpeedupMatrixCsvRoundTrips) {
+  SpeedupMatrix M;
+  M.Targets = {"cg", "lu"};
+  M.Policies = {"online", "mixture"};
+  M.Values = {{1.0, 1.5}, {2.0, 3.0}};
+  std::ostringstream OS;
+  writeSpeedupMatrixCsv(OS, M);
+  std::string Out = OS.str();
+  EXPECT_EQ(Out.rfind("benchmark,online,mixture\n", 0), 0u) << Out;
+  EXPECT_NE(Out.find("cg,1.0000,1.5000\n"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("lu,2.0000,3.0000\n"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("hmean,"), std::string::npos) << Out;
+}
+
 TEST(ReporterTest, PrintBars) {
   std::ostringstream OS;
   printBars(OS, "Bars", {"one", "two"}, {1.0, 2.0});

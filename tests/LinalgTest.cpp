@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 using namespace medley;
 
@@ -43,6 +44,114 @@ TEST(VectorTest, Axpy) {
   Vec Y = {1, 1};
   axpy(Y, 2.0, {3, 4});
   EXPECT_EQ(Y, (Vec{7, 9}));
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation-free kernels: each must be bit-identical to its value-returning
+// counterpart — same values, same accumulation order — including the empty
+// and dim-1 edges. Comparisons use exact bit equality, not tolerances.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Irrational-ish values whose sums/products are not exactly representable,
+/// so any reordering or extra rounding would flip low bits.
+Vec awkward(size_t N, double Seed) {
+  Vec V(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = Seed / 3.0 + static_cast<double>(I) * 0.1 / 7.0;
+  return V;
+}
+
+bool bitEqual(const Vec &A, const Vec &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (std::memcmp(&A[I], &B[I], sizeof(double)) != 0)
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(VectorKernelTest, AddIntoBitIdentical) {
+  for (size_t N : {size_t(0), size_t(1), size_t(10), size_t(33)}) {
+    Vec A = awkward(N, 1.7), B = awkward(N, -2.3);
+    Vec Out(4, 99.0); // Stale contents and a mismatched size must not leak.
+    addInto(A, B, Out);
+    EXPECT_TRUE(bitEqual(Out, add(A, B))) << "N=" << N;
+  }
+}
+
+TEST(VectorKernelTest, SubIntoBitIdentical) {
+  for (size_t N : {size_t(0), size_t(1), size_t(10), size_t(33)}) {
+    Vec A = awkward(N, 0.9), B = awkward(N, 5.1);
+    Vec Out;
+    subInto(A, B, Out);
+    EXPECT_TRUE(bitEqual(Out, sub(A, B))) << "N=" << N;
+  }
+}
+
+TEST(VectorKernelTest, ScaleIntoBitIdentical) {
+  for (size_t N : {size_t(0), size_t(1), size_t(10), size_t(33)}) {
+    Vec A = awkward(N, -3.3);
+    Vec Out(1, -1.0);
+    scaleInto(A, 1.0 / 3.0, Out);
+    EXPECT_TRUE(bitEqual(Out, scale(A, 1.0 / 3.0))) << "N=" << N;
+  }
+}
+
+TEST(VectorKernelTest, ScaleIntoAliasingOutIsSafe) {
+  Vec A = awkward(5, 2.2);
+  Vec Expected = scale(A, 0.7);
+  scaleInto(A, 0.7, A); // Out aliases A, as documented.
+  EXPECT_TRUE(bitEqual(A, Expected));
+}
+
+TEST(VectorKernelTest, DotSpanBitIdentical) {
+  for (size_t N : {size_t(0), size_t(1), size_t(10), size_t(33)}) {
+    Vec A = awkward(N, 4.1), B = awkward(N, -0.6);
+    double Expected = dot(A, B);
+    double Got = dotSpan(A.data(), B.data(), N);
+    EXPECT_EQ(std::memcmp(&Got, &Expected, sizeof(double)), 0) << "N=" << N;
+  }
+}
+
+TEST(VectorKernelTest, AxpySpanBitIdentical) {
+  for (size_t N : {size_t(0), size_t(1), size_t(10), size_t(33)}) {
+    Vec Y1 = awkward(N, 1.1), Y2 = Y1, X = awkward(N, -7.7);
+    axpy(Y1, 0.3, X);
+    axpySpan(Y2.data(), 0.3, X.data(), N);
+    EXPECT_TRUE(bitEqual(Y1, Y2)) << "N=" << N;
+  }
+}
+
+TEST(VectorKernelTest, GemvMatchesPerRowDots) {
+  // K separate dot() calls over the rows of a flat row-major matrix must
+  // bit-match one gemv — that equivalence is what lets the selectors score
+  // all experts from flat weights.
+  for (size_t Rows : {size_t(1), size_t(4)}) {
+    for (size_t Cols : {size_t(1), size_t(11)}) {
+      Vec FlatM = awkward(Rows * Cols, 0.4);
+      Vec X = awkward(Cols, -1.9);
+      Vec Out(2, 123.0);
+      gemv(FlatM, Rows, Cols, X, Out);
+      ASSERT_EQ(Out.size(), Rows);
+      for (size_t R = 0; R < Rows; ++R) {
+        Vec Row(FlatM.begin() + static_cast<long>(R * Cols),
+                FlatM.begin() + static_cast<long>((R + 1) * Cols));
+        double Expected = dot(Row, X);
+        EXPECT_EQ(std::memcmp(&Out[R], &Expected, sizeof(double)), 0)
+            << "R=" << R << " Cols=" << Cols;
+      }
+    }
+  }
+}
+
+TEST(VectorKernelTest, GemvEmptyColumns) {
+  Vec FlatM, X, Out;
+  gemv(FlatM, 0, 0, X, Out);
+  EXPECT_TRUE(Out.empty());
 }
 
 TEST(VectorTest, DistanceAndHadamard) {

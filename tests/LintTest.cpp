@@ -355,6 +355,69 @@ TEST(LintAllowTest, DoesNotLeakPastTheNextLine) {
 }
 
 //===----------------------------------------------------------------------===//
+// L6: hotpath-alloc
+//===----------------------------------------------------------------------===//
+
+TEST(LintHotpathAllocTest, FiresOnValueReturningLinalgCalls) {
+  auto Findings = lintAsSrc("void f(const Vec &A, const Vec &B) {\n"
+                            "  Vec S = add(A, B);\n"
+                            "  Vec D = sub(A, B);\n"
+                            "  Vec H = hadamard(A, scale(B, 2.0));\n"
+                            "  return medley::add(A, B);\n"
+                            "}\n");
+  size_t Hits = 0;
+  for (const Finding &F : Findings)
+    if (F.Rule == "hotpath-alloc")
+      ++Hits;
+  EXPECT_EQ(Hits, 5u) << rulesOf(Findings);
+}
+
+TEST(LintHotpathAllocTest, QuietOnMembersDeclarationsAndKernels) {
+  auto Findings = lintAsSrc(
+      "Vec add(const Vec &A, const Vec &B);\n"       // declaration
+      "void g(Dataset &D, const Vec &X, Vec &Out) {\n"
+      "  D.add(X, 1.0);\n"                           // member call
+      "  Stats->Histogram.add(3);\n"                 // member call
+      "  addInto(X, X, Out);\n"                      // the kernel itself
+      "  std::add(X);\n"                             // foreign namespace
+      "}\n");
+  EXPECT_FALSE(hasRule(Findings, "hotpath-alloc")) << rulesOf(Findings);
+}
+
+TEST(LintHotpathAllocTest, OnlyAppliesToHotPathFiles) {
+  std::string Source = "void f(const Vec &A) { Vec S = add(A, A); }\n";
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/ExpertSelector.cpp", Source, FileKind::Src),
+      "hotpath-alloc"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/policy/Features.cpp", Source, FileKind::Src),
+      "hotpath-alloc"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/sim/Simulation.cpp", Source, FileKind::Src),
+      "hotpath-alloc"));
+  // Off the hot path the value-returning helpers are fine: training code
+  // in src/ml and the linalg library itself are not per-decision.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/ml/LinearModel.cpp", Source, FileKind::Src),
+      "hotpath-alloc"));
+  EXPECT_FALSE(hasRule(
+      lintSource("src/linalg/Vector.cpp", Source, FileKind::Src),
+      "hotpath-alloc"));
+  EXPECT_FALSE(hasRule(
+      lintSource("tests/CoreTest.cpp", Source, FileKind::Tests),
+      "hotpath-alloc"));
+}
+
+TEST(LintHotpathAllocTest, AllowAnnotationSuppresses) {
+  auto Findings =
+      lintAsSrc("void f(const Vec &A) {\n"
+                "  // medley-lint: allow(hotpath-alloc)\n"
+                "  Vec S = add(A, A);\n"
+                "}\n");
+  EXPECT_FALSE(hasRule(Findings, "hotpath-alloc")) << rulesOf(Findings);
+}
+
+//===----------------------------------------------------------------------===//
 // Diagnostics, baseline, JSON
 //===----------------------------------------------------------------------===//
 

@@ -354,6 +354,71 @@ TEST(SimulationTest, RemoveTask) {
   EXPECT_EQ(Sim.numTasks(), 0u);
 }
 
+TEST(SimulationTest, TaskChurnPreservesOrderAndHidesTombstones) {
+  // Workload-swap-heavy regression: bursts of removals interleaved with
+  // additions and steps. The tombstoning removeTask must never expose a
+  // null entry through tasks()/numTasks(), and the survivors must stay in
+  // insertion order (the per-tick FP reductions depend on it).
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  std::vector<std::shared_ptr<StubTask>> Live;
+  unsigned NextId = 0;
+  auto Spawn = [&] {
+    auto T = std::make_shared<StubTask>("churn" + std::to_string(NextId++), 2);
+    Live.push_back(T);
+    Sim.addTask(T);
+  };
+  for (int I = 0; I < 8; ++I)
+    Spawn();
+  for (int Round = 0; Round < 16; ++Round) {
+    // Remove every other task in one burst, then backfill.
+    for (size_t I = Live.size(); I-- > 0;)
+      if (I % 2 == 0) {
+        Sim.removeTask(Live[I].get());
+        Live.erase(Live.begin() + static_cast<long>(I));
+      }
+    for (int I = 0; I < 4; ++I)
+      Spawn();
+    Sim.step();
+    const auto &Tasks = Sim.tasks();
+    ASSERT_EQ(Tasks.size(), Live.size());
+    for (size_t I = 0; I < Tasks.size(); ++I) {
+      ASSERT_NE(Tasks[I], nullptr);
+      // Insertion order survives compaction.
+      EXPECT_EQ(Tasks[I].get(), Live[I].get());
+    }
+  }
+  EXPECT_EQ(Sim.numTasks(), Live.size());
+  // Every surviving task advanced on every tick it was present for.
+  for (const auto &T : Live)
+    EXPECT_GT(T->WorkDone, 0.0);
+}
+
+TEST(SimulationTest, RemoveTaskBurstThenAccessorNeverSeesNull) {
+  Simulation Sim(MachineConfig::evaluationPlatform(),
+                 std::make_unique<StaticAvailability>(32));
+  std::vector<std::shared_ptr<StubTask>> All;
+  for (int I = 0; I < 6; ++I) {
+    All.push_back(std::make_shared<StubTask>("t" + std::to_string(I), 1));
+    Sim.addTask(All.back());
+  }
+  // Burst-remove three without stepping in between; the first accessor
+  // afterwards must already observe the compacted list.
+  Sim.removeTask(All[1].get());
+  Sim.removeTask(All[3].get());
+  Sim.removeTask(All[5].get());
+  EXPECT_EQ(Sim.runnableThreads(), 3u);
+  const auto &Tasks = Sim.tasks();
+  ASSERT_EQ(Tasks.size(), 3u);
+  EXPECT_EQ(Tasks[0].get(), All[0].get());
+  EXPECT_EQ(Tasks[1].get(), All[2].get());
+  EXPECT_EQ(Tasks[2].get(), All[4].get());
+  // Removing a pointer that is not in the list is a no-op.
+  StubTask Foreign("foreign", 1);
+  Sim.removeTask(&Foreign);
+  EXPECT_EQ(Sim.numTasks(), 3u);
+}
+
 TEST(SimulationTest, TickHooksFireEveryStep) {
   Simulation Sim(MachineConfig::evaluationPlatform(),
                  std::make_unique<StaticAvailability>(32));

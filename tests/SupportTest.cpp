@@ -313,6 +313,28 @@ TEST(CsvTest, LabelledNumericRow) {
   EXPECT_EQ(OS.str(), "series,1.0,2.5\n");
 }
 
+TEST(CsvTest, BufferedRowsLandOnFlush) {
+  std::ostringstream OS;
+  {
+    CsvWriter W(OS, /*BufferBytes=*/1 << 16);
+    W.writeRow({"a", "b"});
+    W.writeRow("s", {1.5}, 1);
+    // Below the threshold: nothing has reached the stream yet.
+    EXPECT_EQ(OS.str(), "");
+    W.flush();
+    EXPECT_EQ(OS.str(), "a,b\ns,1.5\n");
+    W.writeRow({"c"});
+  } // Destructor drains the tail.
+  EXPECT_EQ(OS.str(), "a,b\ns,1.5\nc\n");
+}
+
+TEST(CsvTest, BufferedModeAutoFlushesPastThreshold) {
+  std::ostringstream OS;
+  CsvWriter W(OS, /*BufferBytes=*/8);
+  W.writeRow({"0123456789"}); // One row already exceeds the threshold.
+  EXPECT_EQ(OS.str(), "0123456789\n");
+}
+
 //===----------------------------------------------------------------------===//
 // Histogram
 //===----------------------------------------------------------------------===//

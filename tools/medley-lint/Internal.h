@@ -23,6 +23,7 @@ inline constexpr const char *RuleUnorderedReduction = "unordered-reduction";
 inline constexpr const char *RuleRawConcurrency = "raw-concurrency";
 inline constexpr const char *RuleFloatEquality = "float-equality";
 inline constexpr const char *RuleErrorCheck = "error-check";
+inline constexpr const char *RuleHotpathAlloc = "hotpath-alloc";
 
 /// Runs every rule family applicable to \p Kind over \p Lexed, appending
 /// raw (un-suppressed, unsorted) findings to \p Out. \p SourceLines is

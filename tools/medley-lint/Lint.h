@@ -7,7 +7,7 @@
 /// \file
 /// medley-lint: a project-specific static-analysis pass over the Medley
 /// sources enforcing the invariants the experiment engine's determinism
-/// contract rests on (DESIGN.md §10). Five rule families:
+/// contract rests on (DESIGN.md §10). Six rule families:
 ///
 ///   nondeterminism     (L1)  wall-clock / unseeded entropy in src/
 ///   unordered-reduction(L2)  reductions fed by unordered-container order
@@ -17,6 +17,10 @@
 ///                            test assertions
 ///   error-check        (L5)  support::Error* out-params a function body
 ///                            never touches
+///   hotpath-alloc      (L6)  value-returning linalg calls (add/sub/
+///                            scale/hadamard) in the decision hot-path
+///                            files, which must stay allocation-free
+///                            (DESIGN.md §11)
 ///
 /// The analysis is a tokenizer plus per-rule heuristics — deliberately
 /// not a real C++ front end. It trades soundness for zero dependencies
