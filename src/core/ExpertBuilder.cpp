@@ -262,8 +262,13 @@ ExpertBuilder::buildFrom(unsigned NumExperts,
       Fracs.push_back(scalabilityFraction(
           Program, Config.Platforms[Config.SplitPlatformIndex]));
     std::sort(Fracs.begin(), Fracs.end());
-    for (size_t Q = 1; Q < 4; ++Q)
-      BandEdges.push_back(Fracs[Q * Fracs.size() / 4 - 1] + 1e-9);
+    // Quartile boundaries. With fewer than four programs the early
+    // quartile indexes would wrap below zero; collapse them onto the
+    // smallest fraction instead.
+    for (size_t Q = 1; Q < 4 && !Fracs.empty(); ++Q) {
+      size_t Idx = Q * Fracs.size() / 4;
+      BandEdges.push_back(Fracs[Idx > 0 ? Idx - 1 : 0] + 1e-9);
+    }
   }
 
   // Partition the corpus.

@@ -379,9 +379,11 @@ void RegimeSelector::candidatesInto(const Vec &Features,
   Matching.clear();
   for (size_t K = 0; K < NumExperts; ++K)
     if (RegimeTags[K] == Want || RegimeTags[K] == -1)
+      // medley-lint: allow(hotpath-escape) — amortized: caller-scratch capacity sticks at NumExperts.
       Matching.push_back(K);
   if (Matching.empty())
     for (size_t K = 0; K < NumExperts; ++K)
+      // medley-lint: allow(hotpath-escape) — amortized, same scratch.
       Matching.push_back(K);
 }
 
@@ -411,6 +413,7 @@ bool RegimeSelector::blendWeights(const Vec &Features, Vec &Weights) {
   candidatesInto(Features, ScratchMatching);
   ScratchErrors.clear();
   for (size_t K : ScratchMatching)
+    // medley-lint: allow(hotpath-escape) — amortized sticky scratch.
     ScratchErrors.push_back(ErrorEma[K]);
   softmaxOfErrorsInto(ScratchErrors.data(), ScratchErrors.size(),
                       ScratchInner);
@@ -526,6 +529,7 @@ void QuarantineSelector::update(const Vec &Features, const Vec &Errors) {
   ScratchFinite.clear();
   for (double E : Errors)
     if (std::isfinite(E))
+      // medley-lint: allow(hotpath-escape) — amortized sticky scratch.
       ScratchFinite.push_back(E);
   double Median = 0.0;
   if (!ScratchFinite.empty()) {

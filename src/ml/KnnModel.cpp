@@ -35,10 +35,13 @@ std::optional<KnnModel> medley::trainKnnModel(const Dataset &Data,
 
 double KnnModel::predict(const Vec &X) const {
   assert(!Points.empty() && "querying an untrained k-NN model");
-  Vec Q = Scaler.transform(X);
+  Scaler.transformInto(X, ScratchQuery);
+  const Vec &Q = ScratchQuery;
 
-  // Collect squared distances, then pick the k smallest.
-  std::vector<std::pair<double, double>> DistTarget;
+  // Collect squared distances, then pick the k smallest. The scratch
+  // capacity sticks at Points.size() after the first query.
+  std::vector<std::pair<double, double>> &DistTarget = ScratchDist;
+  DistTarget.clear();
   DistTarget.reserve(Points.size());
   for (size_t I = 0; I < Points.size(); ++I) {
     double D2 = 0.0;
@@ -46,6 +49,7 @@ double KnnModel::predict(const Vec &X) const {
       double Delta = Points[I][J] - Q[J];
       D2 += Delta * Delta;
     }
+    // medley-lint: allow(hotpath-escape) — amortized: reserve above pins capacity.
     DistTarget.emplace_back(D2, Targets[I]);
   }
   size_t K = std::min(Options.K, DistTarget.size());

@@ -54,6 +54,12 @@ private:
   Vec Targets;
   KnnOptions Options;
   std::string Name;
+
+  /// Per-query scratch (standardised query, distance/target pairs).
+  /// Capacity sticks after the first predict, so steady-state queries
+  /// on the decision path perform zero heap allocations.
+  mutable Vec ScratchQuery;
+  mutable std::vector<std::pair<double, double>> ScratchDist;
 };
 
 /// Builds a KnnModel over \p Data (std::nullopt when empty).

@@ -88,6 +88,9 @@ void Simulation::step() {
     S.Demand = T->memoryDemand();
     Runnable += S.Threads;
     UsedMemory += T->workingSetMb();
+    // Scratch capacity sticks at the live-task count after the first
+    // tick (DESIGN.md §11), so steady-state growth never reallocates.
+    // medley-lint: allow(hotpath-escape) — amortized sticky scratch.
     Scratch.push_back(S);
   }
 

@@ -1,0 +1,499 @@
+//===-- tests/SemanticLintTest.cpp - Interprocedural lint tests ----------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-phase semantic analyzer (DESIGN.md §12): call-graph linking
+/// and name resolution, the L7–L9 interprocedural rules on in-process
+/// snippets, schedule-independence of the linked graph, the incremental
+/// cache, baseline-key escaping, multi-line allow coverage, and CLI runs
+/// over the seeded known-bad fixture trees.
+///
+//===----------------------------------------------------------------------===//
+
+#include "medley-lint/Semantic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sys/wait.h>
+
+using namespace medley::lint;
+
+namespace {
+
+FileIndex indexSrc(const std::string &Path, const std::string &Source) {
+  return buildFileIndex(Path, Source, classifyPath(Path));
+}
+
+bool hasRule(const std::vector<Finding> &Findings, const std::string &Rule) {
+  for (const Finding &F : Findings)
+    if (F.Rule == Rule)
+      return true;
+  return false;
+}
+
+size_t countRule(const std::vector<Finding> &Findings,
+                 const std::string &Rule) {
+  size_t N = 0;
+  for (const Finding &F : Findings)
+    N += F.Rule == Rule;
+  return N;
+}
+
+std::string messagesOf(const std::vector<Finding> &Findings) {
+  std::string Out;
+  for (const Finding &F : Findings)
+    Out += renderText(F) + "\n";
+  return Out;
+}
+
+bool hasEdge(const CallGraph &G, const std::string &FromQual,
+             const std::string &ToQual) {
+  auto From = G.ByQual.find(FromQual);
+  auto To = G.ByQual.find(ToQual);
+  if (From == G.ByQual.end() || To == G.ByQual.end())
+    return false;
+  const std::vector<size_t> &Succ = G.Edges[From->second];
+  return std::find(Succ.begin(), Succ.end(), To->second) != Succ.end();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Call-graph linking and resolution
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, QualifiedNamesFromNamespacesAndClasses) {
+  CallGraph G = linkCallGraph({indexSrc(
+      "src/policy/Features.cpp",
+      "namespace medley::policy {\n"
+      "double helper(double X) { return X * 2.0; }\n"
+      "double buildFeatures(double X) { return helper(X); }\n"
+      "}\n")});
+  ASSERT_TRUE(G.ByQual.count("medley::policy::helper"));
+  ASSERT_TRUE(G.ByQual.count("medley::policy::buildFeatures"));
+  EXPECT_TRUE(
+      hasEdge(G, "medley::policy::buildFeatures", "medley::policy::helper"));
+}
+
+TEST(CallGraphTest, MemberCallResolvesAcrossFiles) {
+  CallGraph G = linkCallGraph(
+      {indexSrc("src/core/Registry.cpp",
+                "class Registry { public: void flush(); };\n"
+                "void Registry::flush() { }\n"),
+       indexSrc("src/core/Tick.cpp",
+                "class Registry;\n"
+                "void tick(Registry &R) { R.flush(); }\n")});
+  EXPECT_TRUE(hasEdge(G, "tick", "Registry::flush"));
+}
+
+TEST(CallGraphTest, QualifiedCallMatchesSuffixOnComponentBoundary) {
+  CallGraph G = linkCallGraph(
+      {indexSrc("src/support/Util.cpp",
+                "namespace medley::util {\n"
+                "double clamp(double X) { return X; }\n"
+                "}\n"),
+       indexSrc("src/core/Use.cpp",
+                "double shape(double X) { return util::clamp(X); }\n")});
+  EXPECT_TRUE(hasEdge(G, "shape", "medley::util::clamp"));
+  // "il::clamp" would NOT match: suffixes bind at '::' boundaries only.
+  CallGraph G2 = linkCallGraph(
+      {indexSrc("src/support/Util.cpp",
+                "namespace medley::util {\n"
+                "double clamp(double X) { return X; }\n"
+                "}\n"),
+       indexSrc("src/core/Use.cpp",
+                "double shape(double X) { return il::clamp(X); }\n")});
+  EXPECT_FALSE(hasEdge(G2, "shape", "medley::util::clamp"));
+}
+
+TEST(CallGraphTest, OverloadsCollapseToOneNode) {
+  CallGraph G = linkCallGraph({indexSrc(
+      "src/core/Blend.cpp",
+      "double blend(double A) { return A; }\n"
+      "double blend(double A, double B) { return A + B; }\n")});
+  size_t BlendNodes = 0;
+  for (const CallGraph::Node &N : G.Nodes)
+    BlendNodes += N.Qual == "blend";
+  EXPECT_EQ(BlendNodes, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// L7 on in-process snippets: recursion, suppression
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A three-file tree where the decision entry reaches an allocation
+/// through a helperA <-> helperB cycle; \p AllowAtSite plants an allow
+/// annotation on the allocation line.
+std::vector<FileIndex> recursiveEscapeTree(bool AllowAtSite) {
+  std::string Gather = "int helperA(int N);\n"
+                       "int helperB(int N) {\n"
+                       "  std::vector<int> V;\n";
+  if (AllowAtSite)
+    Gather += "  // medley-lint: allow(hotpath-escape)\n";
+  Gather += "  V.push_back(N);\n"
+            "  return helperA(N - 1);\n"
+            "}\n";
+  return {indexSrc("src/core/Choose.cpp",
+                   "class FooSelector { public: int choose(int N); };\n"
+                   "int helperA(int N);\n"
+                   "int FooSelector::choose(int N) { return helperA(N); }\n"),
+          indexSrc("src/core/Helpers.cpp",
+                   "int helperB(int N);\n"
+                   "int helperA(int N) { return N > 0 ? helperB(N) : 0; }\n"),
+          indexSrc("src/core/Gather.cpp", Gather)};
+}
+
+} // namespace
+
+TEST(HotpathEscapeTest, PropagatesThroughCallCyclesAndReportsOnce) {
+  auto Findings = runSemanticRules(linkCallGraph(recursiveEscapeTree(false)));
+  EXPECT_EQ(countRule(Findings, "hotpath-escape"), 1u)
+      << messagesOf(Findings);
+  for (const Finding &F : Findings)
+    if (F.Rule == "hotpath-escape") {
+      EXPECT_EQ(F.File, "src/core/Gather.cpp");
+      EXPECT_NE(
+          F.Message.find("FooSelector::choose -> helperA -> helperB"),
+          std::string::npos)
+          << F.Message;
+    }
+}
+
+TEST(HotpathEscapeTest, AllowAtTheAllocationSiteSuppresses) {
+  auto Findings = runSemanticRules(linkCallGraph(recursiveEscapeTree(true)));
+  EXPECT_FALSE(hasRule(Findings, "hotpath-escape")) << messagesOf(Findings);
+}
+
+TEST(HotpathEscapeTest, TestTreeDefinitionsAreOutOfScope) {
+  // The same shape, but the allocating helper lives under tests/: the
+  // BFS must not cross out of src/.
+  auto Findings = runSemanticRules(linkCallGraph(
+      {indexSrc("src/core/Choose.cpp",
+                "class FooSelector { public: int choose(int N); };\n"
+                "int FooSelector::choose(int N) { return helperT(N); }\n"),
+       indexSrc("tests/HelperTest.cpp",
+                "int helperT(int N) {\n"
+                "  std::vector<int> V;\n"
+                "  V.push_back(N);\n"
+                "  return 0;\n"
+                "}\n")}));
+  EXPECT_FALSE(hasRule(Findings, "hotpath-escape")) << messagesOf(Findings);
+}
+
+//===----------------------------------------------------------------------===//
+// L9 on an in-process snippet: taint through two functions
+//===----------------------------------------------------------------------===//
+
+TEST(DeterminismTaintTest, TaintCrossesTwoFunctionsIntoSeed) {
+  auto Findings = runSemanticRules(linkCallGraph(
+      {indexSrc("src/exp/Entropy.cpp",
+                "unsigned pickEntropy() {\n"
+                "  unsigned Raw = static_cast<unsigned>(rand());\n"
+                "  return Raw;\n"
+                "}\n"),
+       indexSrc("src/exp/Seed.cpp",
+                "unsigned pickEntropy();\n"
+                "unsigned deriveSeed() {\n"
+                "  unsigned Seed = pickEntropy();\n"
+                "  return Seed;\n"
+                "}\n"
+                "void configure() {\n"
+                "  std::mt19937 Gen(deriveSeed());\n"
+                "}\n")}));
+  EXPECT_EQ(countRule(Findings, "determinism-taint"), 1u)
+      << messagesOf(Findings);
+}
+
+TEST(DeterminismTaintTest, SeedFromPlainParameterStaysQuiet) {
+  auto Findings = runSemanticRules(linkCallGraph(
+      {indexSrc("src/exp/Seed.cpp",
+                "void configure(unsigned Seed) {\n"
+                "  std::mt19937 Gen(Seed);\n"
+                "}\n")}));
+  EXPECT_FALSE(hasRule(Findings, "determinism-taint")) << messagesOf(Findings);
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule independence
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeTest, GraphAndFindingsIdenticalAcrossJobCounts) {
+  std::vector<SourceFile> Files;
+  // A dozen files with enough cross-references that an order-dependent
+  // merge would show.
+  for (int I = 0; I < 12; ++I) {
+    std::string N = std::to_string(I);
+    std::string Next = std::to_string((I + 1) % 12);
+    Files.push_back({"src/core/F" + N + ".cpp",
+                     "int chain" + Next + "(int X);\n"
+                     "int chain" + N + "(int X) {\n"
+                     "  std::vector<int> V;\n"
+                     "  V.push_back(X);\n"
+                     "  return chain" + Next + "(X - 1);\n"
+                     "}\n"});
+  }
+  Files.push_back({"src/core/Entry.cpp",
+                   "class ChainSelector { public: int select(int N); };\n"
+                   "int chain0(int X);\n"
+                   "int ChainSelector::select(int N) { return chain0(N); }\n"});
+
+  AnalyzeOptions One;
+  One.Jobs = 1;
+  AnalyzeOptions Four;
+  Four.Jobs = 4;
+  AnalyzeResult A = analyzeSources(Files, One);
+  AnalyzeResult B = analyzeSources(Files, Four);
+
+  EXPECT_EQ(renderGraphJson(A.Graph), renderGraphJson(B.Graph));
+  ASSERT_EQ(A.Findings.size(), B.Findings.size());
+  for (size_t I = 0; I < A.Findings.size(); ++I)
+    EXPECT_EQ(renderText(A.Findings[I]), renderText(B.Findings[I]));
+  EXPECT_EQ(countRule(A.Findings, "hotpath-escape"), 12u)
+      << messagesOf(A.Findings);
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline-key escaping
+//===----------------------------------------------------------------------===//
+
+TEST(BaselineEscapeTest, KeyWithPipesAndBackslashesRoundTrips) {
+  Finding F;
+  F.File = "src/odd|name.cpp";
+  F.Rule = "float-equality";
+  F.SourceLine = "bool B = (A || C) && Mask == 1.0; // \\ and | here";
+  std::string Key = renderBaselineKey(F);
+
+  std::string File, Rule, SourceLine;
+  ASSERT_TRUE(parseBaselineKey(Key, File, Rule, SourceLine)) << Key;
+  EXPECT_EQ(File, F.File);
+  EXPECT_EQ(Rule, F.Rule);
+  EXPECT_EQ(SourceLine, F.SourceLine);
+}
+
+TEST(BaselineEscapeTest, MalformedKeysAreRejected) {
+  std::string File, Rule, SourceLine;
+  EXPECT_FALSE(parseBaselineKey("only|two", File, Rule, SourceLine));
+  EXPECT_FALSE(parseBaselineKey("a|b|c|d", File, Rule, SourceLine));
+  EXPECT_FALSE(parseBaselineKey("a|b|trailing\\", File, Rule, SourceLine));
+}
+
+TEST(BaselineEscapeTest, BaselineSuppressesFindingOnPipeBearingLine) {
+  std::string Source =
+      "bool f(double X, bool A, bool C) { return (A || C) && X == 1.0; }\n";
+  auto Findings = lintSource("src/core/Fixture.cpp", Source, FileKind::Src);
+  ASSERT_EQ(countRule(Findings, "float-equality"), 1u)
+      << messagesOf(Findings);
+  auto Lines = renderBaseline(Findings);
+  EXPECT_TRUE(applyBaseline(Findings, Lines).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-line allow coverage
+//===----------------------------------------------------------------------===//
+
+TEST(AllowCoverageTest, AnnotationAboveCoversWholeStatement) {
+  auto Findings = lintSource("src/core/Fixture.cpp",
+                             "bool f(double X, double Y) {\n"
+                             "  // medley-lint: allow(float-equality)\n"
+                             "  bool B = pick(X,\n"
+                             "                Y,\n"
+                             "                X == 1.0);\n"
+                             "  return B;\n"
+                             "}\n",
+                             FileKind::Src);
+  EXPECT_FALSE(hasRule(Findings, "float-equality")) << messagesOf(Findings);
+}
+
+TEST(AllowCoverageTest, AnnotationOnFirstStatementLineCoversTheRest) {
+  auto Findings =
+      lintSource("src/core/Fixture.cpp",
+                 "bool f(double X, double Y) {\n"
+                 "  bool B = pick(X, // medley-lint: allow(float-equality)\n"
+                 "                Y,\n"
+                 "                X == 1.0);\n"
+                 "  return B;\n"
+                 "}\n",
+                 FileKind::Src);
+  EXPECT_FALSE(hasRule(Findings, "float-equality")) << messagesOf(Findings);
+}
+
+TEST(AllowCoverageTest, WithoutAnnotationTheSameStatementFires) {
+  auto Findings = lintSource("src/core/Fixture.cpp",
+                             "bool f(double X, double Y) {\n"
+                             "  bool B = pick(X,\n"
+                             "                Y,\n"
+                             "                X == 1.0);\n"
+                             "  return B;\n"
+                             "}\n",
+                             FileKind::Src);
+  EXPECT_TRUE(hasRule(Findings, "float-equality"));
+}
+
+TEST(AllowCoverageTest, CoverageEndsAtTheStatementSemicolon) {
+  auto Findings = lintSource("src/core/Fixture.cpp",
+                             "bool f(double X, double Y) {\n"
+                             "  // medley-lint: allow(float-equality)\n"
+                             "  bool B = pick(X,\n"
+                             "                Y);\n"
+                             "  bool C = (X == 1.0);\n"
+                             "  return B && C;\n"
+                             "}\n",
+                             FileKind::Src);
+  EXPECT_TRUE(hasRule(Findings, "float-equality")) << messagesOf(Findings);
+}
+
+//===----------------------------------------------------------------------===//
+// CLI: fixture trees, --graph-json determinism, the cache
+//===----------------------------------------------------------------------===//
+
+#if defined(MEDLEY_LINT_BIN) && defined(MEDLEY_LINT_FIXTURE_DIR)
+
+namespace {
+
+int runLint(const std::string &Args) {
+  std::string Cmd = std::string(MEDLEY_LINT_BIN) + " " + Args +
+                    " > /dev/null 2> /dev/null";
+  int Status = std::system(Cmd.c_str());
+  if (Status == -1 || !WIFEXITED(Status))
+    return -1;
+  return WEXITSTATUS(Status);
+}
+
+std::string slurp(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string fixture(const std::string &Rule) {
+  return std::string(MEDLEY_LINT_FIXTURE_DIR) + "/" + Rule;
+}
+
+/// Per-test scratch dir (ctest -j runs each case in its own process, so
+/// per-test naming keeps parallel runs apart).
+class SemanticCliTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const auto *Info = ::testing::UnitTest::GetInstance()->current_test_info();
+    Dir = std::filesystem::path(::testing::TempDir()) /
+          (std::string("medley_semantic_cli_") + Info->name());
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+
+  std::string path(const std::string &Rel) const {
+    return (Dir / Rel).string();
+  }
+
+  std::filesystem::path Dir;
+};
+
+} // namespace
+
+TEST_F(SemanticCliTest, HotpathEscapeFixtureFires) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("hotpath-escape") + " --json " + Json +
+                    " " + fixture("hotpath-escape") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  EXPECT_NE(Report.find("hotpath-escape"), std::string::npos) << Report;
+  EXPECT_NE(
+      Report.find("RouteSelector::choose -> planRoute -> gatherCandidates"),
+      std::string::npos)
+      << Report;
+}
+
+TEST_F(SemanticCliTest, LockOrderFixtureFiresForCycleAndBlockingCall) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("lock-order") + " --json " + Json +
+                    " " + fixture("lock-order") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  EXPECT_NE(Report.find("lock-order cycle"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("held across blocking call"), std::string::npos)
+      << Report;
+}
+
+TEST_F(SemanticCliTest, DeterminismTaintFixtureFires) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("determinism-taint") + " --json " +
+                    Json + " " + fixture("determinism-taint") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  EXPECT_NE(Report.find("determinism-taint"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("deriveSeed"), std::string::npos) << Report;
+}
+
+TEST_F(SemanticCliTest, NoSemanticFlagDisablesInterproceduralRules) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--no-semantic --root " + fixture("hotpath-escape") +
+                    " --json " + Json + " " + fixture("hotpath-escape") +
+                    "/src"),
+            0);
+}
+
+TEST_F(SemanticCliTest, GraphJsonIsByteIdenticalAcrossJobs) {
+  std::string G1 = path("graph1.json"), G4 = path("graph4.json");
+  EXPECT_EQ(runLint("--jobs 1 --root " + fixture("hotpath-escape") +
+                    " --graph-json " + G1 + " " + fixture("hotpath-escape") +
+                    "/src"),
+            1);
+  EXPECT_EQ(runLint("--jobs 4 --root " + fixture("hotpath-escape") +
+                    " --graph-json " + G4 + " " + fixture("hotpath-escape") +
+                    "/src"),
+            1);
+  std::string A = slurp(G1), B = slurp(G4);
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("\"RouteSelector::choose\""), std::string::npos) << A;
+}
+
+TEST_F(SemanticCliTest, SarifReportCarriesRuleAndLocation) {
+  std::string Sarif = path("report.sarif");
+  EXPECT_EQ(runLint("--root " + fixture("hotpath-escape") + " --sarif " +
+                    Sarif + " " + fixture("hotpath-escape") + "/src"),
+            1);
+  std::string Report = slurp(Sarif);
+  EXPECT_NE(Report.find("\"version\": \"2.1.0\""), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("\"hotpath-escape\""), std::string::npos) << Report;
+  EXPECT_NE(Report.find("src/Gather.cpp"), std::string::npos) << Report;
+}
+
+TEST_F(SemanticCliTest, WarmCacheRunIsByteIdenticalAndInvalidatesOnEdit) {
+  // Work on a private copy: the invalidation step edits a file.
+  std::filesystem::copy(fixture("hotpath-escape"), Dir / "tree",
+                        std::filesystem::copy_options::recursive);
+  std::string Tree = path("tree");
+  std::string Cache = path("cache.txt");
+  std::string R1 = path("r1.json"), R2 = path("r2.json");
+
+  EXPECT_EQ(runLint("--cache " + Cache + " --root " + Tree + " --json " + R1 +
+                    " " + Tree + "/src"),
+            1);
+  ASSERT_FALSE(slurp(Cache).empty());
+  EXPECT_EQ(runLint("--cache " + Cache + " --root " + Tree + " --json " + R2 +
+                    " " + Tree + "/src"),
+            1);
+  EXPECT_EQ(slurp(R1), slurp(R2));
+
+  // Break the call chain: the cached entry for the edited file must be
+  // discarded and the escape disappears with it.
+  std::ofstream Out(Dir / "tree" / "src" / "Plan.cpp", std::ios::trunc);
+  Out << "std::vector<int> planRoute(int Budget) { return {}; }\n";
+  Out.close();
+  EXPECT_EQ(runLint("--cache " + Cache + " --root " + Tree + " --json " + R1 +
+                    " " + Tree + "/src"),
+            0);
+}
+
+#endif // MEDLEY_LINT_BIN && MEDLEY_LINT_FIXTURE_DIR

@@ -1,0 +1,197 @@
+//===-- tools/medley-lint/CallGraph.cpp - Linked project graph -----------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "medley-lint/CallGraph.h"
+#include "medley-lint/Internal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace medley::lint;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// True when \p Qual ends with the written suffix \p Qualifier::Name on
+/// a component boundary: `linalg::add` matches `medley::linalg::add`.
+bool qualSuffixMatches(const std::string &Qual, const std::string &Qualifier,
+                       const std::string &Name) {
+  std::string Suffix = Qualifier.empty() ? Name : Qualifier + "::" + Name;
+  if (Qual == Suffix)
+    return true;
+  if (Qual.size() < Suffix.size() + 2)
+    return false;
+  if (Qual.compare(Qual.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+    return false;
+  return Qual.compare(Qual.size() - Suffix.size() - 2, 2, "::") == 0;
+}
+
+} // namespace
+
+bool CallGraph::allowedAt(size_t FileId, unsigned Line,
+                          const std::string &Rule) const {
+  if (FileId >= Files.size())
+    return false;
+  auto It = Files[FileId].AllowLines.find(Line);
+  return It != Files[FileId].AllowLines.end() &&
+         (It->second.count(Rule) || It->second.count("all"));
+}
+
+CallGraph medley::lint::linkCallGraph(const std::vector<FileIndex> &Indexes) {
+  CallGraph G;
+
+  // Deterministic merge regardless of how phase 1 was scheduled.
+  std::vector<const FileIndex *> Sorted;
+  Sorted.reserve(Indexes.size());
+  for (const FileIndex &Ix : Indexes)
+    Sorted.push_back(&Ix);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const FileIndex *A, const FileIndex *B) {
+              return A->Path < B->Path;
+            });
+
+  for (const FileIndex *Ix : Sorted) {
+    size_t FileId = G.Files.size();
+    G.Files.push_back({Ix->Path, Ix->Kind, Ix->AllowLines});
+    for (const FunctionInfo &Fn : Ix->Functions) {
+      auto It = G.ByQual.find(Fn.Qual);
+      if (It == G.ByQual.end()) {
+        CallGraph::Node N;
+        N.Qual = Fn.Qual;
+        N.Name = Fn.Name;
+        N.Class = Fn.Class;
+        N.FileId = FileId;
+        N.Line = Fn.Line;
+        N.Col = Fn.Col;
+        N.LineText = Fn.LineText;
+        It = G.ByQual.emplace(Fn.Qual, G.Nodes.size()).first;
+        G.Nodes.push_back(std::move(N));
+      }
+      CallGraph::Node &N = G.Nodes[It->second];
+      N.HasSource |= Fn.HasSource;
+      for (const CallSite &C : Fn.Calls)
+        N.Calls.emplace_back(C, FileId);
+      for (const AllocSite &A : Fn.Allocs)
+        N.Allocs.emplace_back(A, FileId);
+      for (const LockAcq &Q : Fn.Acquires)
+        N.Acquires.emplace_back(Q, FileId);
+      for (const LockEdge &E : Fn.LockEdges)
+        N.LockEdges.emplace_back(E, FileId);
+      for (const TaintFlow &F : Fn.Flows)
+        N.Flows.push_back(F);
+      for (const SinkUse &S : Fn.Sinks)
+        N.Sinks.emplace_back(S, FileId);
+    }
+  }
+
+  // Sort nodes by qualified name and rebuild the id maps so the graph
+  // shape is independent of file order too.
+  std::vector<size_t> Order(G.Nodes.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&G](size_t A, size_t B) {
+    return G.Nodes[A].Qual < G.Nodes[B].Qual;
+  });
+  std::vector<CallGraph::Node> SortedNodes;
+  SortedNodes.reserve(G.Nodes.size());
+  for (size_t Id : Order)
+    SortedNodes.push_back(std::move(G.Nodes[Id]));
+  G.Nodes = std::move(SortedNodes);
+  G.ByQual.clear();
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    G.ByQual.emplace(G.Nodes[I].Qual, I);
+    G.ByName.emplace(G.Nodes[I].Name, I);
+  }
+
+  // Resolve every call site once; Edges holds the per-node union.
+  G.Edges.assign(G.Nodes.size(), {});
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    std::vector<size_t> &Out = G.Edges[I];
+    for (const auto &[CS, FileId] : G.Nodes[I].Calls) {
+      (void)FileId;
+      std::vector<size_t> Targets = resolveCall(G, G.Nodes[I], CS);
+      Out.insert(Out.end(), Targets.begin(), Targets.end());
+    }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+  return G;
+}
+
+std::vector<size_t> medley::lint::resolveCall(const CallGraph &G,
+                                              const CallGraph::Node &From,
+                                              const CallSite &CS) {
+  std::vector<size_t> Out;
+  auto [Lo, Hi] = G.ByName.equal_range(CS.Name);
+  for (auto It = Lo; It != Hi; ++It) {
+    const CallGraph::Node &Cand = G.Nodes[It->second];
+    if (&Cand == &From)
+      continue; // Self-recursion adds nothing to reachability.
+    if (CS.IsMember) {
+      if (!Cand.Class.empty())
+        Out.push_back(It->second);
+    } else if (!CS.Qualifier.empty()) {
+      if (qualSuffixMatches(Cand.Qual, CS.Qualifier, CS.Name))
+        Out.push_back(It->second);
+    } else {
+      if (Cand.Class.empty() ||
+          (!From.Class.empty() && Cand.Class == From.Class))
+        Out.push_back(It->second);
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string medley::lint::renderGraphJson(const CallGraph &G) {
+  std::ostringstream OS;
+  OS << "{\n  \"functions\": [";
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    const CallGraph::Node &N = G.Nodes[I];
+    OS << (I ? ",\n" : "\n");
+    OS << "    {\"qual\": \"" << jsonEscape(N.Qual) << "\", \"file\": \""
+       << jsonEscape(G.Files[N.FileId].Path) << "\", \"line\": " << N.Line
+       << ", \"allocs\": " << N.Allocs.size() << ", \"has_source\": "
+       << (N.HasSource ? "true" : "false") << ", \"calls\": [";
+    for (size_t J = 0; J < G.Edges[I].size(); ++J)
+      OS << (J ? ", " : "") << "\"" << jsonEscape(G.Nodes[G.Edges[I][J]].Qual)
+         << "\"";
+    OS << "]}";
+  }
+  OS << (G.Nodes.empty() ? "],\n" : "\n  ],\n");
+  OS << "  \"files\": " << G.Files.size() << ",\n  \"nodes\": "
+     << G.Nodes.size() << "\n}\n";
+  return OS.str();
+}

@@ -24,6 +24,11 @@ inline constexpr const char *RuleRawConcurrency = "raw-concurrency";
 inline constexpr const char *RuleFloatEquality = "float-equality";
 inline constexpr const char *RuleErrorCheck = "error-check";
 inline constexpr const char *RuleHotpathAlloc = "hotpath-alloc";
+// Interprocedural families (DESIGN.md §12), computed over the linked
+// call graph rather than a single token stream.
+inline constexpr const char *RuleHotpathEscape = "hotpath-escape";
+inline constexpr const char *RuleLockOrder = "lock-order";
+inline constexpr const char *RuleDeterminismTaint = "determinism-taint";
 
 /// Runs every rule family applicable to \p Kind over \p Lexed, appending
 /// raw (un-suppressed, unsorted) findings to \p Out. \p SourceLines is
@@ -35,6 +40,36 @@ void runRules(const std::string &Path, FileKind Kind, const LexedFile &Lexed,
 
 /// Trims ASCII whitespace from both ends.
 std::string trim(const std::string &S);
+
+/// \p I indexes an opening brace/paren; returns the index one past its
+/// match (or Toks.size() when unbalanced).
+size_t skipBalanced(const std::vector<Token> &Toks, size_t I,
+                    const char *Open, const char *Close);
+
+/// Skips template arguments starting at an opening '<' at \p I; '>>'
+/// closes two levels. Returns the index one past the closing '>', or
+/// the bail-out position when the '<' turns out to be a comparison.
+size_t skipTemplateArgs(const std::vector<Token> &Toks, size_t I);
+
+/// Expands allow annotations to per-line rule coverage: an annotation on
+/// line N covers N and N+1, and when the statement starting there spans
+/// further physical lines, every line through the statement's end (';',
+/// or a block open/close at top level). This is what makes
+///   // medley-lint: allow(rule)
+///   auto X = call(spanning,
+///                 several, lines);
+/// suppress findings anywhere inside the statement.
+std::map<unsigned, std::set<std::string>>
+expandAllowCoverage(const LexedFile &Lexed);
+
+/// Serialization plumbing shared by the index and the cache: records
+/// are lines of tab-separated fields with backslash escapes for tab,
+/// newline and backslash.
+std::string escapeTsvField(const std::string &S);
+void appendTsvLine(std::string &Out, const std::vector<std::string> &Fields);
+bool readTsvLine(const std::string &Data, size_t &Pos,
+                 std::vector<std::string> &Fields);
+bool parseUnsignedField(const std::string &S, unsigned &Out);
 
 } // namespace medley::lint
 

@@ -94,11 +94,125 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
-std::string baselineLineFor(const Finding &F) {
-  return F.File + "|" + F.Rule + "|" + F.SourceLine;
+/// Backslash-escapes the baseline key separators inside one field.
+std::string escapeKeyField(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\' || C == '|')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
 }
 
 } // namespace
+
+size_t medley::lint::skipBalanced(const std::vector<Token> &Toks, size_t I,
+                                  const char *Open, const char *Close) {
+  int Depth = 0;
+  for (; I < Toks.size(); ++I) {
+    if (Toks[I].K == Token::Punct) {
+      if (Toks[I].Text == Open)
+        ++Depth;
+      else if (Toks[I].Text == Close && --Depth == 0)
+        return I + 1;
+    }
+  }
+  return Toks.size();
+}
+
+size_t medley::lint::skipTemplateArgs(const std::vector<Token> &Toks,
+                                      size_t I) {
+  int Depth = 0;
+  for (; I < Toks.size(); ++I) {
+    if (Toks[I].K != Token::Punct)
+      continue;
+    if (Toks[I].Text == "<")
+      ++Depth;
+    else if (Toks[I].Text == ">") {
+      if (--Depth == 0)
+        return I + 1;
+    } else if (Toks[I].Text == ">>") {
+      Depth -= 2;
+      if (Depth <= 0)
+        return I + 1;
+    } else if (Toks[I].Text == ";" || Toks[I].Text == "{") {
+      break; // Not template args after all (comparison chain).
+    }
+  }
+  return I;
+}
+
+std::map<unsigned, std::set<std::string>>
+medley::lint::expandAllowCoverage(const LexedFile &Lexed) {
+  std::map<unsigned, std::set<std::string>> Out;
+  const std::vector<Token> &T = Lexed.Tokens;
+  for (const auto &[Line, Rules] : Lexed.AllowedByLine) {
+    unsigned End = Line + 1;
+    // The statement the annotation attaches to: the first token at or
+    // after the annotation's line (same line for trailing annotations,
+    // the next line for line-above placement). If it starts within the
+    // base coverage window, extend coverage to the statement's end.
+    size_t I = 0;
+    while (I < T.size() && T[I].Line < Line)
+      ++I;
+    if (I < T.size() && T[I].Line <= Line + 1) {
+      int Depth = 0;
+      // Bounded walk: malformed code must not turn one annotation into
+      // a whole-file suppression.
+      for (; I < T.size() && T[I].Line <= Line + 30; ++I) {
+        if (T[I].K != Token::Punct)
+          continue;
+        const std::string &P = T[I].Text;
+        if (P == "(" || P == "[")
+          ++Depth;
+        else if (P == ")" || P == "]") {
+          if (--Depth < 0) { // Started mid-expression; stop here.
+            End = std::max(End, T[I].Line);
+            break;
+          }
+        } else if (Depth == 0 && (P == ";" || P == "{" || P == "}")) {
+          End = std::max(End, T[I].Line);
+          break;
+        }
+      }
+    }
+    for (unsigned L = Line; L <= End; ++L)
+      Out[L].insert(Rules.begin(), Rules.end());
+  }
+  return Out;
+}
+
+std::string medley::lint::renderBaselineKey(const Finding &F) {
+  return escapeKeyField(F.File) + "|" + escapeKeyField(F.Rule) + "|" +
+         escapeKeyField(F.SourceLine);
+}
+
+bool medley::lint::parseBaselineKey(const std::string &Line, std::string &File,
+                                    std::string &Rule,
+                                    std::string &SourceLine) {
+  std::vector<std::string> Fields(1);
+  bool Escaped = false;
+  for (char C : Line) {
+    if (Escaped) {
+      Fields.back() += C;
+      Escaped = false;
+    } else if (C == '\\') {
+      Escaped = true;
+    } else if (C == '|') {
+      Fields.emplace_back();
+    } else {
+      Fields.back() += C;
+    }
+  }
+  if (Escaped || Fields.size() != 3)
+    return false;
+  File = Fields[0];
+  Rule = Fields[1];
+  SourceLine = Fields[2];
+  return true;
+}
 
 FileKind medley::lint::classifyPath(const std::string &Path) {
   std::vector<std::string> Parts = components(Path);
@@ -133,22 +247,23 @@ std::vector<Finding> medley::lint::lintSource(const std::string &Path,
   std::vector<Finding> Raw;
   runRules(Path, Kind, Lexed, Lines, Raw);
 
-  // An allow annotation covers its own line and the next one, so both
+  // An allow annotation covers its own line, the next one, and — when
+  // the statement starting there spans further physical lines — the
+  // whole statement, so both
   //   stmt;  // medley-lint: allow(rule)
   // and
   //   // medley-lint: allow(rule)
-  //   stmt;
+  //   auto X = stmt(spanning,
+  //                 several, lines);
   // work. "all" silences every rule at that point.
+  std::map<unsigned, std::set<std::string>> Allowed =
+      expandAllowCoverage(Lexed);
   std::vector<Finding> Kept;
   for (Finding &F : Raw) {
-    bool Allowed = false;
-    for (unsigned Line : {F.Line, F.Line > 0 ? F.Line - 1 : 0u}) {
-      auto It = Lexed.AllowedByLine.find(Line);
-      if (It != Lexed.AllowedByLine.end() &&
-          (It->second.count(F.Rule) || It->second.count("all")))
-        Allowed = true;
-    }
-    if (!Allowed)
+    auto It = Allowed.find(F.Line);
+    bool Suppressed = It != Allowed.end() && (It->second.count(F.Rule) ||
+                                              It->second.count("all"));
+    if (!Suppressed)
       Kept.push_back(std::move(F));
   }
   std::sort(Kept.begin(), Kept.end(), findingLess);
@@ -165,7 +280,7 @@ medley::lint::renderBaseline(const std::vector<Finding> &Findings) {
   std::vector<std::string> Lines;
   Lines.reserve(Findings.size());
   for (const Finding &F : Findings)
-    Lines.push_back(baselineLineFor(F));
+    Lines.push_back(renderBaselineKey(F));
   std::sort(Lines.begin(), Lines.end());
   return Lines;
 }
@@ -185,7 +300,7 @@ medley::lint::applyBaseline(std::vector<Finding> Findings,
   }
   std::vector<Finding> Kept;
   for (Finding &F : Findings) {
-    auto It = Suppressed.find(baselineLineFor(F));
+    auto It = Suppressed.find(renderBaselineKey(F));
     if (It != Suppressed.end())
       Suppressed.erase(It);
     else

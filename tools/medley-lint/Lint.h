@@ -7,7 +7,7 @@
 /// \file
 /// medley-lint: a project-specific static-analysis pass over the Medley
 /// sources enforcing the invariants the experiment engine's determinism
-/// contract rests on (DESIGN.md §10). Six rule families:
+/// contract rests on (DESIGN.md §10). Nine rule families:
 ///
 ///   nondeterminism     (L1)  wall-clock / unseeded entropy in src/
 ///   unordered-reduction(L2)  reductions fed by unordered-container order
@@ -21,6 +21,17 @@
 ///                            scale/hadamard) in the decision hot-path
 ///                            files, which must stay allocation-free
 ///                            (DESIGN.md §11)
+///   hotpath-escape     (L7)  interprocedural: any call path from a
+///                            decision entry point to an allocation
+///                            site, over the whole-project call graph
+///   lock-order         (L8)  interprocedural: lock-acquisition-order
+///                            cycles and locks held across blocking
+///                            calls
+///   determinism-taint  (L9)  interprocedural: entropy/wall-clock taint
+///                            flowing into RNG seeds or trace output
+///
+/// L7–L9 live in Semantic.h/CallGraph.h (DESIGN.md §12); this header is
+/// the single-file token layer they build on.
 ///
 /// The analysis is a tokenizer plus per-rule heuristics — deliberately
 /// not a real C++ front end. It trades soundness for zero dependencies
@@ -106,8 +117,19 @@ std::vector<Finding> lintSource(const std::string &Path,
 
 /// Baseline files: one suppression per line, `file|rule|trimmed source
 /// line`, '#' comments and blank lines ignored. Each line suppresses
-/// one matching finding (multiset semantics).
+/// one matching finding (multiset semantics). '\' and '|' inside the
+/// fields are backslash-escaped so a source line containing '|' still
+/// round-trips (and the key stays parseable).
 std::vector<std::string> renderBaseline(const std::vector<Finding> &Findings);
+
+/// The escaped `file|rule|source-line` key for one finding — exactly
+/// the line renderBaseline would emit.
+std::string renderBaselineKey(const Finding &F);
+
+/// Splits an escaped baseline line back into its three fields. Returns
+/// false on malformed input (wrong field count, trailing escape).
+bool parseBaselineKey(const std::string &Line, std::string &File,
+                      std::string &Rule, std::string &SourceLine);
 
 /// Parses baseline lines (as read from disk) and removes one matching
 /// finding per suppression. Returns the survivors, still sorted.
@@ -118,6 +140,10 @@ std::vector<Finding> applyBaseline(std::vector<Finding> Findings,
 /// plus per-rule counts. Stable across runs — no timestamps, no paths
 /// outside the findings themselves.
 std::string renderJson(const std::vector<Finding> &Findings);
+
+/// The same findings as a SARIF 2.1.0 log (one run, one result per
+/// finding) for editor and CI integrations. Stable across runs.
+std::string renderSarif(const std::vector<Finding> &Findings);
 
 } // namespace medley::lint
 

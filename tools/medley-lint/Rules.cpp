@@ -72,45 +72,6 @@ bool isFloatLiteral(const std::string &Text) {
   return false;
 }
 
-/// I indexes an opening brace/paren; returns the index one past its
-/// match (or Toks.size() when unbalanced).
-size_t skipBalanced(const Tokens &Toks, size_t I, const char *Open,
-                    const char *Close) {
-  int Depth = 0;
-  for (; I < Toks.size(); ++I) {
-    if (Toks[I].K == Token::Punct) {
-      if (Toks[I].Text == Open)
-        ++Depth;
-      else if (Toks[I].Text == Close && --Depth == 0)
-        return I + 1;
-    }
-  }
-  return Toks.size();
-}
-
-/// Skips template arguments starting at an opening '<' at \p I; '>>'
-/// closes two levels. Returns the index one past the closing '>'.
-size_t skipTemplateArgs(const Tokens &Toks, size_t I) {
-  int Depth = 0;
-  for (; I < Toks.size(); ++I) {
-    if (Toks[I].K != Token::Punct)
-      continue;
-    if (Toks[I].Text == "<")
-      ++Depth;
-    else if (Toks[I].Text == ">") {
-      if (--Depth == 0)
-        return I + 1;
-    } else if (Toks[I].Text == ">>") {
-      Depth -= 2;
-      if (Depth <= 0)
-        return I + 1;
-    } else if (Toks[I].Text == ";" || Toks[I].Text == "{") {
-      break; // Not template args after all (comparison chain).
-    }
-  }
-  return I;
-}
-
 bool isUnorderedTypeName(const std::string &S) {
   return S == "unordered_map" || S == "unordered_set" ||
          S == "unordered_multimap" || S == "unordered_multiset";

@@ -1,0 +1,106 @@
+//===-- tools/medley-lint/Sarif.cpp - SARIF 2.1.0 report -----------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Findings as a SARIF 2.1.0 log: one run, one result per finding,
+/// rule ids collected into the driver's rule table. Kept to the subset
+/// editors and CI annotators actually read, and — like every other
+/// medley-lint report — byte-stable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "medley-lint/Internal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+using namespace medley::lint;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string medley::lint::renderSarif(const std::vector<Finding> &Findings) {
+  std::vector<Finding> Sorted = Findings;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Finding &A, const Finding &B) {
+              return std::tie(A.File, A.Line, A.Col, A.Rule, A.Message) <
+                     std::tie(B.File, B.Line, B.Col, B.Rule, B.Message);
+            });
+
+  std::set<std::string> Rules;
+  for (const Finding &F : Sorted)
+    Rules.insert(F.Rule);
+
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"medley-lint\",\n"
+     << "          \"informationUri\": \"DESIGN.md\",\n"
+     << "          \"rules\": [";
+  {
+    bool First = true;
+    for (const std::string &Rule : Rules) {
+      OS << (First ? "\n" : ",\n")
+         << "            {\"id\": \"" << jsonEscape(Rule) << "\"}";
+      First = false;
+    }
+  }
+  OS << (Rules.empty() ? "]\n" : "\n          ]\n");
+  OS << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    const Finding &F = Sorted[I];
+    OS << (I ? ",\n" : "\n");
+    OS << "        {\"ruleId\": \"" << jsonEscape(F.Rule)
+       << "\", \"level\": \"warning\", \"message\": {\"text\": \""
+       << jsonEscape(F.Message) << "\"}, \"locations\": [{"
+       << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << jsonEscape(F.File) << "\"}, \"region\": {\"startLine\": " << F.Line
+       << ", \"startColumn\": " << F.Col << "}}}]}";
+  }
+  OS << (Sorted.empty() ? "]\n" : "\n      ]\n");
+  OS << "    }\n  ]\n}\n";
+  return OS.str();
+}

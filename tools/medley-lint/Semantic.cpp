@@ -1,0 +1,419 @@
+//===-- tools/medley-lint/Semantic.cpp - Interprocedural rules -----------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "medley-lint/Semantic.h"
+#include "medley-lint/Cache.h"
+#include "medley-lint/Internal.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+using namespace medley::lint;
+
+namespace {
+
+/// L7–L9 look only at the product tree; tests/benches/apps allocate and
+/// log freely.
+bool inScope(const CallGraph &G, size_t Node) {
+  FileKind K = G.Files[G.Nodes[Node].FileId].Kind;
+  return K == FileKind::Src || K == FileKind::SrcSupport;
+}
+
+Finding makeFinding(const CallGraph &G, size_t FileId, unsigned Line,
+                    unsigned Col, const char *Rule, std::string Message,
+                    std::string SourceLine) {
+  Finding F;
+  F.File = G.Files[FileId].Path;
+  F.Line = Line;
+  F.Col = Col;
+  F.Rule = Rule;
+  F.Message = std::move(Message);
+  F.SourceLine = std::move(SourceLine);
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// L7: hotpath-escape
+//===----------------------------------------------------------------------===//
+
+void ruleHotpathEscape(const CallGraph &G, std::vector<Finding> &Out) {
+  // Best (shortest, then lexicographically smallest) entry path per
+  // allocating node. Nodes iterate in Qual order, so this is
+  // deterministic at any phase-1 schedule.
+  struct Best {
+    size_t Depth = static_cast<size_t>(-1);
+    std::string Path;
+  };
+  std::map<size_t, Best> BestByNode;
+
+  for (size_t E = 0; E < G.Nodes.size(); ++E) {
+    if (!inScope(G, E) || !isDecisionEntry(G.Nodes[E]))
+      continue;
+    // BFS from the entry with parent pointers for path reconstruction.
+    std::vector<size_t> Parent(G.Nodes.size(), static_cast<size_t>(-1));
+    std::vector<size_t> Depth(G.Nodes.size(), static_cast<size_t>(-1));
+    std::deque<size_t> Queue;
+    Depth[E] = 0;
+    Queue.push_back(E);
+    while (!Queue.empty()) {
+      size_t N = Queue.front();
+      Queue.pop_front();
+      if (!G.Nodes[N].Allocs.empty()) {
+        std::string Path;
+        for (size_t At = N;; At = Parent[At]) {
+          Path = G.Nodes[At].Qual + (Path.empty() ? "" : " -> " + Path);
+          if (At == E)
+            break;
+        }
+        Best &B = BestByNode[N];
+        if (Depth[N] < B.Depth || (Depth[N] == B.Depth && Path < B.Path)) {
+          B.Depth = Depth[N];
+          B.Path = Path;
+        }
+      }
+      for (size_t Succ : G.Edges[N]) {
+        if (!inScope(G, Succ) || Depth[Succ] != static_cast<size_t>(-1))
+          continue;
+        Depth[Succ] = Depth[N] + 1;
+        Parent[Succ] = N;
+        Queue.push_back(Succ);
+      }
+    }
+  }
+
+  for (const auto &[NodeId, B] : BestByNode) {
+    const CallGraph::Node &N = G.Nodes[NodeId];
+    for (const auto &[A, FileId] : N.Allocs) {
+      if (G.allowedAt(FileId, A.Line, RuleHotpathEscape))
+        continue;
+      Out.push_back(makeFinding(
+          G, FileId, A.Line, A.Col, RuleHotpathEscape,
+          A.What + " reachable from a decision entry point via " + B.Path +
+              " — the steady-state decision path must not allocate "
+              "(DESIGN.md §11)",
+          A.LineText));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L8: lock-order
+//===----------------------------------------------------------------------===//
+
+/// Calls that park the calling thread. Condition-variable waits are
+/// deliberately absent: they release the lock while blocked.
+bool isBlockingCallName(const std::string &S) {
+  return S == "join" || S == "sleep_for" || S == "sleep_until" ||
+         S == "usleep" || S == "sleep" || S == "system" || S == "parallelFor";
+}
+
+void ruleLockOrder(const CallGraph &G, std::vector<Finding> &Out) {
+  // Locks each node (transitively) acquires, for the interprocedural
+  // held-across-call edges. Plain fixed point; the graph is small.
+  std::vector<std::set<std::string>> Acq(G.Nodes.size());
+  for (size_t I = 0; I < G.Nodes.size(); ++I)
+    if (inScope(G, I))
+      for (const auto &[Q, FileId] : G.Nodes[I].Acquires) {
+        (void)FileId;
+        Acq[I].insert(Q.Name);
+      }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < G.Nodes.size(); ++I) {
+      if (!inScope(G, I))
+        continue;
+      for (size_t Succ : G.Edges[I]) {
+        if (!inScope(G, Succ))
+          continue;
+        for (const std::string &L : Acq[Succ])
+          if (Acq[I].insert(L).second)
+            Changed = true;
+      }
+    }
+  }
+
+  // The global acquisition-order graph: ordered edges with their first
+  // witness site (deterministic: nodes in Qual order, sites in body
+  // order, files sorted at link time).
+  struct Site {
+    size_t FileId;
+    unsigned Line;
+    std::string LineText;
+  };
+  std::map<std::pair<std::string, std::string>, Site> EdgeSites;
+  std::map<std::string, std::set<std::string>> Adj;
+  auto addEdge = [&](const std::string &A, const std::string &B, size_t FileId,
+                     unsigned Line, const std::string &LineText) {
+    if (A == B)
+      return;
+    Adj[A].insert(B);
+    EdgeSites.emplace(std::make_pair(A, B), Site{FileId, Line, LineText});
+  };
+
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    if (!inScope(G, I))
+      continue;
+    const CallGraph::Node &N = G.Nodes[I];
+    for (const auto &[E, FileId] : N.LockEdges)
+      addEdge(E.First, E.Second, FileId, E.Line, E.LineText);
+    for (const auto &[CS, FileId] : N.Calls) {
+      if (CS.HeldLocks.empty())
+        continue;
+      for (size_t Target : resolveCall(G, N, CS)) {
+        if (!inScope(G, Target))
+          continue;
+        for (const std::string &L : Acq[Target])
+          for (const std::string &H : CS.HeldLocks)
+            addEdge(H, L, FileId, CS.Line, CS.LineText);
+      }
+    }
+  }
+
+  // Cycle reports: one finding per unordered lock pair, anchored at the
+  // (A,B) edge with A < B; the message carries the full return path.
+  auto pathBack = [&Adj](const std::string &From,
+                         const std::string &To) -> std::vector<std::string> {
+    std::map<std::string, std::string> Parent;
+    std::deque<std::string> Queue{From};
+    Parent[From] = From;
+    while (!Queue.empty()) {
+      std::string At = Queue.front();
+      Queue.pop_front();
+      if (At == To) {
+        std::vector<std::string> Path{At};
+        while (At != From) {
+          At = Parent[At];
+          Path.insert(Path.begin(), At);
+        }
+        return Path;
+      }
+      auto It = Adj.find(At);
+      if (It == Adj.end())
+        continue;
+      for (const std::string &Next : It->second)
+        if (!Parent.count(Next)) {
+          Parent[Next] = At;
+          Queue.push_back(Next);
+        }
+    }
+    return {};
+  };
+
+  for (const auto &[Pair, S] : EdgeSites) {
+    const auto &[A, B] = Pair;
+    if (B < A && Adj[B].count(A))
+      continue; // The (B,A) direction carries the report for this pair.
+    std::vector<std::string> Back = pathBack(B, A);
+    if (Back.empty())
+      continue;
+    if (G.allowedAt(S.FileId, S.Line, RuleLockOrder))
+      continue;
+    std::string Cycle = A;
+    for (const std::string &Step : Back)
+      Cycle += " -> " + Step;
+    Out.push_back(makeFinding(
+        G, S.FileId, S.Line, 1, RuleLockOrder,
+        "lock-order cycle: '" + B + "' acquired while holding '" + A +
+            "' here, but elsewhere the order reverses (" + Cycle +
+            ") — potential deadlock; pick one global order or use "
+            "std::scoped_lock",
+        S.LineText));
+  }
+
+  // Locks held across blocking calls.
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    if (!inScope(G, I))
+      continue;
+    for (const auto &[CS, FileId] : G.Nodes[I].Calls) {
+      if (CS.HeldLocks.empty() || !isBlockingCallName(CS.Name))
+        continue;
+      if (G.allowedAt(FileId, CS.Line, RuleLockOrder))
+        continue;
+      Out.push_back(makeFinding(
+          G, FileId, CS.Line, CS.Col, RuleLockOrder,
+          "lock '" + CS.HeldLocks.front() + "' held across blocking call '" +
+              CS.Name + "' — other threads stall for the full wait; release "
+                        "the lock first",
+          CS.LineText));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L9: determinism-taint
+//===----------------------------------------------------------------------===//
+
+void ruleDeterminismTaint(const CallGraph &G, std::vector<Finding> &Out) {
+  // Per-node tainted locals plus a global "returns tainted" bit,
+  // iterated to a fixed point so taint laundered through a helper two
+  // functions deep still reaches the sink check.
+  std::vector<std::set<std::string>> Tainted(G.Nodes.size());
+  std::vector<char> RetTainted(G.Nodes.size(), 0);
+
+  auto callReturnsTainted = [&](const std::string &Name) {
+    auto [Lo, Hi] = G.ByName.equal_range(Name);
+    for (auto It = Lo; It != Hi; ++It)
+      if (inScope(G, It->second) && RetTainted[It->second])
+        return true;
+    return false;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < G.Nodes.size(); ++I) {
+      if (!inScope(G, I))
+        continue;
+      for (const TaintFlow &F : G.Nodes[I].Flows) {
+        bool Src = F.HasSource;
+        for (const std::string &V : F.RhsVars)
+          Src = Src || Tainted[I].count(V);
+        for (const std::string &C : F.RhsCalls)
+          Src = Src || callReturnsTainted(C);
+        if (!Src)
+          continue;
+        if (F.Lhs == "<return>") {
+          if (!RetTainted[I]) {
+            RetTainted[I] = 1;
+            Changed = true;
+          }
+        } else if (Tainted[I].insert(F.Lhs).second) {
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    if (!inScope(G, I))
+      continue;
+    for (const auto &[S, FileId] : G.Nodes[I].Sinks) {
+      std::string Reason;
+      if (S.HasSource) {
+        Reason = "a direct entropy/wall-clock source in the argument";
+      } else {
+        for (const std::string &V : S.ArgVars)
+          if (Tainted[I].count(V)) {
+            Reason = "tainted variable '" + V + "'";
+            break;
+          }
+        if (Reason.empty())
+          for (const std::string &C : S.ArgCalls)
+            if (callReturnsTainted(C)) {
+              Reason = "call '" + C + "' whose result carries taint";
+              break;
+            }
+      }
+      if (Reason.empty())
+        continue;
+      if (G.allowedAt(FileId, S.Line, RuleDeterminismTaint))
+        continue;
+      Out.push_back(makeFinding(
+          G, FileId, S.Line, S.Col, RuleDeterminismTaint,
+          "entropy/wall-clock taint reaches sink '" + S.Sink + "' (" + Reason +
+              ") — seeds and trace output must be deterministic; derive "
+              "them from the experiment seed or annotate the sink",
+          S.LineText));
+    }
+  }
+}
+
+} // namespace
+
+bool medley::lint::isDecisionEntry(const CallGraph::Node &N) {
+  auto EndsWith = [](const std::string &S, const char *Suffix) {
+    std::string Suf = Suffix;
+    return S.size() >= Suf.size() &&
+           S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
+  };
+  if (N.Class == "MixtureOfExperts")
+    return N.Name != N.Class && N.Name != "~" + N.Class; // not ctor/dtor
+  if (EndsWith(N.Class, "Selector"))
+    return N.Name == "select" || N.Name == "choose" || N.Name == "update" ||
+           N.Name == "blendWeights";
+  if (N.Name == "buildFeatures" &&
+      N.Qual.find("policy::") != std::string::npos)
+    return true;
+  return N.Class == "Simulation" && N.Name == "step";
+}
+
+std::vector<Finding> medley::lint::runSemanticRules(const CallGraph &G) {
+  std::vector<Finding> Out;
+  ruleHotpathEscape(G, Out);
+  ruleLockOrder(G, Out);
+  ruleDeterminismTaint(G, Out);
+  return Out;
+}
+
+AnalyzeResult medley::lint::analyzeSources(const std::vector<SourceFile> &Files,
+                                           const AnalyzeOptions &Opts) {
+  AnalyzeResult R;
+
+  LintCache Cache;
+  if (!Opts.CachePath.empty())
+    Cache.load(Opts.CachePath);
+
+  struct PerFile {
+    std::vector<Finding> Findings;
+    FileIndex Index;
+  };
+  std::vector<PerFile> Results(Files.size());
+  std::vector<unsigned long long> Hashes(Files.size(), 0);
+
+  // Phase 1, dynamically scheduled over files. Every slot is written by
+  // exactly one body invocation, and the merge below walks slots in
+  // input order — the output cannot depend on the schedule.
+  support::ThreadPool Pool(Opts.Jobs);
+  Pool.parallelFor(Files.size(), [&](size_t I) {
+    const SourceFile &SF = Files[I];
+    Hashes[I] = fnv1aHash(SF.Source);
+    CacheEntry Hit;
+    if (Cache.lookup(SF.Path, Hashes[I], Hit)) {
+      Results[I].Findings = std::move(Hit.TokenFindings);
+      Results[I].Index = std::move(Hit.Index);
+      return;
+    }
+    Results[I].Findings = lintSource(SF.Path, SF.Source);
+    Results[I].Index = buildFileIndex(SF.Path, SF.Source);
+  });
+
+  for (PerFile &P : Results)
+    R.Findings.insert(R.Findings.end(), P.Findings.begin(), P.Findings.end());
+
+  if (Opts.Semantic) {
+    std::vector<FileIndex> Indexes;
+    Indexes.reserve(Results.size());
+    for (const PerFile &P : Results)
+      Indexes.push_back(P.Index);
+    R.Graph = linkCallGraph(Indexes);
+    std::vector<Finding> Semantic = runSemanticRules(R.Graph);
+    R.Findings.insert(R.Findings.end(), Semantic.begin(), Semantic.end());
+  }
+
+  std::sort(R.Findings.begin(), R.Findings.end(),
+            [](const Finding &A, const Finding &B) {
+              return std::tie(A.File, A.Line, A.Col, A.Rule, A.Message) <
+                     std::tie(B.File, B.Line, B.Col, B.Rule, B.Message);
+            });
+
+  if (!Opts.CachePath.empty()) {
+    LintCache Fresh; // Full rewrite: entries for vanished files age out.
+    for (size_t I = 0; I < Files.size(); ++I) {
+      CacheEntry E;
+      E.Hash = Hashes[I];
+      E.TokenFindings = std::move(Results[I].Findings);
+      E.Index = std::move(Results[I].Index);
+      Fresh.put(std::move(E));
+    }
+    Fresh.save(Opts.CachePath);
+  }
+
+  return R;
+}

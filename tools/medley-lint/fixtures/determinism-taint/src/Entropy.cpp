@@ -1,0 +1,16 @@
+//===-- fixtures/determinism-taint/src/Entropy.cpp - Seeded known-bad tree ===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the determinism-taint rule (L9): rand() flows into
+// a local, then out through the return value. The sink is two functions
+// away, in Seed.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdlib>
+
+unsigned pickEntropy() {
+  unsigned Raw = static_cast<unsigned>(rand());
+  return Raw;
+}

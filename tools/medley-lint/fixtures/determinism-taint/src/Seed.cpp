@@ -1,0 +1,24 @@
+//===-- fixtures/determinism-taint/src/Seed.cpp - Seeded known-bad tree ---===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Taint laundering: deriveSeed forwards pickEntropy's tainted return
+// through its own local and return value, and configureGenerator feeds
+// it to an RNG seed — the sink. Only the interprocedural fixed point
+// connects the rand() in Entropy.cpp to the mt19937 construction here.
+//
+//===----------------------------------------------------------------------===//
+
+#include <random>
+
+unsigned pickEntropy();
+
+unsigned deriveSeed() {
+  unsigned Seed = pickEntropy();
+  return Seed;
+}
+
+void configureGenerator() {
+  std::mt19937 Gen(deriveSeed());
+  (void)Gen;
+}

@@ -1,0 +1,18 @@
+//===-- fixtures/hotpath-escape/src/Gather.cpp - Seeded known-bad tree ----===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// The escape itself: vector growth two calls below the decision entry
+// point. The L7 finding must anchor at the push_back line below and
+// carry the full entry path in its message.
+//
+//===----------------------------------------------------------------------===//
+
+#include <vector>
+
+std::vector<int> gatherCandidates(int Budget) {
+  std::vector<int> Out;
+  for (int I = 0; I < Budget; ++I)
+    Out.push_back(I);
+  return Out;
+}

@@ -1,0 +1,21 @@
+//===-- fixtures/hotpath-escape/src/Plan.cpp - Seeded known-bad tree ------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// The middle hop: planRoute itself is allocation-free (resize is the
+// sanctioned sticky-scratch idiom), so a per-file check sees nothing.
+// Only the linked call graph connects choose -> planRoute ->
+// gatherCandidates to the escape.
+//
+//===----------------------------------------------------------------------===//
+
+#include <vector>
+
+std::vector<int> gatherCandidates(int Budget);
+
+std::vector<int> planRoute(int Budget) {
+  std::vector<int> Candidates = gatherCandidates(Budget);
+  if (Candidates.size() > 4)
+    Candidates.resize(4);
+  return Candidates;
+}

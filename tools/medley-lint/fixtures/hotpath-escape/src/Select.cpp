@@ -1,0 +1,24 @@
+//===-- fixtures/hotpath-escape/src/Select.cpp - Seeded known-bad tree ----===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the hotpath-escape rule (L7): RouteSelector::choose
+// is a decision entry point, and the allocation it reaches hides two
+// calls below it, in a different translation unit (Gather.cpp). This
+// file must never be compiled or linted as part of the product tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <vector>
+
+std::vector<int> planRoute(int Budget);
+
+class RouteSelector {
+public:
+  int choose(int Budget);
+};
+
+int RouteSelector::choose(int Budget) {
+  std::vector<int> Plan = planRoute(Budget);
+  return Plan.empty() ? -1 : Plan.front();
+}

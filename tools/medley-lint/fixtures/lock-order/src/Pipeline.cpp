@@ -1,0 +1,44 @@
+//===-- fixtures/lock-order/src/Pipeline.cpp - Seeded known-bad tree ------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the lock-order rule (L8). publish() establishes the
+// order MuA -> MuB; drain() holds MuB while calling refreshStats()
+// (defined in Stats.cpp), which acquires MuA — an interprocedural
+// reversal, so the cycle only appears in the linked graph. waitForFlush()
+// additionally holds a lock across a blocking sleep.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+class Pipeline {
+public:
+  void publish();
+  void drain();
+  void refreshStats();
+  void waitForFlush();
+
+private:
+  std::mutex MuA;
+  std::mutex MuB;
+  int Stats = 0;
+};
+
+void Pipeline::publish() {
+  std::lock_guard<std::mutex> GuardA(MuA);
+  std::lock_guard<std::mutex> GuardB(MuB);
+  ++Stats;
+}
+
+void Pipeline::drain() {
+  std::lock_guard<std::mutex> GuardB(MuB);
+  refreshStats();
+}
+
+void Pipeline::waitForFlush() {
+  std::lock_guard<std::mutex> GuardA(MuA);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

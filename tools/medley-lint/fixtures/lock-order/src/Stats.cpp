@@ -1,0 +1,15 @@
+//===-- fixtures/lock-order/src/Stats.cpp - Seeded known-bad tree ---------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// The reversed half of the cycle lives in its own translation unit:
+// refreshStats takes MuA, and Pipeline::drain (Pipeline.cpp) calls it
+// while already holding MuB.
+//
+//===----------------------------------------------------------------------===//
+
+#include <mutex>
+
+void Pipeline::refreshStats() {
+  std::lock_guard<std::mutex> Guard(MuA);
+}

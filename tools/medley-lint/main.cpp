@@ -12,22 +12,27 @@
 ///     --baseline FILE       suppress findings listed in FILE
 ///     --write-baseline FILE write the current findings as a baseline
 ///     --json FILE           write the JSON report to FILE
+///     --sarif FILE          write a SARIF 2.1.0 report to FILE
+///     --graph-json FILE     dump the linked call graph as JSON
+///     --cache FILE          incremental per-file cache (content-hashed)
+///     --jobs N              phase-1 worker threads (default: MEDLEY_JOBS
+///                           or hardware concurrency)
+///     --no-semantic         token rules only; skip L7–L9 and the graph
 ///
 /// Paths may be files or directories; directories are scanned
 /// recursively for *.cpp / *.h. Output is sorted by (file, line, col,
-/// rule) and carries no timestamps, so consecutive runs diff cleanly.
+/// rule), independent of --jobs, and carries no timestamps, so
+/// consecutive runs diff cleanly.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "medley-lint/Lint.h"
+#include "medley-lint/Semantic.h"
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <iterator>
 #include <sstream>
-#include <tuple>
 
 using namespace medley::lint;
 namespace fs = std::filesystem;
@@ -37,7 +42,9 @@ namespace {
 int usage(const std::string &Message) {
   std::cerr << "medley-lint: " << Message << "\n"
             << "usage: medley-lint [--root DIR] [--baseline FILE] "
-               "[--write-baseline FILE] [--json FILE] <path>...\n";
+               "[--write-baseline FILE] [--json FILE] [--sarif FILE] "
+               "[--graph-json FILE] [--cache FILE] [--jobs N] "
+               "[--no-semantic] <path>...\n";
   return 2;
 }
 
@@ -83,10 +90,20 @@ std::string reportPath(const std::string &Path, const std::string &Root) {
   return Path;
 }
 
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Content;
+  return static_cast<bool>(Out);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Root, BaselinePath, WriteBaselinePath, JsonPath;
+  std::string Root, BaselinePath, WriteBaselinePath, JsonPath, SarifPath,
+      GraphJsonPath;
+  AnalyzeOptions Opts;
   std::vector<std::string> Paths;
 
   for (int I = 1; I < Argc; ++I) {
@@ -109,6 +126,26 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--json") {
       if (!Value(JsonPath))
         return usage("--json needs a file");
+    } else if (Arg == "--sarif") {
+      if (!Value(SarifPath))
+        return usage("--sarif needs a file");
+    } else if (Arg == "--graph-json") {
+      if (!Value(GraphJsonPath))
+        return usage("--graph-json needs a file");
+    } else if (Arg == "--cache") {
+      if (!Value(Opts.CachePath))
+        return usage("--cache needs a file");
+    } else if (Arg == "--jobs") {
+      std::string N;
+      if (!Value(N))
+        return usage("--jobs needs a count");
+      try {
+        Opts.Jobs = static_cast<unsigned>(std::stoul(N));
+      } catch (...) {
+        return usage("--jobs needs a positive integer");
+      }
+    } else if (Arg == "--no-semantic") {
+      Opts.Semantic = false;
     } else if (Arg == "--help" || Arg == "-h") {
       usage("project-specific determinism & concurrency lint");
       return 0;
@@ -126,28 +163,33 @@ int main(int Argc, char **Argv) {
   if (!CollectError.empty())
     return usage(CollectError);
 
-  std::vector<Finding> Findings;
+  std::vector<SourceFile> Sources;
+  Sources.reserve(Files.size());
   for (const std::string &File : Files) {
-    std::ifstream In(File);
+    std::ifstream In(File, std::ios::binary);
     if (!In)
       return usage("cannot read: " + File);
     std::ostringstream Buffer;
     Buffer << In.rdbuf();
-    std::vector<Finding> FileFindings =
-        lintSource(reportPath(File, Root), Buffer.str());
-    Findings.insert(Findings.end(),
-                    std::make_move_iterator(FileFindings.begin()),
-                    std::make_move_iterator(FileFindings.end()));
+    Sources.push_back({reportPath(File, Root), Buffer.str()});
   }
 
+  AnalyzeResult Result = analyzeSources(Sources, Opts);
+  std::vector<Finding> Findings = std::move(Result.Findings);
+
+  if (!GraphJsonPath.empty() &&
+      !writeFile(GraphJsonPath, renderGraphJson(Result.Graph)))
+    return usage("cannot write graph: " + GraphJsonPath);
+
   if (!WriteBaselinePath.empty()) {
-    std::ofstream Out(WriteBaselinePath);
-    if (!Out)
-      return usage("cannot write baseline: " + WriteBaselinePath);
+    std::ostringstream Out;
     Out << "# medley-lint baseline — one suppression per line:\n"
-        << "# file|rule|trimmed source line\n";
+        << "# file|rule|trimmed source line ('|' and '\\' are "
+           "backslash-escaped)\n";
     for (const std::string &Line : renderBaseline(Findings))
       Out << Line << "\n";
+    if (!writeFile(WriteBaselinePath, Out.str()))
+      return usage("cannot write baseline: " + WriteBaselinePath);
   }
 
   if (!BaselinePath.empty()) {
@@ -161,20 +203,10 @@ int main(int Argc, char **Argv) {
     Findings = applyBaseline(std::move(Findings), Lines);
   }
 
-  // Findings arrive sorted per file and files are visited in sorted
-  // order, but re-sort globally so --root stripping cannot reorder.
-  std::sort(Findings.begin(), Findings.end(),
-            [](const Finding &A, const Finding &B) {
-              return std::tie(A.File, A.Line, A.Col, A.Rule) <
-                     std::tie(B.File, B.Line, B.Col, B.Rule);
-            });
-
-  if (!JsonPath.empty()) {
-    std::ofstream Out(JsonPath);
-    if (!Out)
-      return usage("cannot write report: " + JsonPath);
-    Out << renderJson(Findings);
-  }
+  if (!JsonPath.empty() && !writeFile(JsonPath, renderJson(Findings)))
+    return usage("cannot write report: " + JsonPath);
+  if (!SarifPath.empty() && !writeFile(SarifPath, renderSarif(Findings)))
+    return usage("cannot write sarif: " + SarifPath);
 
   for (const Finding &F : Findings)
     std::cout << renderText(F) << "\n";

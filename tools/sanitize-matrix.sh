@@ -1,0 +1,35 @@
+#!/bin/sh
+# Configure, build and run the test suite under each sanitizer in a
+# sibling build tree (build-asan/, build-ubsan/, build-tsan/). Driven by
+# `make sanitize-matrix`; also runnable directly. Pass ctest arguments
+# after `--` to narrow the run, e.g.
+#
+#   tools/sanitize-matrix.sh -- -L chaos
+#
+# runs only the chaos suite under all three sanitizers.
+set -eu
+
+SRC=$(
+  cd "$(dirname "$0")/.."
+  pwd
+)
+
+CTEST_ARGS=""
+if [ "${1:-}" = "--" ]; then
+  shift
+  CTEST_ARGS="$*"
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+for ENTRY in address:build-asan undefined:build-ubsan thread:build-tsan; do
+  SAN=${ENTRY%%:*}
+  DIR=$SRC/${ENTRY#*:}
+  echo "== sanitize-matrix: $SAN ($DIR) =="
+  cmake -S "$SRC" -B "$DIR" -DMEDLEY_SANITIZE="$SAN" >/dev/null
+  cmake --build "$DIR" -j "$JOBS"
+  # shellcheck disable=SC2086 # CTEST_ARGS is intentionally word-split.
+  (cd "$DIR" && ctest --output-on-failure -j "$JOBS" $CTEST_ARGS)
+done
+
+echo "== sanitize-matrix: all sanitizers passed =="
