@@ -27,8 +27,10 @@
 #include "runtime/CoExecution.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "trace/Columnar.h"
 #include "workload/Catalog.h"
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -146,6 +148,37 @@ int cmdSpeedup(const Args &A) {
   return 0;
 }
 
+/// Writes \p Trace to \p Path in the requested format: "columnar" is the
+/// binary format recorded at run time; "csv" runs the export post-pass
+/// immediately instead of leaving it for `medley trace-export`.
+int writeTrace(const trace::TickTrace &Trace, const std::string &Path,
+               const std::string &Format) {
+  if (Format == "columnar") {
+    if (support::Error E = trace::ColumnarWriter::writeFile(Trace, Path)) {
+      std::cerr << E.str() << '\n';
+      return 1;
+    }
+  } else if (Format == "csv") {
+    std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+    if (!OS) {
+      std::cerr << "cannot open trace file for writing: " << Path << '\n';
+      return 1;
+    }
+    trace::exportCsv(Trace, OS);
+    if (!OS) {
+      std::cerr << "trace CSV write failed: " << Path << '\n';
+      return 1;
+    }
+  } else {
+    std::cerr << "unknown trace format '" << Format
+              << "' (try: columnar, csv)\n";
+    return 1;
+  }
+  std::cout << "  trace: " << Trace.size() << " ticks -> " << Path << " ("
+            << Format << ")\n";
+  return 0;
+}
+
 int cmdCoexec(const Args &A) {
   std::string Target = A.get("target", "cg");
   std::string Policy = A.get("policy", "mixture");
@@ -169,6 +202,7 @@ int cmdCoexec(const Args &A) {
   };
   Config.WorkloadSeed = Seed;
   Config.WorkloadMaxThreads = std::max(2u, Cores * 5 / 16);
+  Config.RecordTraces = A.has("trace-out");
 
   exp::PolicySet &Policies = exp::PolicySet::instance();
   auto P = Policies.factory(Policy)();
@@ -183,6 +217,11 @@ int cmdCoexec(const Args &A) {
   std::cout << "  workload throughput: "
             << formatDouble(R.WorkloadThroughput, 2) << " work units/s\n";
 
+  if (A.has("trace-out"))
+    if (int Rc = writeTrace(R.Trace, A.get("trace-out"),
+                            A.get("trace-format", "columnar")))
+      return Rc;
+
   if (A.has("timeline")) {
     std::cout << "\n  t(s)  threads\n";
     double Last = -1e9;
@@ -194,6 +233,36 @@ int cmdCoexec(const Args &A) {
                 << padLeft(std::to_string(D.Threads), 7) << "  "
                 << asciiBar(D.Threads, 1.5) << '\n';
     }
+  }
+  return 0;
+}
+
+int cmdTraceExport(const Args &A) {
+  if (!A.has("in")) {
+    std::cerr << "trace-export needs --in FILE (a columnar trace)\n";
+    return 1;
+  }
+  trace::TickTrace Trace;
+  support::Error Err;
+  if (!trace::ColumnarReader::readFile(A.get("in"), Trace, &Err)) {
+    std::cerr << Err.str() << '\n';
+    return 1;
+  }
+  if (A.has("out")) {
+    std::ofstream OS(A.get("out"), std::ios::binary | std::ios::trunc);
+    if (!OS) {
+      std::cerr << "cannot open '" << A.get("out") << "' for writing\n";
+      return 1;
+    }
+    trace::exportCsv(Trace, OS);
+    if (!OS) {
+      std::cerr << "trace CSV write failed: " << A.get("out") << '\n';
+      return 1;
+    }
+    std::cerr << "exported " << Trace.size() << " ticks to " << A.get("out")
+              << '\n';
+  } else {
+    trace::exportCsv(Trace, std::cout);
   }
   return 0;
 }
@@ -268,6 +337,10 @@ void usage() {
          "--workload bt,is,art\n"
          "                 [--cores 32] [--period 20] [--seed 42] "
          "[--timeline]\n"
+         "                 [--trace-out FILE [--trace-format columnar|csv]]\n"
+         "  medley trace-export --in FILE [--out FILE]\n"
+         "                 (columnar binary trace -> CSV; stdout when "
+         "--out is omitted)\n"
          "  medley experts [--num 4] [--save FILE | --load FILE]\n";
 }
 
@@ -290,6 +363,8 @@ int main(int Argc, char **Argv) {
     return cmdSpeedup(A);
   if (Command == "coexec")
     return cmdCoexec(A);
+  if (Command == "trace-export")
+    return cmdTraceExport(A);
   if (Command == "experts")
     return cmdExperts(A);
   usage();

@@ -35,16 +35,78 @@
 #include "support/StringUtils.h"
 #include "workload/Catalog.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
 using namespace medley;
+
+// Counting global allocator: every operator new in the process bumps the
+// counter, so the bench can assert how many heap allocations a
+// steady-state simulation tick performs (the acceptance gate is zero).
+// Sanitizer builds keep the stock allocator — ASan/TSan intercept
+// malloc/new themselves and a user replacement produces alloc-dealloc
+// mismatches; the counter then stays at zero, which is harmless because
+// the perf gate only runs on plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MEDLEY_COUNTING_ALLOC 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MEDLEY_COUNTING_ALLOC 0
+#else
+#define MEDLEY_COUNTING_ALLOC 1
+#endif
+#else
+#define MEDLEY_COUNTING_ALLOC 1
+#endif
+
+static std::atomic<size_t> GAllocCount{0};
+
+#if MEDLEY_COUNTING_ALLOC
+static void *countedAlloc(std::size_t Size) {
+  ++GAllocCount;
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+static void *countedAlignedAlloc(std::size_t Size, std::size_t Align) {
+  ++GAllocCount;
+  std::size_t Rounded = (Size + Align - 1) / Align * Align;
+  if (void *P = std::aligned_alloc(Align, Rounded ? Rounded : Align))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Size) { return countedAlloc(Size); }
+void *operator new[](std::size_t Size) { return countedAlloc(Size); }
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  return countedAlignedAlloc(Size, static_cast<std::size_t>(Align));
+}
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return countedAlignedAlloc(Size, static_cast<std::size_t>(Align));
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+#endif // MEDLEY_COUNTING_ALLOC
 
 namespace {
 
@@ -184,16 +246,19 @@ runtime::CoExecutionConfig tickLoopConfig() {
 
 /// Times the simulation tick loop end-to-end: repeated co-executions of
 /// the target under the mixture policy, reported as simulated ticks per
-/// wall-clock second.
-Rate timeTickLoop(int Runs, size_t &Checksum) {
+/// wall-clock second. With \p RecordTraces the loop additionally appends
+/// one columnar trace row per tick (the sim_loop_traced metric).
+Rate timeTickLoop(int Runs, size_t &Checksum, bool RecordTraces = false,
+                  const std::string &PolicyName = "mixture") {
   runtime::CoExecutionConfig Config = tickLoopConfig();
+  Config.RecordTraces = RecordTraces;
   exp::PolicySet &Policies = exp::PolicySet::instance();
   const workload::ProgramSpec &Target = workload::Catalog::byName("cg");
   std::vector<std::string> Workload = {"bt", "is"};
 
   double Best = std::numeric_limits<double>::infinity();
   for (int Run = 0; Run < Runs; ++Run) {
-    auto Policy = Policies.factory("mixture")();
+    auto Policy = Policies.factory(PolicyName)();
     auto Start = std::chrono::steady_clock::now();
     runtime::CoExecutionResult R = runCoExecution(
         Config, Target, *Policy, runtime::patternWorkload(Workload));
@@ -201,9 +266,52 @@ Rate timeTickLoop(int Runs, size_t &Checksum) {
         std::chrono::steady_clock::now() - Start;
     double Ticks = R.TargetTime / Config.Tick;
     Best = std::min(Best, Elapsed.count() / Ticks);
-    Checksum += R.TargetRegions;
+    Checksum += R.TargetRegions + R.Trace.size();
   }
   return rateOf(Best, 1); // ns/tick, ticks/s
+}
+
+/// Heap allocations performed by one steady-state tick of the same
+/// co-execution the tick loop times. The scenario is rebuilt from public
+/// pieces (simulation + policy-bound target + pattern workloads, exactly
+/// runCoExecution's construction), warmed up past the sticky-capacity
+/// phase, then stepped tick by tick; the minimum per-tick count is the
+/// steady-state figure — ticks that cross a region boundary or an
+/// availability epoch may legitimately do more work.
+size_t steadyTickAllocs() {
+  runtime::CoExecutionConfig Config = tickLoopConfig();
+  sim::Simulation Sim(Config.Machine, Config.Availability(), Config.Tick);
+  unsigned TotalCores = Config.Machine.TotalCores;
+
+  auto Policy = exp::PolicySet::instance().factory("mixture")();
+  auto Target = std::make_shared<workload::Program>(
+      workload::Catalog::byName("cg"),
+      runtime::bindPolicy(*Policy, TotalCores), TotalCores,
+      /*Looping=*/false);
+  Target->setRegionObserver(runtime::bindObserver(*Policy));
+  Sim.addTask(Target);
+
+  uint64_t Seed = Config.WorkloadSeed;
+  for (const char *Name : {"bt", "is"}) {
+    Seed = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    auto Prog = std::make_shared<workload::Program>(
+        workload::Catalog::byName(Name),
+        workload::ThreadPattern::makeChooser(
+            Seed, Config.WorkloadMinThreads, Config.WorkloadMaxThreads,
+            Config.WorkloadChangePeriod),
+        TotalCores, /*Looping=*/true);
+    Sim.addTask(Prog);
+  }
+
+  for (int I = 0; I < 32; ++I)
+    Sim.step();
+  size_t Min = std::numeric_limits<size_t>::max();
+  for (int I = 0; I < 64; ++I) {
+    size_t Before = GAllocCount.load();
+    Sim.step();
+    Min = std::min(Min, GAllocCount.load() - Before);
+  }
+  return Min;
 }
 
 int writeGolden(const std::string &Path) {
@@ -284,7 +392,9 @@ int main(int Argc, char **Argv) {
   const size_t StreamLen = Smoke ? 256 : 4096;
   const int SelectorSweeps = Smoke ? 2 : 200;
   const int MixtureSweeps = Smoke ? 1 : 25;
-  const int TickRuns = Smoke ? 1 : 6;
+  // Each tick-loop run is only ~100us of wall clock; a deep min flattens
+  // scheduler noise on shared machines.
+  const int TickRuns = Smoke ? 1 : 20;
 
   bench::printBanner(
       "decision hot-path latency",
@@ -324,6 +434,36 @@ int main(int Argc, char **Argv) {
             << padLeft(formatDouble(TickRate.OpsPerSec / 1e3, 2), 7)
             << " Kticks/s\n";
 
+  Rate TracedRate = timeTickLoop(TickRuns, Checksum, /*RecordTraces=*/true);
+  std::cout << "  " << padRight("sim traced", 11) << "  "
+            << padLeft(formatDouble(TracedRate.NsPerOp, 1), 9)
+            << " ns/tick      "
+            << padLeft(formatDouble(TracedRate.OpsPerSec / 1e3, 2), 7)
+            << " Kticks/s\n";
+
+  // The same loop under the trivial OpenMP-default policy: no gating, no
+  // expert predictions, so this isolates the tick machinery (SoA columns,
+  // reduction caches, steady fast path) from decision latency.
+  Rate MachineryRate = timeTickLoop(TickRuns, Checksum,
+                                    /*RecordTraces=*/false, "default");
+  std::cout << "  " << padRight("sim steady", 11) << "  "
+            << padLeft(formatDouble(MachineryRate.NsPerOp, 1), 9)
+            << " ns/tick      "
+            << padLeft(formatDouble(MachineryRate.OpsPerSec / 1e3, 2), 7)
+            << " Kticks/s\n";
+
+  size_t TickAllocs = steadyTickAllocs();
+  std::cout << "  " << padRight("steady tick", 11) << "  "
+            << padLeft(std::to_string(TickAllocs), 9)
+            << " heap allocations\n";
+
+  // Smoke runs are single noisy sweeps for sanitizer/CI coverage; writing
+  // their numbers out would clobber the JSON the bench-compare gate reads.
+  if (Smoke) {
+    std::cout << "\nsmoke run -- BENCH_hotpath.json not written\n";
+    return Checksum == 0 ? 1 : 0;
+  }
+
   std::ofstream Json("BENCH_hotpath.json");
   Json << "{\n  \"bench\": \"hotpath_decision\",\n  \"selectors\": {\n";
   for (size_t I = 0; I < Kinds.size(); ++I)
@@ -335,7 +475,12 @@ int main(int Argc, char **Argv) {
        << "  \"mixture\": {\"ns_per_decision\": " << MixtureRate.NsPerOp
        << ", \"decisions_per_sec\": " << MixtureRate.OpsPerSec << "},\n"
        << "  \"sim_loop\": {\"ns_per_tick\": " << TickRate.NsPerOp
-       << ", \"ticks_per_sec\": " << TickRate.OpsPerSec << "},\n"
+       << ", \"ticks_per_sec\": " << TickRate.OpsPerSec
+       << ", \"allocs_per_steady_tick\": " << TickAllocs << "},\n"
+       << "  \"sim_loop_traced\": {\"ns_per_tick\": " << TracedRate.NsPerOp
+       << ", \"ticks_per_sec\": " << TracedRate.OpsPerSec << "},\n"
+       << "  \"sim_machinery\": {\"ns_per_tick\": " << MachineryRate.NsPerOp
+       << ", \"ticks_per_sec\": " << MachineryRate.OpsPerSec << "},\n"
        << "  \"checksum\": " << Checksum << "\n}\n";
   std::cout << "\nwrote BENCH_hotpath.json\n";
   return Checksum == 0 ? 1 : 0;

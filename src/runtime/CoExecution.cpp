@@ -77,6 +77,10 @@ medley::runtime::runCoExecution(const CoExecutionConfig &Config,
 
   CoExecutionResult Result;
 
+  // The non-looping target makes exactly one decision per region, so the
+  // decision trace never reallocates mid-run.
+  Result.TargetDecisions.reserve(TargetSpec.Regions.size());
+
   // Target program driven by its policy.
   auto Target = std::make_shared<workload::Program>(
       TargetSpec, bindPolicy(TargetPolicy, TotalCores,
@@ -133,7 +137,7 @@ medley::runtime::runCoExecution(const CoExecutionConfig &Config,
       Point.WorkloadThreads = External;
       Point.TargetThreads = Target->activeThreads();
       Point.EnvNorm = Sim.monitor().envNorm(Target->activeThreads());
-      Result.Trace.push_back(Point);
+      Result.Trace.append(Point);
     };
     Simulation.addTickHook(Capture);
   }

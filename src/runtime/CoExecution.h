@@ -19,6 +19,7 @@
 
 #include "runtime/PolicyBinding.h"
 #include "sim/Simulation.h"
+#include "trace/TickTrace.h"
 #include "workload/ThreadPattern.h"
 
 #include <memory>
@@ -65,14 +66,9 @@ struct WorkloadProgramSetup {
   std::shared_ptr<policy::ThreadPolicy> Policy;  ///< Optional adaptive policy.
 };
 
-/// Per-tick system trace point.
-struct TracePoint {
-  double Time = 0.0;
-  unsigned AvailableCores = 0;
-  unsigned WorkloadThreads = 0;
-  unsigned TargetThreads = 0;
-  double EnvNorm = 0.0;
-};
+/// Per-tick system trace point (one materialised row of the columnar
+/// trace::TickTrace).
+using TracePoint = trace::TracePoint;
 
 /// Outcome of one co-execution run.
 struct CoExecutionResult {
@@ -87,8 +83,10 @@ struct CoExecutionResult {
   /// Thread-selection decisions of the target's policy.
   std::vector<Decision> TargetDecisions;
 
-  /// Per-tick traces (only populated when RecordTraces is set).
-  std::vector<TracePoint> Trace;
+  /// Per-tick traces, stored column-wise (only populated when
+  /// RecordTraces is set). Persist with trace::ColumnarWriter; export to
+  /// CSV offline with trace::exportCsv.
+  trace::TickTrace Trace;
 
   /// Counters of injected faults (zero when no injector was configured).
   support::FaultStats Faults;

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace medley;
 using namespace medley::sim;
@@ -20,6 +21,10 @@ StaticAvailability::StaticAvailability(unsigned Cores) : Cores(Cores) {
 }
 
 unsigned StaticAvailability::coresAt(double) { return Cores; }
+
+double StaticAvailability::nextChangeAt(double) {
+  return std::numeric_limits<double>::infinity();
+}
 
 PeriodicAvailability::PeriodicAvailability(std::vector<unsigned> Levels,
                                            double Period, uint64_t Seed)
@@ -57,6 +62,16 @@ unsigned PeriodicAvailability::coresAt(double Time) {
   return Levels[CurrentLevel];
 }
 
+double PeriodicAvailability::nextChangeAt(double Time) {
+  if (Levels.size() == 1)
+    return std::numeric_limits<double>::infinity();
+  // The walk can only move at an epoch boundary. floor() here matches
+  // coresAt exactly, so the caller's cached value transitions on the same
+  // tick it would have by querying every tick.
+  double Epoch = std::floor(Time / Period);
+  return (Epoch + 1.0) * Period;
+}
+
 void PeriodicAvailability::reset() {
   Generator = Rng(Seed);
   CurrentEpoch = -1;
@@ -82,4 +97,13 @@ unsigned TraceAvailability::coresAt(double Time) {
   if (It == Points.begin())
     return Points.front().second;
   return std::prev(It)->second;
+}
+
+double TraceAvailability::nextChangeAt(double Time) {
+  auto It = std::upper_bound(
+      Points.begin(), Points.end(), Time,
+      [](double T, const auto &Point) { return T < Point.first; });
+  if (It == Points.end())
+    return std::numeric_limits<double>::infinity();
+  return It->first;
 }

@@ -33,6 +33,14 @@ public:
   /// non-decreasing Time; stateful patterns rely on that.
   virtual unsigned coresAt(double Time) = 0;
 
+  /// Earliest time strictly after \p Time at which coresAt may return a
+  /// different value: the caller may cache coresAt(Time) on the half-open
+  /// interval [Time, nextChangeAt(Time)). The default returns \p Time —
+  /// "no guarantee, requery every tick" — so subclasses that don't
+  /// override keep their exact pre-caching behaviour. Patterns with known
+  /// breakpoints override to let the simulator skip per-tick queries.
+  virtual double nextChangeAt(double Time) { return Time; }
+
   /// Resets any internal state so the pattern replays identically.
   virtual void reset() = 0;
 };
@@ -43,6 +51,7 @@ public:
   explicit StaticAvailability(unsigned Cores);
 
   unsigned coresAt(double Time) override;
+  double nextChangeAt(double Time) override; ///< Never changes: +infinity.
   void reset() override {}
 
 private:
@@ -65,6 +74,7 @@ public:
   standardLadder(unsigned MaxCores, double Period, uint64_t Seed);
 
   unsigned coresAt(double Time) override;
+  double nextChangeAt(double Time) override; ///< Next period boundary.
   void reset() override;
 
 private:
@@ -84,6 +94,7 @@ public:
   explicit TraceAvailability(std::vector<std::pair<double, unsigned>> Points);
 
   unsigned coresAt(double Time) override;
+  double nextChangeAt(double Time) override; ///< Next breakpoint after Time.
   void reset() override {}
 
 private:

@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 using namespace medley;
 using namespace medley::sim;
@@ -19,37 +21,21 @@ Simulation::Simulation(MachineConfig Config,
                        std::unique_ptr<AvailabilityPattern> Availability,
                        double Tick)
     : Config(Config), Availability(std::move(Availability)), Tick(Tick),
-      Monitor(Config) {
+      Monitor(Config),
+      NextCoresChange(-std::numeric_limits<double>::infinity()) {
   assert(Config.valid() && "invalid machine configuration");
   assert(this->Availability && "availability pattern required");
   assert(Tick > 0.0 && "tick must be positive");
+  BaseAlloc.CoresPerSocket = Config.coresPerSocket();
+  BaseAlloc.InterSocketSync = Config.InterSocketSync;
 }
 
 void Simulation::addTask(std::shared_ptr<Task> T) {
   assert(T && "null task");
-  Tasks.push_back(std::move(T));
+  Table.adopt(std::move(T));
 }
 
-void Simulation::removeTask(const Task *T) {
-  // Tombstone instead of erase: nulling the slot releases the task now but
-  // leaves the survivors in place, so k removals between ticks cost one
-  // compaction pass (at the next step or accessor) rather than k
-  // element-shifting erases. Iteration order is insertion order throughout —
-  // the per-tick FP reductions in step() accumulate in task order, so a
-  // swap-and-pop would change results.
-  for (std::shared_ptr<Task> &Entry : Tasks)
-    if (Entry.get() == T) {
-      Entry.reset();
-      ++TombstonedTasks;
-    }
-}
-
-void Simulation::compactTasks() const {
-  if (TombstonedTasks == 0)
-    return;
-  Tasks.erase(std::remove(Tasks.begin(), Tasks.end(), nullptr), Tasks.end());
-  TombstonedTasks = 0;
-}
+void Simulation::removeTask(const Task *T) { Table.remove(T); }
 
 unsigned Simulation::availableCores() {
   unsigned Cores = Availability->coresAt(Time);
@@ -61,37 +47,28 @@ void Simulation::setFaultInjector(std::unique_ptr<FaultInjector> Injector) {
 }
 
 unsigned Simulation::runnableThreads() const {
-  compactTasks();
+  Table.compact();
   unsigned Total = 0;
-  for (const auto &T : Tasks)
-    if (!T->finished())
-      Total += T->activeThreads();
+  for (size_t I = 0, N = Table.slots(); I < N; ++I)
+    if (!Table.finished(I))
+      Total += Table.threads(I);
   return Total;
 }
 
-void Simulation::step() {
-  compactTasks();
-  unsigned Cores = availableCores();
-
-  // One pass over the task set gathers every per-task quantity this tick
-  // needs; the virtual accessors fire once per task instead of once per
-  // use (runnable count, memory pass, env sampling).
-  Scratch.clear();
+void Simulation::recomputeTickState(unsigned Cores) {
+  // One pass over the columns gathers every per-task quantity this tick
+  // needs. The accumulation is in insertion order — identical, value for
+  // value, to the virtual-accessor gather this replaces — so reusing the
+  // cached results on later ticks with an unchanged generation is
+  // bit-identical to recomputing them.
   unsigned Runnable = 0;
   double UsedMemory = 0.0;
-  for (const auto &T : Tasks) {
-    if (T->finished())
+  const size_t N = Table.slots();
+  for (size_t I = 0; I < N; ++I) {
+    if (!Table.ptr(I) || Table.finished(I))
       continue;
-    TaskTickState S;
-    S.T = T.get();
-    S.Threads = T->activeThreads();
-    S.Demand = T->memoryDemand();
-    Runnable += S.Threads;
-    UsedMemory += T->workingSetMb();
-    // Scratch capacity sticks at the live-task count after the first
-    // tick (DESIGN.md §11), so steady-state growth never reallocates.
-    // medley-lint: allow(hotpath-escape) — amortized sticky scratch.
-    Scratch.push_back(S);
+    Runnable += Table.threads(I);
+    UsedMemory += Table.workingSetMb(I);
   }
 
   // Fair time slicing with a context-switch penalty once the machine is
@@ -117,8 +94,11 @@ void Simulation::step() {
   // Memory contention: bandwidth demand scales with the CPU time each task
   // actually receives; factor > 1 slows the memory-bound portion of work.
   double TotalDemand = 0.0;
-  for (const TaskTickState &S : Scratch)
-    TotalDemand += S.Demand * Share;
+  for (size_t I = 0; I < N; ++I) {
+    if (!Table.ptr(I) || Table.finished(I))
+      continue;
+    TotalDemand += Table.memoryDemand(I) * Share;
+  }
   double DemandRatio = TotalDemand / Config.MemoryBandwidth;
   double MemFactor =
       DemandRatio <= 1.0
@@ -128,34 +108,83 @@ void Simulation::step() {
   if (Config.AffinityBenefit > 0.0)
     MemFactor = 1.0 + (MemFactor - 1.0) * (1.0 - Config.AffinityBenefit);
 
-  // Advance every unfinished task under the computed allocation. The env
+  BaseAlloc.CpuShare = Share;
+  BaseAlloc.MemFactor = MemFactor;
+  BaseAlloc.BarrierFactor = BarrierFactor;
+  BaseAlloc.AvailableCores = Cores;
+  BaseAlloc.RunnableThreads = Runnable;
+  CachedRunnable = Runnable;
+  CachedUsedMemory = UsedMemory;
+  CacheGeneration = Table.generation();
+  CacheCores = Cores;
+  TickCacheValid = true;
+}
+
+void Simulation::step() {
+  Table.compact();
+
+  unsigned Cores;
+  if (Faults) {
+    // Injectors draw seeded randomness once per tick in monotonic time
+    // order; the storm override therefore cannot be cached.
+    Cores = Faults->overrideCores(Time, Availability->coresAt(Time));
+  } else {
+    if (Time >= NextCoresChange) {
+      CachedCores = Availability->coresAt(Time);
+      NextCoresChange = Availability->nextChangeAt(Time);
+    }
+    Cores = CachedCores;
+  }
+
+  if (!TickCacheValid || Cores != CacheCores ||
+      Table.generation() != CacheGeneration)
+    recomputeTickState(Cores);
+
+  BaseAlloc.Now = Time;
+
+  // Phase 1: every unfinished task attempts the steady fast path (advance
+  // without reading the environment). Tasks that decline are staged in
+  // the tick arena and take the slow path below, in insertion order, so
+  // observer and decision callbacks fire in the same order as a loop that
+  // stepped every task the slow way.
+  TickArena.reset();
+  const size_t N = Table.slots();
+  uint32_t *Slow = N == 0 ? nullptr : TickArena.allocateArray<uint32_t>(N);
+  size_t NumSlow = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Task *T = Table.ptr(I);
+    if (!T || Table.finished(I))
+      continue;
+    if (!T->stepSteady(Tick, BaseAlloc))
+      Slow[NumSlow++] = static_cast<uint32_t>(I);
+  }
+
+  // Phase 2: sample the environment once — only needed when some task
+  // takes the slow path, except under faults, where the injector must be
+  // consulted every tick to keep its random stream aligned. The env
   // sample is per-observer (a task does not count its own threads as
   // external workload), but only its WorkloadThreads field depends on the
   // observer — sample once and rewrite that field per task.
-  EnvSample SharedEnv = Monitor.sample(0);
-  unsigned MonitorRunnable = Monitor.runnable();
-  if (Faults)
-    Faults->perturbEnv(Time, SharedEnv);
-  CpuAllocation Allocation;
-  Allocation.CpuShare = Share;
-  Allocation.MemFactor = MemFactor;
-  Allocation.BarrierFactor = BarrierFactor;
-  Allocation.CoresPerSocket = Config.coresPerSocket();
-  Allocation.InterSocketSync = Config.InterSocketSync;
-  Allocation.AvailableCores = Cores;
-  Allocation.RunnableThreads = Runnable;
-  Allocation.Now = Time;
-  for (const TaskTickState &S : Scratch) {
-    Allocation.Env = SharedEnv;
-    Allocation.Env.WorkloadThreads = static_cast<double>(
-        MonitorRunnable > S.Threads ? MonitorRunnable - S.Threads : 0);
-    S.T->step(Tick, Allocation);
+  if (NumSlow > 0 || Faults) {
+    EnvSample SharedEnv = Monitor.sample(0);
+    unsigned MonitorRunnable = Monitor.runnable();
+    if (Faults)
+      Faults->perturbEnv(Time, SharedEnv);
+    for (size_t K = 0; K < NumSlow; ++K) {
+      size_t I = Slow[K];
+      unsigned SelfThreads = Table.threads(I);
+      BaseAlloc.Env = SharedEnv;
+      BaseAlloc.Env.WorkloadThreads = static_cast<double>(
+          MonitorRunnable > SelfThreads ? MonitorRunnable - SelfThreads : 0);
+      Table.ptr(I)->step(Tick, BaseAlloc);
+      Table.refresh(I);
+    }
   }
 
   // A stale-monitor fault suppresses the update: observers keep reading
   // the aging snapshot until the window passes.
   if (!Faults || !Faults->monitorStale(Time))
-    Monitor.update(Runnable, Cores, UsedMemory, Tick);
+    Monitor.update(CachedRunnable, Cores, CachedUsedMemory, Tick);
   Time += Tick;
 
   for (const auto &Hook : TickHooks)

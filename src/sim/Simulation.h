@@ -11,6 +11,19 @@
 /// monitor. This substitutes for the paper's physical 32-core testbed (see
 /// DESIGN.md §5).
 ///
+/// The tick loop is structured around three caches that are all
+/// bit-identity-preserving (DESIGN.md §13): task state lives in a
+/// struct-of-arrays TaskTable whose generation counter lets the per-tick
+/// FP reductions (runnable threads, used memory, bandwidth demand — and
+/// the share/contention factors derived from them, including the pow())
+/// be reused verbatim across ticks where no column changed; processor
+/// availability is queried only at pattern-declared change points; and
+/// the environment sample is taken lazily, only on ticks where some task
+/// takes the slow path (a fast-pathed task never reads its Env). With a
+/// fault injector installed the loop reverts to the always-query,
+/// always-sample schedule, because injectors draw seeded randomness once
+/// per tick and skipping a call would shift the fault stream.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MEDLEY_SIM_SIMULATION_H
@@ -21,6 +34,8 @@
 #include "sim/Machine.h"
 #include "sim/SystemMonitor.h"
 #include "sim/Task.h"
+#include "sim/TaskTable.h"
+#include "support/Arena.h"
 
 #include <functional>
 #include <memory>
@@ -65,33 +80,24 @@ public:
   const MachineConfig &machine() const { return Config; }
   const SystemMonitor &monitor() const { return Monitor; }
 
-  /// Cores available at the current time.
+  /// Cores available at the current time (always a live pattern query,
+  /// with any fault override applied — never the step loop's cache).
   unsigned availableCores();
 
   /// Total runnable threads across unfinished tasks.
   unsigned runnableThreads() const;
 
-  size_t numTasks() const {
-    compactTasks();
-    return Tasks.size();
-  }
+  size_t numTasks() const { return Table.owners().size(); }
   const std::vector<std::shared_ptr<Task>> &tasks() const {
-    compactTasks();
-    return Tasks;
+    return Table.owners();
   }
 
 private:
-  /// Squeezes out tombstoned (null) entries left by removeTask, keeping the
-  /// surviving tasks in insertion order. Called before any code can observe
-  /// the task list, so a null entry is never visible outside this class.
-  void compactTasks() const;
-  /// Per-task values gathered once per tick so each virtual accessor is
-  /// called exactly once per task per tick.
-  struct TaskTickState {
-    Task *T = nullptr;
-    unsigned Threads = 0;
-    double Demand = 0.0;
-  };
+  /// Recomputes the per-tick reductions and allocation scalars for
+  /// \p Cores and the current table contents, caching them under the
+  /// table generation. The accumulation order is insertion order, exactly
+  /// as an uncached tick would compute it.
+  void recomputeTickState(unsigned Cores);
 
   MachineConfig Config;
   std::unique_ptr<AvailabilityPattern> Availability;
@@ -99,14 +105,29 @@ private:
   double Tick;
   double Time = 0.0;
   SystemMonitor Monitor;
-  /// Task list in insertion order. removeTask tombstones (nulls) the slot
-  /// instead of erasing, so a burst of removals costs one compaction pass
-  /// instead of one element-shifting erase each. Mutable so the const
-  /// accessors can compact lazily; nulls never escape compactTasks.
-  mutable std::vector<std::shared_ptr<Task>> Tasks;
-  mutable size_t TombstonedTasks = 0;
+  /// Task state, struct-of-arrays; iteration order is insertion order.
+  TaskTable Table;
   std::vector<std::function<void(Simulation &)>> TickHooks;
-  std::vector<TaskTickState> Scratch; ///< Reused across ticks.
+
+  /// Per-tick transients (the slow-path task list); reset each tick,
+  /// reaching zero heap traffic once at high-water capacity.
+  support::Arena TickArena;
+
+  /// Availability cache: coresAt() is constant on [Time, NextCoresChange),
+  /// per AvailabilityPattern::nextChangeAt. Unused while faults are
+  /// installed (storm overrides are drawn per tick).
+  unsigned CachedCores = 0;
+  double NextCoresChange = 0.0; ///< Sentinel set in ctor to force a query.
+
+  /// Reduction cache, valid for (CacheGeneration, CacheCores).
+  bool TickCacheValid = false;
+  uint64_t CacheGeneration = 0;
+  unsigned CacheCores = 0;
+  unsigned CachedRunnable = 0;
+  double CachedUsedMemory = 0.0;
+  /// Allocation handed to tasks; scalar fields refreshed with the
+  /// reduction cache, Now per tick, Env only on the slow path.
+  CpuAllocation BaseAlloc;
 };
 
 } // namespace medley::sim

@@ -52,6 +52,14 @@ struct CpuAllocation {
 };
 
 /// Anything the simulated machine can run.
+///
+/// Scheduler contract: the four observable scheduling quantities —
+/// activeThreads(), memoryDemand(), workingSetMb() and finished() — may
+/// change only inside step() / stepSteady(). The simulator mirrors them
+/// into struct-of-arrays columns (sim::TaskTable) at add time and after
+/// every slow-path step, and its per-tick reductions read the columns, not
+/// the accessors; a task mutating them out of band desynchronises the
+/// mirror.
 class Task {
 public:
   virtual ~Task();
@@ -71,6 +79,22 @@ public:
 
   /// Advances the task by \p Dt seconds under \p Allocation.
   virtual void step(double Dt, const CpuAllocation &Allocation) = 0;
+
+  /// Steady-tick fast path. \p Allocation carries the same scalar fields
+  /// as step()'s would, but its Env member is STALE — a task that would
+  /// consult the environment this tick (e.g. to start a new region) must
+  /// return false. Returning true means the task fully advanced itself by
+  /// \p Dt, bit-identically to what step() would have done, without
+  /// changing any of the four observable scheduling quantities. Returning
+  /// false means "take the slow path": the scheduler then samples the
+  /// environment and calls step() with a complete allocation; the task
+  /// must not have mutated anything. The default opts every tick out, so
+  /// existing Task implementations keep their exact behaviour.
+  virtual bool stepSteady(double Dt, const CpuAllocation &Allocation) {
+    (void)Dt;
+    (void)Allocation;
+    return false;
+  }
 
   /// True once the task has completed all its work.
   virtual bool finished() const = 0;

@@ -1,0 +1,84 @@
+//===-- support/Arena.h - Bump allocation arena -----------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A region (bump) allocator for short-lived, per-iteration transients.
+/// Allocation is a pointer increment; reset() rewinds the arena in O(1)
+/// while retaining every chunk it has ever grown, so a loop that resets
+/// the arena each iteration stops touching the heap entirely once the
+/// high-water mark is reached. The simulator resets its tick arena at the
+/// top of every tick (DESIGN.md §13); nothing allocated from the arena
+/// may outlive that reset.
+///
+/// Objects placed in the arena are NOT destroyed — only trivially
+/// destructible payloads (indices, samples, plain structs) belong here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_SUPPORT_ARENA_H
+#define MEDLEY_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace medley::support {
+
+/// Chunked bump allocator; see the file comment for the lifetime contract.
+class Arena {
+public:
+  /// \p ChunkBytes is the size of the first chunk; later chunks at least
+  /// double, so any allocation pattern settles into a bounded chunk list.
+  explicit Arena(size_t ChunkBytes = 4096);
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Bytes of storage aligned to \p Align (a power of two).
+  /// Grows by a fresh chunk only when every retained chunk is exhausted.
+  void *allocate(size_t Bytes, size_t Align);
+
+  /// Typed convenience: uninitialised storage for \p N objects of \p T.
+  /// T must be trivially destructible (the arena never runs destructors).
+  template <typename T> T *allocateArray(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty without releasing memory: O(1), no heap traffic.
+  void reset();
+
+  /// Total bytes owned across all chunks (the high-water capacity).
+  size_t capacity() const;
+
+  /// Bytes handed out since the last reset (including alignment padding).
+  size_t used() const { return Used; }
+
+  /// Number of chunks grown so far (1 after the first allocation).
+  size_t numChunks() const { return Chunks.size(); }
+
+private:
+  /// Appends a chunk of at least \p AtLeast bytes and makes it current.
+  void grow(size_t AtLeast);
+
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> Mem;
+    size_t Size = 0;
+  };
+
+  std::vector<Chunk> Chunks;
+  size_t Current = 0;        ///< Index of the chunk being bumped.
+  unsigned char *Ptr = nullptr; ///< Next free byte in the current chunk.
+  unsigned char *End = nullptr; ///< One past the current chunk's storage.
+  size_t FirstChunkBytes;
+  size_t Used = 0;
+};
+
+} // namespace medley::support
+
+#endif // MEDLEY_SUPPORT_ARENA_H

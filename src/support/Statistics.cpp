@@ -99,8 +99,11 @@ void Ema::update(double X, double Dt) {
     Primed = true;
     return;
   }
-  double Alpha = 1.0 - std::exp(-Dt / TimeConstant);
-  Value += Alpha * (X - Value);
+  if (Dt != LastDt) {
+    LastAlpha = 1.0 - std::exp(-Dt / TimeConstant);
+    LastDt = Dt;
+  }
+  Value += LastAlpha * (X - Value);
 }
 
 void Ema::reset() {

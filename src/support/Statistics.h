@@ -76,6 +76,12 @@ private:
   double TimeConstant;
   double Value = 0.0;
   bool Primed = false;
+  /// One-entry alpha memo: simulation loops call update() with a constant
+  /// tick length, and 1 - exp(-Dt/tau) is a pure function of Dt, so the
+  /// cached value is bit-identical to recomputing it. Kills an exp() per
+  /// call on the tick hot path.
+  double LastDt = 0.0;
+  double LastAlpha = 0.0;
 };
 
 } // namespace medley

@@ -1,0 +1,302 @@
+//===-- trace/Columnar.cpp - Columnar binary trace files ------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Columnar.h"
+
+#include "support/Csv.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+using namespace medley;
+using namespace medley::trace;
+
+namespace {
+
+constexpr char Magic[8] = {'M', 'D', 'L', 'Y', 'T', 'R', 'C', '1'};
+constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t NumColumns = 5;
+constexpr size_t HeaderBytes = 32;
+constexpr size_t DescriptorBytes = 48;
+constexpr size_t NameBytes = 24;
+constexpr uint32_t TypeF64 = 1;
+constexpr uint32_t TypeU32 = 2;
+
+/// The fixed schema: name, element type, element size. Descriptor order is
+/// payload order.
+struct ColumnSpec {
+  const char *Name;
+  uint32_t Type;
+  uint32_t ElemSize;
+};
+constexpr ColumnSpec Schema[NumColumns] = {
+    {"time", TypeF64, 8},
+    {"available_cores", TypeU32, 4},
+    {"workload_threads", TypeU32, 4},
+    {"target_threads", TypeU32, 4},
+    {"env_norm", TypeF64, 8},
+};
+
+size_t alignUp8(size_t N) { return (N + 7) & ~size_t(7); }
+
+/// Explicit little-endian scalar encoding, independent of host order.
+/// Column payloads are raw element bytes (IEEE-754 doubles / uint32), so
+/// the format as a whole assumes a little-endian producer and consumer —
+/// the only hosts this project targets.
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out += static_cast<char>((V >> (8 * I)) & 0xFF);
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out += static_cast<char>((V >> (8 * I)) & 0xFF);
+}
+
+uint32_t getU32(const char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(P[I])) << (8 * I);
+  return V;
+}
+
+uint64_t getU64(const char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(P[I])) << (8 * I);
+  return V;
+}
+
+/// Raw bytes and length of column \p C of \p Trace.
+const char *columnData(const TickTrace &Trace, size_t C, size_t &Bytes) {
+  switch (C) {
+  case 0:
+    Bytes = Trace.times().size() * sizeof(double);
+    return reinterpret_cast<const char *>(Trace.times().data());
+  case 1:
+    Bytes = Trace.availableCores().size() * sizeof(uint32_t);
+    return reinterpret_cast<const char *>(Trace.availableCores().data());
+  case 2:
+    Bytes = Trace.workloadThreads().size() * sizeof(uint32_t);
+    return reinterpret_cast<const char *>(Trace.workloadThreads().data());
+  case 3:
+    Bytes = Trace.targetThreads().size() * sizeof(uint32_t);
+    return reinterpret_cast<const char *>(Trace.targetThreads().data());
+  case 4:
+    Bytes = Trace.envNorms().size() * sizeof(double);
+    return reinterpret_cast<const char *>(Trace.envNorms().data());
+  }
+  Bytes = 0;
+  return nullptr;
+}
+
+} // namespace
+
+support::Error ColumnarWriter::write(const TickTrace &Trace,
+                                     std::ostream &OS) {
+  const uint64_t Rows = Trace.size();
+
+  // Header and descriptors are assembled in one buffer and written with a
+  // single stream operation; each payload follows as one contiguous write.
+  std::string Head;
+  Head.reserve(HeaderBytes + NumColumns * DescriptorBytes);
+  Head.append(Magic, sizeof(Magic));
+  putU32(Head, FormatVersion);
+  putU32(Head, NumColumns);
+  putU64(Head, Rows);
+  putU64(Head, 0); // reserved
+
+  uint64_t Offset = HeaderBytes + NumColumns * DescriptorBytes;
+  for (const ColumnSpec &Spec : Schema) {
+    char Name[NameBytes] = {};
+    std::strncpy(Name, Spec.Name, NameBytes - 1);
+    Head.append(Name, NameBytes);
+    putU32(Head, Spec.Type);
+    putU32(Head, Spec.ElemSize);
+    putU64(Head, Offset);
+    putU64(Head, Rows * Spec.ElemSize);
+    Offset = alignUp8(Offset + Rows * Spec.ElemSize);
+  }
+  OS.write(Head.data(), static_cast<std::streamsize>(Head.size()));
+
+  static const char Zeros[8] = {};
+  for (size_t C = 0; C < NumColumns; ++C) {
+    size_t Bytes = 0;
+    const char *Data = columnData(Trace, C, Bytes);
+    if (Bytes > 0)
+      OS.write(Data, static_cast<std::streamsize>(Bytes));
+    size_t Pad = alignUp8(Bytes) - Bytes;
+    if (Pad > 0)
+      OS.write(Zeros, static_cast<std::streamsize>(Pad));
+  }
+
+  OS.flush();
+  if (!OS)
+    return {support::ErrorCode::IoFailure, "trace stream write failed"};
+  return {};
+}
+
+support::Error ColumnarWriter::writeFile(const TickTrace &Trace,
+                                         const std::string &Path) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  if (!OS)
+    return {support::ErrorCode::IoFailure,
+            "cannot open trace file for writing: " + Path};
+  return write(Trace, OS);
+}
+
+bool ColumnarReader::read(std::istream &IS, TickTrace &Out,
+                          support::Error *Err) {
+  char Head[HeaderBytes];
+  IS.read(Head, HeaderBytes);
+  if (IS.gcount() != static_cast<std::streamsize>(HeaderBytes)) {
+    reportError(Err, support::ErrorCode::TruncatedInput,
+                "trace header truncated");
+    return false;
+  }
+  if (std::memcmp(Head, Magic, sizeof(Magic)) != 0) {
+    reportError(Err, support::ErrorCode::CorruptInput,
+                "not a columnar trace file (bad magic)");
+    return false;
+  }
+  uint32_t Version = getU32(Head + 8);
+  if (Version != FormatVersion) {
+    reportError(Err, support::ErrorCode::CorruptInput,
+                "unsupported trace format version " + std::to_string(Version));
+    return false;
+  }
+  uint32_t Columns = getU32(Head + 12);
+  if (Columns != NumColumns) {
+    reportError(Err, support::ErrorCode::CorruptInput,
+                "expected " + std::to_string(NumColumns) +
+                    " trace columns, file declares " + std::to_string(Columns));
+    return false;
+  }
+  uint64_t Rows = getU64(Head + 16);
+
+  char Desc[NumColumns * DescriptorBytes];
+  IS.read(Desc, sizeof(Desc));
+  if (IS.gcount() != static_cast<std::streamsize>(sizeof(Desc))) {
+    reportError(Err, support::ErrorCode::TruncatedInput,
+                "trace column descriptors truncated");
+    return false;
+  }
+
+  uint64_t Offsets[NumColumns];
+  uint64_t Expected = HeaderBytes + NumColumns * DescriptorBytes;
+  for (size_t C = 0; C < NumColumns; ++C) {
+    const char *D = Desc + C * DescriptorBytes;
+    char Name[NameBytes] = {};
+    std::strncpy(Name, Schema[C].Name, NameBytes - 1);
+    if (std::memcmp(D, Name, NameBytes) != 0) {
+      reportError(Err, support::ErrorCode::CorruptInput,
+                  "trace column " + std::to_string(C) + " is not '" +
+                      Schema[C].Name + "'");
+      return false;
+    }
+    uint32_t Type = getU32(D + NameBytes);
+    uint32_t ElemSize = getU32(D + NameBytes + 4);
+    uint64_t Offset = getU64(D + NameBytes + 8);
+    uint64_t Length = getU64(D + NameBytes + 16);
+    if (Type != Schema[C].Type || ElemSize != Schema[C].ElemSize) {
+      reportError(Err, support::ErrorCode::CorruptInput,
+                  "trace column '" + std::string(Schema[C].Name) +
+                      "' has unexpected type or width");
+      return false;
+    }
+    if (Offset != Expected || (Offset & 7) != 0 ||
+        Length != Rows * ElemSize) {
+      reportError(Err, support::ErrorCode::CorruptInput,
+                  "trace column '" + std::string(Schema[C].Name) +
+                      "' has inconsistent offset or length");
+      return false;
+    }
+    Offsets[C] = Offset;
+    Expected = alignUp8(Offset + Length);
+  }
+
+  TickTrace Trace;
+  Trace.Times.resize(Rows);
+  Trace.Cores.resize(Rows);
+  Trace.Workload.resize(Rows);
+  Trace.Target.resize(Rows);
+  Trace.EnvNorm.resize(Rows);
+
+  uint64_t Pos = HeaderBytes + NumColumns * DescriptorBytes;
+  for (size_t C = 0; C < NumColumns; ++C) {
+    if (Offsets[C] > Pos) {
+      IS.ignore(static_cast<std::streamsize>(Offsets[C] - Pos));
+      Pos = Offsets[C];
+    }
+    size_t Bytes = 0;
+    char *Data = nullptr;
+    switch (C) {
+    case 0:
+      Data = reinterpret_cast<char *>(Trace.Times.data());
+      Bytes = Rows * sizeof(double);
+      break;
+    case 1:
+      Data = reinterpret_cast<char *>(Trace.Cores.data());
+      Bytes = Rows * sizeof(uint32_t);
+      break;
+    case 2:
+      Data = reinterpret_cast<char *>(Trace.Workload.data());
+      Bytes = Rows * sizeof(uint32_t);
+      break;
+    case 3:
+      Data = reinterpret_cast<char *>(Trace.Target.data());
+      Bytes = Rows * sizeof(uint32_t);
+      break;
+    case 4:
+      Data = reinterpret_cast<char *>(Trace.EnvNorm.data());
+      Bytes = Rows * sizeof(double);
+      break;
+    }
+    if (Bytes > 0) {
+      IS.read(Data, static_cast<std::streamsize>(Bytes));
+      if (IS.gcount() != static_cast<std::streamsize>(Bytes)) {
+        reportError(Err, support::ErrorCode::TruncatedInput,
+                    "trace column '" + std::string(Schema[C].Name) +
+                        "' payload truncated");
+        return false;
+      }
+    }
+    Pos += Bytes;
+  }
+
+  Out = std::move(Trace);
+  return true;
+}
+
+bool ColumnarReader::readFile(const std::string &Path, TickTrace &Out,
+                              support::Error *Err) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    reportError(Err, support::ErrorCode::IoFailure,
+                "cannot open trace file: " + Path);
+    return false;
+  }
+  return read(IS, Out, Err);
+}
+
+void medley::trace::exportCsv(const TickTrace &Trace, std::ostream &OS) {
+  CsvWriter W(OS, /*BufferBytes=*/1 << 16);
+  W.writeRow({"time", "available_cores", "workload_threads", "target_threads",
+              "env_norm"});
+  std::vector<std::string> Cells(NumColumns);
+  for (size_t I = 0, N = Trace.size(); I < N; ++I) {
+    Cells[0] = formatDouble(Trace.times()[I], 6);
+    Cells[1] = std::to_string(Trace.availableCores()[I]);
+    Cells[2] = std::to_string(Trace.workloadThreads()[I]);
+    Cells[3] = std::to_string(Trace.targetThreads()[I]);
+    Cells[4] = formatDouble(Trace.envNorms()[I], 6);
+    W.writeRow(Cells);
+  }
+}

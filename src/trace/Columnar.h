@@ -1,0 +1,83 @@
+//===-- trace/Columnar.h - Columnar binary trace files ----------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The columnar binary on-disk format for TickTrace (DESIGN.md §13):
+///
+///   offset  size   field
+///   0       8      magic "MDLYTRC1"
+///   8       4      u32 format version (currently 1)
+///   12      4      u32 column count C (currently 5)
+///   16      8      u64 row count R
+///   24      8      u64 reserved (written as 0)
+///   32      C*48   column descriptors, in column order:
+///             24   column name, NUL-padded ASCII
+///             4    u32 element type (1 = float64, 2 = uint32)
+///             4    u32 element size in bytes (8 or 4)
+///             8    u64 file offset of the column payload (8-byte aligned)
+///             8    u64 payload byte length (= R * element size)
+///   ...            column payloads, each 8-byte aligned, zero-padded
+///                  between columns, little-endian fixed-width elements
+///
+/// All scalar header fields are little-endian. Fixed-width elements and
+/// aligned payload offsets make the file mmap-friendly: a reader can map
+/// it and point at each column in place; the stream reader here does the
+/// equivalent with two passes (descriptors, then payloads).
+///
+/// Writing a trace is five contiguous buffer writes instead of one
+/// formatted CSV row per tick; CSV output becomes an offline post-pass
+/// (exportCsv) over a trace read back from disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_TRACE_COLUMNAR_H
+#define MEDLEY_TRACE_COLUMNAR_H
+
+#include "support/Error.h"
+#include "trace/TickTrace.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace medley::trace {
+
+/// Serialises a TickTrace into the columnar binary format.
+class ColumnarWriter {
+public:
+  /// Writes \p Trace to \p OS; IoFailure when the stream fails.
+  static support::Error write(const TickTrace &Trace, std::ostream &OS);
+
+  /// Writes \p Trace to the file at \p Path (truncating); IoFailure when
+  /// the file cannot be opened or the write fails.
+  static support::Error writeFile(const TickTrace &Trace,
+                                  const std::string &Path);
+};
+
+/// Deserialises the columnar binary format back into a TickTrace.
+class ColumnarReader {
+public:
+  /// Reads a trace from \p IS into \p Out. Returns false and reports
+  /// through \p Err on failure: TruncatedInput when the stream ends before
+  /// the header, a descriptor or a payload is complete; CorruptInput when
+  /// the magic, version, or column schema does not match.
+  static bool read(std::istream &IS, TickTrace &Out,
+                   support::Error *Err = nullptr);
+
+  /// Reads a trace from the file at \p Path; IoFailure when the file
+  /// cannot be opened, otherwise as read().
+  static bool readFile(const std::string &Path, TickTrace &Out,
+                       support::Error *Err = nullptr);
+};
+
+/// The offline CSV post-pass: one header row then one row per tick,
+/// emitted through a buffered support CsvWriter (so the byte format is
+/// exactly CsvWriter's, and loops that used to format CSV per tick can
+/// instead record binary and export afterwards).
+void exportCsv(const TickTrace &Trace, std::ostream &OS);
+
+} // namespace medley::trace
+
+#endif // MEDLEY_TRACE_COLUMNAR_H

@@ -1,0 +1,111 @@
+//===-- trace/TickTrace.h - Columnar per-tick trace -------------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-tick system trace stored column-wise: one contiguous vector per
+/// traced quantity instead of a vector of row structs. The tick loop
+/// appends to the columns (reserved up front, so steady-state recording
+/// never allocates), and the columnar binary writer (Columnar.h) can hand
+/// each column to the stream as a single contiguous write. Consumers that
+/// want a row materialise one on demand with operator[].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_TRACE_TICKTRACE_H
+#define MEDLEY_TRACE_TICKTRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace medley::trace {
+
+class ColumnarReader;
+
+/// One materialised row of a TickTrace.
+struct TracePoint {
+  double Time = 0.0;
+  unsigned AvailableCores = 0;
+  unsigned WorkloadThreads = 0;
+  unsigned TargetThreads = 0;
+  double EnvNorm = 0.0;
+};
+
+/// Struct-of-arrays per-tick trace. Row order is append order (monotone
+/// simulation time); all five columns always have the same length.
+class TickTrace {
+public:
+  /// Pre-sizes every column for \p N rows so appends up to that bound
+  /// never reallocate.
+  void reserve(size_t N) {
+    Times.reserve(N);
+    Cores.reserve(N);
+    Workload.reserve(N);
+    Target.reserve(N);
+    EnvNorm.reserve(N);
+  }
+
+  /// Appends one row across all columns.
+  void append(const TracePoint &P) {
+    Times.push_back(P.Time);
+    Cores.push_back(P.AvailableCores);
+    Workload.push_back(P.WorkloadThreads);
+    Target.push_back(P.TargetThreads);
+    EnvNorm.push_back(P.EnvNorm);
+  }
+
+  size_t size() const { return Times.size(); }
+  bool empty() const { return Times.empty(); }
+
+  void clear() {
+    Times.clear();
+    Cores.clear();
+    Workload.clear();
+    Target.clear();
+    EnvNorm.clear();
+  }
+
+  /// Materialises row \p I.
+  TracePoint operator[](size_t I) const {
+    TracePoint P;
+    P.Time = Times[I];
+    P.AvailableCores = Cores[I];
+    P.WorkloadThreads = Workload[I];
+    P.TargetThreads = Target[I];
+    P.EnvNorm = EnvNorm[I];
+    return P;
+  }
+
+  const std::vector<double> &times() const { return Times; }
+  const std::vector<uint32_t> &availableCores() const { return Cores; }
+  const std::vector<uint32_t> &workloadThreads() const { return Workload; }
+  const std::vector<uint32_t> &targetThreads() const { return Target; }
+  const std::vector<double> &envNorms() const { return EnvNorm; }
+
+  friend bool operator==(const TickTrace &A, const TickTrace &B) {
+    return A.Times == B.Times && A.Cores == B.Cores &&
+           A.Workload == B.Workload && A.Target == B.Target &&
+           A.EnvNorm == B.EnvNorm;
+  }
+  friend bool operator!=(const TickTrace &A, const TickTrace &B) {
+    return !(A == B);
+  }
+
+private:
+  /// The binary reader fills the columns wholesale (one contiguous read
+  /// per column) instead of appending row by row.
+  friend class ColumnarReader;
+
+  std::vector<double> Times;
+  std::vector<uint32_t> Cores;
+  std::vector<uint32_t> Workload;
+  std::vector<uint32_t> Target;
+  std::vector<double> EnvNorm;
+};
+
+} // namespace medley::trace
+
+#endif // MEDLEY_TRACE_TICKTRACE_H

@@ -74,6 +74,48 @@ void Program::startNextRegion(const sim::CpuAllocation &Allocation,
   RegionActive = true;
 }
 
+double Program::cachedRegionRate(const sim::CpuAllocation &Allocation) {
+  if (!RateValid || RateRegionIndex != RegionIndex ||
+      RateThreads != CurrentThreads || RateShare != Allocation.CpuShare ||
+      RateMemFactor != Allocation.MemFactor ||
+      RateBarrierFactor != Allocation.BarrierFactor ||
+      RateCoresPerSocket != Allocation.CoresPerSocket ||
+      RateInterSocketSync != Allocation.InterSocketSync) {
+    CachedRate =
+        regionRate(Spec.Regions[RegionIndex], CurrentThreads, Allocation);
+    RateRegionIndex = RegionIndex;
+    RateThreads = CurrentThreads;
+    RateShare = Allocation.CpuShare;
+    RateMemFactor = Allocation.MemFactor;
+    RateBarrierFactor = Allocation.BarrierFactor;
+    RateCoresPerSocket = Allocation.CoresPerSocket;
+    RateInterSocketSync = Allocation.InterSocketSync;
+    RateValid = true;
+  }
+  return CachedRate;
+}
+
+bool Program::stepSteady(double Dt, const sim::CpuAllocation &Allocation) {
+  // The fast path replicates exactly one arithmetic scenario of step():
+  // an already-active region that does NOT complete within this tick. It
+  // performs the same operations in the same order on the same values, so
+  // its results are bit-identical; every other scenario (region start —
+  // which reads Allocation.Env, completion, Done, degenerate Dt) declines
+  // and lets the scheduler run the full step().
+  if (Done || !RegionActive || !(Dt > 1e-12))
+    return false;
+  const RegionSpec &Region = Spec.Regions[RegionIndex];
+  double Rate = cachedRegionRate(Allocation);
+  assert(Rate > 0.0 && "region cannot make progress");
+  double WorkLeft = Region.Work - RegionProgress;
+  double TimeNeeded = WorkLeft / Rate;
+  if (!(TimeNeeded > Dt))
+    return false; // Region completes this tick: slow path.
+  RegionProgress += Rate * Dt;
+  TotalWorkDone += Rate * Dt;
+  return true;
+}
+
 void Program::step(double Dt, const sim::CpuAllocation &Allocation) {
   if (Done)
     return;
@@ -84,7 +126,7 @@ void Program::step(double Dt, const sim::CpuAllocation &Allocation) {
       startNextRegion(Allocation, LocalNow);
 
     const RegionSpec &Region = Spec.Regions[RegionIndex];
-    double Rate = regionRate(Region, CurrentThreads, Allocation);
+    double Rate = cachedRegionRate(Allocation);
     assert(Rate > 0.0 && "region cannot make progress");
 
     double WorkLeft = Region.Work - RegionProgress;

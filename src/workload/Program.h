@@ -88,6 +88,7 @@ public:
   double memoryDemand() const override;
   double workingSetMb() const override { return Spec.WorkingSetMb; }
   void step(double Dt, const sim::CpuAllocation &Allocation) override;
+  bool stepSteady(double Dt, const sim::CpuAllocation &Allocation) override;
   bool finished() const override;
 
   const ProgramSpec &spec() const { return Spec; }
@@ -109,6 +110,13 @@ public:
 private:
   void startNextRegion(const sim::CpuAllocation &Allocation, double Now);
 
+  /// regionRate for the active region and current thread count under
+  /// \p Allocation, memoized on the full argument tuple. regionRate is a
+  /// pure function, so a hit returns exactly the bits a recomputation
+  /// would; across steady ticks (same share/contention factors) the whole
+  /// Amdahl/penalty evaluation collapses to a few compares.
+  double cachedRegionRate(const sim::CpuAllocation &Allocation);
+
   ProgramSpec Spec;
   ThreadChooser Chooser;
   unsigned MaxThreads;
@@ -126,6 +134,17 @@ private:
   size_t CompletedRuns = 0;
   size_t RegionsExecuted = 0;
   double TotalWorkDone = 0.0;
+
+  /// cachedRegionRate memo (single entry): key + value.
+  bool RateValid = false;
+  size_t RateRegionIndex = 0;
+  unsigned RateThreads = 0;
+  double RateShare = 0.0;
+  double RateMemFactor = 0.0;
+  double RateBarrierFactor = 0.0;
+  unsigned RateCoresPerSocket = 0;
+  double RateInterSocketSync = 0.0;
+  double CachedRate = 0.0;
 };
 
 } // namespace medley::workload

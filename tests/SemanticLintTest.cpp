@@ -172,6 +172,44 @@ TEST(HotpathEscapeTest, AllowAtTheAllocationSiteSuppresses) {
   EXPECT_FALSE(hasRule(Findings, "hotpath-escape")) << messagesOf(Findings);
 }
 
+TEST(HotpathEscapeTest, SoATickKernelsAreDecisionEntries) {
+  // The SoA rewrite's tick kernels must anchor L7 reachability just like
+  // the selector entries: an allocation in a helper reached from
+  // TaskTable::refresh, Simulation::recomputeTickState or a stepSteady
+  // fast path is a hot-path escape.
+  std::vector<FileIndex> Tree = {
+      indexSrc("src/sim/TaskTableRefresh.cpp",
+               "class TaskTable { public: void refresh(int I); };\n"
+               "int gatherColumns(int I);\n"
+               "void TaskTable::refresh(int I) { gatherColumns(I); }\n"),
+      indexSrc("src/sim/SimRecompute.cpp",
+               "class Simulation { public: void recomputeTickState(int C); };\n"
+               "int gatherColumns(int I);\n"
+               "void Simulation::recomputeTickState(int C) {\n"
+               "  gatherColumns(C);\n"
+               "}\n"),
+      indexSrc("src/workload/ProgSteady.cpp",
+               "class Program { public: bool stepSteady(int N); };\n"
+               "int gatherColumns(int I);\n"
+               "bool Program::stepSteady(int N) {\n"
+               "  return gatherColumns(N) != 0;\n"
+               "}\n"),
+      indexSrc("src/sim/Gather.cpp",
+               "int gatherColumns(int I) {\n"
+               "  std::vector<int> Staging;\n"
+               "  Staging.push_back(I);\n"
+               "  return Staging.back();\n"
+               "}\n")};
+  auto Findings = runSemanticRules(linkCallGraph(Tree));
+  // One allocation site, reported once regardless of how many of the new
+  // entries reach it.
+  EXPECT_EQ(countRule(Findings, "hotpath-escape"), 1u)
+      << messagesOf(Findings);
+  for (const Finding &F : Findings)
+    if (F.Rule == "hotpath-escape")
+      EXPECT_EQ(F.File, "src/sim/Gather.cpp");
+}
+
 TEST(HotpathEscapeTest, TestTreeDefinitionsAreOutOfScope) {
   // The same shape, but the allocating helper lives under tests/: the
   // BFS must not cross out of src/.

@@ -341,7 +341,19 @@ bool medley::lint::isDecisionEntry(const CallGraph::Node &N) {
   if (N.Name == "buildFeatures" &&
       N.Qual.find("policy::") != std::string::npos)
     return true;
-  return N.Class == "Simulation" && N.Name == "step";
+  // The SoA tick kernels: the per-tick column reductions and the steady
+  // fast path run once per simulated tick, so any allocation reachable
+  // from them multiplies by the tick count. Arena-backed staging (the
+  // amortized chunk growth inside support::Arena and the sticky column
+  // growth in TaskTable::adopt) carries explicit allow(hotpath-escape)
+  // rationales at the allocation sites instead of an entry-list carve-out.
+  if (N.Class == "TaskTable")
+    return N.Name == "refresh" || N.Name == "compact";
+  if (N.Name == "stepSteady" || N.Name == "cachedRegionRate")
+    return true;
+  return N.Class == "Simulation" &&
+         (N.Name == "step" || N.Name == "recomputeTickState" ||
+          N.Name == "runnableThreads");
 }
 
 std::vector<Finding> medley::lint::runSemanticRules(const CallGraph &G) {

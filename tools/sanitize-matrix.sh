@@ -28,8 +28,17 @@ for ENTRY in address:build-asan undefined:build-ubsan thread:build-tsan; do
   echo "== sanitize-matrix: $SAN ($DIR) =="
   cmake -S "$SRC" -B "$DIR" -DMEDLEY_SANITIZE="$SAN" >/dev/null
   cmake --build "$DIR" -j "$JOBS"
-  # shellcheck disable=SC2086 # CTEST_ARGS is intentionally word-split.
-  (cd "$DIR" && ctest --output-on-failure -j "$JOBS" $CTEST_ARGS)
+  if [ -n "$CTEST_ARGS" ]; then
+    # shellcheck disable=SC2086 # CTEST_ARGS is intentionally word-split.
+    (cd "$DIR" && ctest --output-on-failure -j "$JOBS" $CTEST_ARGS)
+  else
+    # Default run: the unit/chaos suites (which include the columnar trace
+    # and arena TUs) first, then the bench-smoke figure paths as their own
+    # leg so the trace writer/reader and arena hot paths see real workloads
+    # under each sanitizer.
+    (cd "$DIR" && ctest --output-on-failure -j "$JOBS" -LE bench-smoke)
+    (cd "$DIR" && ctest --output-on-failure -L bench-smoke)
+  fi
 done
 
 echo "== sanitize-matrix: all sanitizers passed =="
