@@ -16,10 +16,19 @@
 //       the decision timeline.
 //   medley experts [--num 4]
 //       The trained experts: split, sample counts, weights.
+//   medley lifecycle --target cg --workload bt,is [--retrain-window 512]
+//                    [--canary-fraction 1.0] [--rollback-strikes 3]
+//       The hot expert lifecycle end to end: a baseline run records a
+//       trace, a background worker refits the experts from it, and a
+//       second run drives the candidate through shadow -> canary ->
+//       promote (or auto-rollback) against the live registry.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/ExpertIo.h"
+#include "core/ExpertTrainer.h"
+#include "core/LiveMixture.h"
+#include "support/ThreadPool.h"
 #include "exp/Driver.h"
 #include "exp/PolicySet.h"
 #include "exp/Reporter.h"
@@ -323,6 +332,119 @@ int cmdExperts(const Args &A) {
   return 0;
 }
 
+int cmdLifecycle(const Args &A) {
+  std::string Target = A.get("target", "cg");
+  std::vector<std::string> Workload = splitList(A.get("workload", "bt,is"));
+  if (!workload::Catalog::contains(Target)) {
+    std::cerr << "unknown target '" << Target << "'\n";
+    return 1;
+  }
+  for (const std::string &Name : Workload)
+    if (!workload::Catalog::contains(Name)) {
+      std::cerr << "unknown workload program '" << Name << "'\n";
+      return 1;
+    }
+
+  runtime::CoExecutionConfig Config;
+  unsigned Cores = A.getUnsigned("cores", 32);
+  Config.Machine = sim::MachineConfig::evaluationPlatform();
+  Config.Machine.TotalCores = Cores;
+  Config.Machine.MemoryBandwidth = 0.45 * Cores;
+  double Period = A.getDouble("period", 20.0);
+  uint64_t Seed = A.getUnsigned("seed", 42);
+  Config.Availability = [Cores, Period, Seed] {
+    return sim::PeriodicAvailability::standardLadder(Cores, Period, Seed);
+  };
+  Config.WorkloadSeed = Seed;
+  Config.WorkloadMaxThreads = std::max(2u, Cores * 5 / 16);
+  Config.RecordTraces = true;
+
+  exp::PolicySet &Policies = exp::PolicySet::instance();
+  auto Registry = Policies.liveRegistry();
+
+  core::RolloutOptions Rollout;
+  Rollout.ShadowWindow = A.getUnsigned("shadow-window", 128);
+  Rollout.PromoteFraction = A.getDouble("promote-fraction", 0.55);
+  Rollout.CanaryFraction = A.getDouble("canary-fraction", 1.0);
+  Rollout.CanaryWindow = A.getUnsigned("canary-window", 256);
+  Rollout.RollbackStrikes = A.getUnsigned("rollback-strikes", 3);
+  Rollout.DivergenceFactor = A.getDouble("divergence-factor", 3.0);
+  Rollout.AbsoluteErrorFloor = A.getDouble("error-floor", 0.5);
+
+  support::FaultStats Faults;
+  auto Controller =
+      std::make_shared<core::RolloutController>(Registry, Rollout, &Faults);
+  auto Policy =
+      Policies.liveMixtureFactory(4, "regime", Controller, {}, &Faults)();
+
+  // Phase 1: baseline run under the seed snapshot, recording the trace the
+  // trainer will refit from.
+  runtime::CoExecutionResult Baseline =
+      runCoExecution(Config, workload::Catalog::byName(Target), *Policy,
+                     runtime::patternWorkload(Workload));
+  std::cout << "baseline (snapshot v" << Registry->epoch() << "): "
+            << formatDouble(Baseline.TargetTime, 1) << " s ("
+            << Baseline.TargetRegions << " regions, "
+            << Baseline.Trace.size() << " trace ticks)\n";
+
+  // Background refit from the recorded window; the candidate lands in the
+  // rollout mailbox through the thread-safe hand-off. The pool is drained
+  // (dtor) before phase 2 so the demo stays deterministic.
+  core::TrainerOptions TrainerOptions;
+  TrainerOptions.Window.Window = A.getUnsigned("retrain-window", 512);
+  core::ExpertTrainer Trainer(TrainerOptions);
+  bool HaveCandidate = false;
+  {
+    support::ThreadPool Pool(1);
+    Trainer.retrainAsync(
+        Pool, Baseline.Trace, Registry->current(),
+        [&](std::optional<std::vector<core::Expert>> Candidate) {
+          if (Candidate) {
+            HaveCandidate = true;
+            Controller->submitCandidate(std::move(*Candidate));
+          }
+        });
+  }
+  if (!HaveCandidate) {
+    std::cout << "retrain: window too thin to refit any expert; "
+                 "no candidate staged\n";
+    return 0;
+  }
+  std::cout << "retrain: candidate from the last "
+            << TrainerOptions.Window.Window << "-tick window staged\n";
+
+  // Phase 2: the rollout run. The same policy instance keeps its selector
+  // state; the candidate shadow-scores, then (maybe) goes live as canary.
+  runtime::CoExecutionResult Live =
+      runCoExecution(Config, workload::Catalog::byName(Target), *Policy,
+                     runtime::patternWorkload(Workload));
+  Controller->maintain(); // Settle a verdict reached on the last decision.
+
+  auto &Mixture = static_cast<core::LiveMixture &>(*Policy);
+  std::cout << "rollout run: " << formatDouble(Live.TargetTime, 1) << " s ("
+            << Live.TargetRegions << " regions)\n";
+  std::cout << "  state: " << core::rolloutStateName(Controller->state())
+            << "  (promotions " << Controller->promotions() << ", rollbacks "
+            << Controller->rollbacks() << ", shadow rejects "
+            << Controller->shadowRejects() << ")\n";
+  std::cout << "  registry: v" << Registry->epoch() << " published, policy on v"
+            << Mixture.boundVersion() << " after " << Mixture.swaps()
+            << " swap(s)\n";
+
+  if (A.has("snapshot-out")) {
+    support::Error Err;
+    if (!core::saveSnapshotToFile(A.get("snapshot-out"),
+                                  *Registry->current(), &Err, nullptr,
+                                  &Faults)) {
+      std::cerr << Err.str() << '\n';
+      return 1;
+    }
+    std::cout << "  snapshot v" << Registry->epoch() << " -> "
+              << A.get("snapshot-out") << '\n';
+  }
+  return 0;
+}
+
 void usage() {
   std::cout
       << "medley — mixture-of-experts thread mapping (PLDI 2015 repro)\n\n"
@@ -341,7 +463,15 @@ void usage() {
          "  medley trace-export --in FILE [--out FILE]\n"
          "                 (columnar binary trace -> CSV; stdout when "
          "--out is omitted)\n"
-         "  medley experts [--num 4] [--save FILE | --load FILE]\n";
+         "  medley experts [--num 4] [--save FILE | --load FILE]\n"
+         "  medley lifecycle --target cg --workload bt,is [--cores 32]\n"
+         "                 [--retrain-window 512] [--shadow-window 128]\n"
+         "                 [--promote-fraction 0.55] [--canary-fraction 1.0]\n"
+         "                 [--canary-window 256] [--rollback-strikes 3]\n"
+         "                 [--divergence-factor 3.0] [--error-floor 0.5]\n"
+         "                 [--snapshot-out FILE]\n"
+         "                 (baseline run -> background refit -> shadow/"
+         "canary rollout)\n";
 }
 
 } // namespace
@@ -367,6 +497,8 @@ int main(int Argc, char **Argv) {
     return cmdTraceExport(A);
   if (Command == "experts")
     return cmdExperts(A);
+  if (Command == "lifecycle")
+    return cmdLifecycle(A);
   usage();
   return Command == "help" || Command == "--help" ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 
 #include "core/ExpertIo.h"
 
+#include "support/Fnv.h"
+
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -20,7 +22,17 @@ using support::ErrorCode;
 namespace {
 
 constexpr const char *Magic = "medley-experts";
-constexpr int Version = 1;
+/// Current format: checksummed header (see ExpertIo.h).
+constexpr int Version = 2;
+/// First format, still readable: no checksum line.
+constexpr int LegacyVersion = 1;
+
+/// Renders \p Hash as 16 lowercase hex digits (the on-disk checksum form).
+std::string checksumHex(uint64_t Hash) {
+  std::ostringstream OS;
+  OS << std::hex << std::setw(16) << std::setfill('0') << Hash;
+  return OS.str();
+}
 
 void writeVec(std::ostream &OS, const Vec &V) {
   for (double X : V)
@@ -115,40 +127,8 @@ std::optional<LinearModel> readModel(std::istream &IS, const char *Tag,
       std::move(Fit), Name);
 }
 
-} // namespace
-
-bool medley::core::writeExperts(std::ostream &OS,
-                                const std::vector<Expert> &Experts) {
-  if (Experts.empty())
-    return false;
-  size_t Dim = policy::NumFeatures;
-  for (const Expert &E : Experts)
-    if (!E.threadModel() || !E.envModel())
-      return false; // External experts cannot round-trip.
-
-  OS << Magic << ' ' << Version << '\n';
-  OS << "experts " << Experts.size() << " features " << Dim << '\n';
-  OS << std::setprecision(std::numeric_limits<double>::max_digits10);
-  for (const Expert &E : Experts) {
-    OS << "expert " << E.name() << ' ' << E.meanTrainingEnv() << '\n';
-    OS << "description " << E.description() << '\n';
-    writeModel(OS, "w", *E.threadModel());
-    writeModel(OS, "m", *E.envModel());
-  }
-  return static_cast<bool>(OS);
-}
-
-std::optional<std::vector<Expert>>
-medley::core::readExperts(std::istream &IS, Error *Err) {
-  std::string Token;
-  int FileVersion = 0;
-  if (!(IS >> Token) || Token != Magic)
-    return fail(Err, streamFailure(IS),
-                "not a medley expert file (bad magic)");
-  if (!(IS >> FileVersion) || FileVersion != Version)
-    return fail(Err, ErrorCode::CorruptInput,
-                "unsupported expert-file version");
-
+/// Parses the payload (everything after the checksum line) from \p IS.
+std::optional<std::vector<Expert>> readBody(std::istream &IS, Error *Err) {
   size_t Count = 0, Dim = 0;
   if (!expectToken(IS, "experts") || !(IS >> Count))
     return fail(Err, streamFailure(IS), "bad expert count header");
@@ -189,6 +169,67 @@ medley::core::readExperts(std::istream &IS, Error *Err) {
                          MeanEnv);
   }
   return Experts;
+}
+
+} // namespace
+
+bool medley::core::writeExperts(std::ostream &OS,
+                                const std::vector<Expert> &Experts) {
+  if (Experts.empty())
+    return false;
+  size_t Dim = policy::NumFeatures;
+  for (const Expert &E : Experts)
+    if (!E.threadModel() || !E.envModel())
+      return false; // External experts cannot round-trip.
+
+  // Serialise the payload first so the header can carry its checksum.
+  std::ostringstream Payload;
+  Payload << "experts " << Experts.size() << " features " << Dim << '\n';
+  Payload << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const Expert &E : Experts) {
+    Payload << "expert " << E.name() << ' ' << E.meanTrainingEnv() << '\n';
+    Payload << "description " << E.description() << '\n';
+    writeModel(Payload, "w", *E.threadModel());
+    writeModel(Payload, "m", *E.envModel());
+  }
+  const std::string Body = Payload.str();
+
+  OS << Magic << ' ' << Version << '\n';
+  OS << "checksum " << checksumHex(support::fnv1aString(Body)) << '\n';
+  OS << Body;
+  return static_cast<bool>(OS);
+}
+
+std::optional<std::vector<Expert>>
+medley::core::readExperts(std::istream &IS, Error *Err) {
+  std::string Token;
+  int FileVersion = 0;
+  if (!(IS >> Token) || Token != Magic)
+    return fail(Err, streamFailure(IS),
+                "not a medley expert file (bad magic)");
+  if (!(IS >> FileVersion) ||
+      (FileVersion != Version && FileVersion != LegacyVersion))
+    return fail(Err, ErrorCode::CorruptInput,
+                "unsupported expert-file version");
+  if (FileVersion == LegacyVersion)
+    return readBody(IS, Err); // v1: same payload, no checksum to verify.
+
+  std::string Stored;
+  if (!expectToken(IS, "checksum") || !(IS >> Stored))
+    return fail(Err, streamFailure(IS), "missing checksum header");
+  std::string Rest;
+  std::getline(IS, Rest); // Consume the remainder of the checksum line.
+  // Slurp the payload verbatim; the checksum covers these exact bytes.
+  std::ostringstream Slurped;
+  Slurped << IS.rdbuf();
+  const std::string Body = Slurped.str();
+  const std::string Actual = checksumHex(support::fnv1aString(Body));
+  if (Actual != Stored)
+    return fail(Err, ErrorCode::ChecksumMismatch,
+                "expert payload checksum " + Actual +
+                    " != stored checksum " + Stored);
+  std::istringstream BodyStream(Body);
+  return readBody(BodyStream, Err);
 }
 
 bool medley::core::saveExpertsToFile(const std::string &Path,

@@ -11,13 +11,21 @@
 /// expert file and never retrain. The format is a line-oriented,
 /// whitespace-tokenised text format (stable, diffable, no dependencies):
 ///
-///   medley-experts 1
+///   medley-experts 2
+///   checksum <16 lowercase hex digits>
 ///   experts <count> features <dim>
 ///   expert <name-token> <meanTrainingEnv>
 ///   description <free text to end of line>
 ///   w means <dim doubles> scales <dim doubles> weights <dim doubles>
 ///     intercept <double> r2 <double>
 ///   m ... (same shape)
+///
+/// The checksum is 64-bit FNV-1a over the payload — every byte after the
+/// checksum line. Writers always emit version 2; readers accept version 1
+/// (the same format minus the checksum line, unverified) so legacy files
+/// keep loading. A payload that disagrees with its stored checksum is
+/// rejected with ErrorCode::ChecksumMismatch before any parsing, so a
+/// bit-flipped file can never half-load.
 ///
 /// Only linear experts round-trip; external/function-backed experts are
 /// rejected by writeExperts.

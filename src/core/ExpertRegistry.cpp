@@ -1,0 +1,360 @@
+//===-- core/ExpertRegistry.cpp - Versioned expert snapshots --------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ExpertRegistry.h"
+
+#include "core/ExpertIo.h"
+#include "support/Fnv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace medley;
+using namespace medley::core;
+using support::Error;
+using support::ErrorCode;
+
+namespace {
+
+constexpr const char *SnapshotMagic = "medley-snapshot";
+constexpr int SnapshotVersion = 1;
+
+/// 16 lowercase hex digits (the on-disk checksum form).
+std::string checksumHex(uint64_t Hash) {
+  std::ostringstream OS;
+  OS << std::hex << std::setw(16) << std::setfill('0') << Hash;
+  return OS.str();
+}
+
+std::nullopt_t fail(Error *Err, ErrorCode Code, const std::string &Message) {
+  support::reportError(Err, Code, Message);
+  return std::nullopt;
+}
+
+/// Folds a string's bytes plus a terminator into a running hash (the
+/// terminator keeps ("ab","c") and ("a","bc") distinct).
+uint64_t hashString(uint64_t H, const std::string &S) {
+  H = support::fnv1aUpdate(H, S.data(), S.size());
+  return support::fnv1aUpdate(H, static_cast<unsigned char>(0));
+}
+
+uint64_t hashDouble(uint64_t H, double X) {
+  return support::fnv1aUpdate(H, &X, sizeof(X));
+}
+
+} // namespace
+
+uint64_t medley::core::snapshotChecksum(const std::vector<Expert> &Experts,
+                                        const FeatureScaler &Scaler) {
+  uint64_t H = support::fnv1aInit();
+  std::ostringstream OS;
+  if (writeExperts(OS, Experts)) {
+    const std::string Payload = OS.str();
+    H = support::fnv1aUpdate(H, Payload.data(), Payload.size());
+  } else {
+    // External experts have no canonical serialisation; hash their
+    // identity fields so distinct bundles still get distinct checksums.
+    for (const Expert &E : Experts) {
+      H = hashString(H, E.name());
+      H = hashString(H, E.description());
+      H = hashDouble(H, E.meanTrainingEnv());
+    }
+  }
+  for (double M : Scaler.means())
+    H = hashDouble(H, M);
+  for (double S : Scaler.scales())
+    H = hashDouble(H, S);
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// ExpertRegistry
+//===----------------------------------------------------------------------===//
+
+ExpertRegistry::ExpertRegistry(support::FaultStats *Stats) : Stats(Stats) {}
+
+const ExpertSnapshot *ExpertRegistry::acquire(ReaderEpoch &Reader) const {
+  const uint64_t Observed = Epoch.load(std::memory_order_acquire);
+  if (Reader.Held && Reader.Epoch == Observed)
+    return Reader.Held.get(); // Steady path: one load, one compare.
+
+  // Epoch moved (or first acquire): re-pin the current snapshot. Current
+  // is stored before Epoch is bumped, so the snapshot seen here is always
+  // at least as new as the observed epoch; pinning its Version (not
+  // Observed) keeps the per-reader sequence monotonic even when a publish
+  // lands between the epoch load and the re-pin.
+  {
+    std::lock_guard<std::mutex> Lock(SlotMutex);
+    Reader.Held = Current;
+  }
+  Reader.Epoch = Reader.Held ? Reader.Held->Version : 0;
+  return Reader.Held.get();
+}
+
+std::shared_ptr<const ExpertSnapshot> ExpertRegistry::current() const {
+  std::lock_guard<std::mutex> Lock(SlotMutex);
+  return Current;
+}
+
+std::shared_ptr<const ExpertSnapshot> ExpertRegistry::publish(
+    std::shared_ptr<const std::vector<Expert>> Experts, FeatureScaler Scaler,
+    std::shared_ptr<const ExpertSelector> SelectorPrototype) {
+  auto Snap = std::make_shared<ExpertSnapshot>();
+  Snap->Experts = std::move(Experts);
+  Snap->Scaler = std::move(Scaler);
+  Snap->SelectorPrototype = std::move(SelectorPrototype);
+  Snap->Checksum =
+      Snap->Experts ? snapshotChecksum(*Snap->Experts, Snap->Scaler) : 0;
+  std::lock_guard<std::mutex> Lock(PublishMutex);
+  return publishLocked(std::move(Snap));
+}
+
+std::shared_ptr<const ExpertSnapshot>
+ExpertRegistry::republish(const ExpertSnapshot &Snapshot) {
+  auto Snap = std::make_shared<ExpertSnapshot>();
+  Snap->Experts = Snapshot.Experts;
+  Snap->Scaler = Snapshot.Scaler;
+  Snap->SelectorPrototype = Snapshot.SelectorPrototype;
+  Snap->Checksum = Snapshot.Checksum;
+  std::lock_guard<std::mutex> Lock(PublishMutex);
+  return publishLocked(std::move(Snap));
+}
+
+std::shared_ptr<const ExpertSnapshot>
+ExpertRegistry::publishLocked(std::shared_ptr<ExpertSnapshot> Snap) {
+  // Writers are serialised by PublishMutex, so a relaxed read of the
+  // version counter is exact here.
+  Snap->Version = Epoch.load(std::memory_order_relaxed) + 1;
+  std::shared_ptr<const ExpertSnapshot> Published = std::move(Snap);
+  // Publication order matters: install the snapshot first, then advance
+  // the epoch with release semantics. A reader whose acquire-load sees the
+  // new epoch is therefore guaranteed to find a snapshot with Version >=
+  // that epoch behind the Current slot.
+  {
+    std::lock_guard<std::mutex> Lock(SlotMutex);
+    Current = Published;
+  }
+  Epoch.store(Published->Version, std::memory_order_release);
+  if (Stats)
+    ++Stats->SnapshotPublications; // Publisher-thread counter (see header).
+  return Published;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe disk publication
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// fsyncs the directory containing \p Path so the rename itself is
+/// durable; best-effort (some filesystems refuse directory fds).
+void syncParentDir(const std::string &Path) {
+  const size_t Slash = Path.find_last_of('/');
+  const std::string Dir = Slash == std::string::npos ? std::string(".")
+                                                     : Path.substr(0, Slash);
+  const int FD = ::open(Dir.c_str(), O_RDONLY);
+  if (FD >= 0) {
+    ::fsync(FD);
+    ::close(FD);
+  }
+}
+
+bool writeAll(int FD, const char *Data, size_t Size) {
+  size_t Done = 0;
+  while (Done < Size) {
+    const ssize_t N = ::write(FD, Data + Done, Size - Done);
+    if (N < 0)
+      return false;
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool medley::core::saveSnapshotToFile(const std::string &Path,
+                                      const ExpertSnapshot &Snapshot,
+                                      Error *Err,
+                                      const SnapshotFaultHooks *Hooks,
+                                      support::FaultStats *Stats) {
+  if (!Snapshot.Experts || Snapshot.Experts->empty()) {
+    support::reportError(Err, ErrorCode::InvalidArgument,
+                         "snapshot holds no experts");
+    return false;
+  }
+
+  // Serialise the payload: version + scaler + selector name + the ExpertIo
+  // v2 expert block (which carries its own checksum).
+  std::ostringstream Payload;
+  Payload << "version " << Snapshot.Version << '\n';
+  Payload << std::setprecision(std::numeric_limits<double>::max_digits10);
+  Payload << "scaler means";
+  for (double M : Snapshot.Scaler.means())
+    Payload << ' ' << M;
+  Payload << " scales";
+  for (double S : Snapshot.Scaler.scales())
+    Payload << ' ' << S;
+  Payload << '\n';
+  Payload << "selector "
+          << (Snapshot.SelectorPrototype ? Snapshot.SelectorPrototype->name()
+                                         : std::string("-"))
+          << '\n';
+  if (!writeExperts(Payload, *Snapshot.Experts)) {
+    support::reportError(Err, ErrorCode::InvalidArgument,
+                         "snapshot holds non-linear experts; cannot serialise");
+    return false;
+  }
+  const std::string Body = Payload.str();
+
+  std::string Full;
+  Full.reserve(Body.size() + 64);
+  Full += SnapshotMagic;
+  Full += ' ';
+  Full += std::to_string(SnapshotVersion);
+  Full += '\n';
+  Full += "checksum " + checksumHex(support::fnv1aString(Body)) + '\n';
+  Full += Body;
+
+  // Candidate-corruption fault window: the serialised bytes are damaged
+  // before they reach the disk, as if the trainer handed over a snapshot
+  // that was corrupted in flight.
+  if (Hooks && Hooks->CorruptCandidate) {
+    const size_t Before = Full.size();
+    const uint64_t HashBefore = support::fnv1aString(Full);
+    Hooks->CorruptCandidate(Full);
+    if (Stats &&
+        (Full.size() != Before || support::fnv1aString(Full) != HashBefore))
+      ++Stats->CandidateCorruptions;
+  }
+
+  const std::string Tmp = Path + ".tmp";
+  const int FD = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (FD < 0) {
+    support::reportError(Err, ErrorCode::IoFailure,
+                         "cannot open '" + Tmp + "' for writing");
+    return false;
+  }
+
+  // Torn-write fault window: only a prefix lands in the temp file and the
+  // rename never happens — the published path keeps its previous content,
+  // exactly the crash-consistency contract a real power cut exercises.
+  const bool Torn = Hooks && Hooks->TearWrite && Hooks->TearWrite();
+  const size_t Limit = Torn ? Full.size() / 3 : Full.size();
+
+  const bool Written = writeAll(FD, Full.data(), Limit);
+  ::fsync(FD);
+  ::close(FD);
+  if (Torn) {
+    if (Stats)
+      ++Stats->TornPublications;
+    support::reportError(Err, ErrorCode::IoFailure,
+                         "torn publication of '" + Path +
+                             "': temp write interrupted before rename");
+    return false;
+  }
+  if (!Written) {
+    support::reportError(Err, ErrorCode::IoFailure,
+                         "short write to '" + Tmp + "'");
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    support::reportError(Err, ErrorCode::IoFailure,
+                         "cannot rename '" + Tmp + "' over '" + Path + "'");
+    return false;
+  }
+  syncParentDir(Path);
+  return true;
+}
+
+std::optional<ExpertSnapshot>
+medley::core::loadSnapshotFromFile(const std::string &Path, Error *Err,
+                                   uint64_t ExpectMinVersion,
+                                   std::string *SelectorName,
+                                   support::FaultStats *Stats) {
+  std::ifstream File(Path);
+  if (!File)
+    return fail(Err, ErrorCode::IoFailure, "cannot open '" + Path + "'");
+
+  std::string Token;
+  int FileVersion = 0;
+  if (!(File >> Token) || Token != SnapshotMagic)
+    return fail(Err, ErrorCode::CorruptInput,
+                "not a medley snapshot file (bad magic)");
+  if (!(File >> FileVersion) || FileVersion != SnapshotVersion)
+    return fail(Err, ErrorCode::CorruptInput,
+                "unsupported snapshot-file version");
+
+  std::string Stored;
+  if (!(File >> Token) || Token != "checksum" || !(File >> Stored))
+    return fail(Err, ErrorCode::TruncatedInput, "missing snapshot checksum");
+  std::string Rest;
+  std::getline(File, Rest);
+  std::ostringstream Slurped;
+  Slurped << File.rdbuf();
+  const std::string Body = Slurped.str();
+  const std::string Actual = checksumHex(support::fnv1aString(Body));
+  if (Actual != Stored) {
+    if (Stats)
+      ++Stats->ChecksumRejects;
+    return fail(Err, ErrorCode::ChecksumMismatch,
+                "snapshot payload checksum " + Actual +
+                    " != stored checksum " + Stored);
+  }
+
+  std::istringstream IS(Body);
+  uint64_t Version = 0;
+  if (!(IS >> Token) || Token != "version" || !(IS >> Version))
+    return fail(Err, ErrorCode::CorruptInput, "bad snapshot version line");
+
+  Vec Means(policy::NumFeatures), Scales(policy::NumFeatures);
+  if (!(IS >> Token) || Token != "scaler" || !(IS >> Token) ||
+      Token != "means")
+    return fail(Err, ErrorCode::CorruptInput, "bad snapshot scaler line");
+  for (double &M : Means)
+    if (!(IS >> M) || !std::isfinite(M))
+      return fail(Err, ErrorCode::CorruptInput, "bad scaler means");
+  if (!(IS >> Token) || Token != "scales")
+    return fail(Err, ErrorCode::CorruptInput, "bad snapshot scaler line");
+  for (double &S : Scales)
+    if (!(IS >> S) || !std::isfinite(S) || S <= 0.0)
+      return fail(Err, ErrorCode::CorruptInput, "bad scaler scales");
+
+  std::string StoredSelector;
+  if (!(IS >> Token) || Token != "selector" || !(IS >> StoredSelector))
+    return fail(Err, ErrorCode::CorruptInput, "bad snapshot selector line");
+  if (SelectorName)
+    *SelectorName = StoredSelector == "-" ? std::string() : StoredSelector;
+
+  std::optional<std::vector<Expert>> Experts = readExperts(IS, Err);
+  if (!Experts)
+    return std::nullopt;
+
+  // Stale-readback defence: a snapshot store must never hand back a
+  // version older than one the caller has already observed.
+  if (ExpectMinVersion != 0 && Version < ExpectMinVersion) {
+    if (Stats)
+      ++Stats->StaleSnapshotReads;
+    return fail(Err, ErrorCode::StaleVersion,
+                "snapshot version " + std::to_string(Version) +
+                    " older than expected minimum " +
+                    std::to_string(ExpectMinVersion));
+  }
+
+  ExpertSnapshot Snap;
+  Snap.Version = Version;
+  Snap.Scaler = FeatureScaler::fromMoments(std::move(Means), std::move(Scales));
+  Snap.Experts =
+      std::make_shared<const std::vector<Expert>>(std::move(*Experts));
+  Snap.Checksum = snapshotChecksum(*Snap.Experts, Snap.Scaler);
+  return Snap;
+}

@@ -1,0 +1,204 @@
+//===-- core/ExpertRegistry.h - Versioned expert snapshots ------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity: A Mixture of
+// Experts Approach for Runtime Mapping in Dynamic Environments" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expert registry (DESIGN.md §14): versioned, immutable expert-snapshot
+/// bundles published RCU-style so a background trainer can swap retrained
+/// experts under live decision traffic without ever blocking a reader.
+///
+/// An ExpertSnapshot bundles everything a mixture policy needs — the expert
+/// vector, the corpus-wide feature scaler, and a selector prototype — under
+/// a monotonic version number and an FNV-1a content checksum. Snapshots are
+/// immutable after publication; "updating" the registry always means
+/// publishing a whole new snapshot.
+///
+/// Readers interact through a per-reader ReaderEpoch cache. The steady-state
+/// acquire() path is one atomic uint64 load and a compare: no locks, no
+/// reference-count traffic, no allocation — the decision hot path stays
+/// within the PR 4/PR 6 contract (gated by medley-lint L7/L8 and
+/// bench-compare). Only when the epoch has actually advanced does the
+/// reader touch the shared_ptr slot (a brief mutex-guarded copy) to re-pin
+/// the new snapshot; the old one stays alive until the last reader drops
+/// its pin, which is what makes the swap zero-downtime.
+///
+/// Publication to disk is crash-safe: serialise to a temp file, fsync,
+/// atomic rename. A crash (or an injected torn write) at any point leaves
+/// either the complete old file or the complete new file, never a hybrid;
+/// checksummed headers make a torn or bit-flipped readback detectable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_CORE_EXPERTREGISTRY_H
+#define MEDLEY_CORE_EXPERTREGISTRY_H
+
+#include "core/Expert.h"
+#include "core/ExpertSelector.h"
+#include "support/Error.h"
+#include "support/FaultStats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace medley::core {
+
+/// One immutable published bundle: experts + scaler + selector prototype,
+/// stamped with a monotonic version and a content checksum. The checksum
+/// identifies *content* (two snapshots of the same experts hash equal even
+/// across versions), which is how a rollback proves it restored the
+/// pre-swap snapshot bit-identically despite publishing a fresh version.
+struct ExpertSnapshot {
+  uint64_t Version = 0;  ///< Monotonic publication number (1-based).
+  uint64_t Checksum = 0; ///< FNV-1a over the serialised expert payload.
+
+  std::shared_ptr<const std::vector<Expert>> Experts;
+
+  /// Corpus-wide feature scaler shared by selectors built on this snapshot.
+  FeatureScaler Scaler;
+
+  /// Cloned (never mutated) by each policy instance that adopts the
+  /// snapshot; may be null when the publisher leaves selector choice to
+  /// the reader.
+  std::shared_ptr<const ExpertSelector> SelectorPrototype;
+
+  size_t numExperts() const { return Experts ? Experts->size() : 0; }
+};
+
+/// Content checksum of an expert vector + scaler as stored in snapshot
+/// headers: FNV-1a over the ExpertIo serialisation when every expert is
+/// linear, over the identity fields (name, description, mean env) plus the
+/// scaler moments otherwise.
+uint64_t snapshotChecksum(const std::vector<Expert> &Experts,
+                          const FeatureScaler &Scaler);
+
+/// Hooks for fault injection on the publication path. The registry calls
+/// them at the matching point of saveSnapshotToFile; tests wire them to
+/// sim::FaultInjector windows (core cannot depend on sim).
+struct SnapshotFaultHooks {
+  /// Return true to tear this publication: only a prefix of the temp file
+  /// is written and the atomic rename is skipped, exactly as a crash
+  /// mid-write would leave the disk.
+  std::function<bool()> TearWrite;
+
+  /// May mutate the serialised candidate bytes in flight (bit flips,
+  /// truncation) before they reach the temp file.
+  std::function<void(std::string &Bytes)> CorruptCandidate;
+};
+
+/// Versioned RCU snapshot store. One writer at a time (publications are
+/// serialised by an internal mutex); any number of concurrent readers, none
+/// of which ever blocks or allocates on the steady path.
+class ExpertRegistry {
+public:
+  /// Per-reader pin: the epoch the reader last observed and the snapshot it
+  /// holds alive for that epoch. One per policy instance / reader thread —
+  /// never shared across threads.
+  struct ReaderEpoch {
+    uint64_t Epoch = 0;
+    std::shared_ptr<const ExpertSnapshot> Held;
+  };
+
+  /// \p Stats (optional, non-owning) receives lifecycle counters; it must
+  /// outlive the registry.
+  explicit ExpertRegistry(support::FaultStats *Stats = nullptr);
+
+  /// Steady-path snapshot acquisition: one atomic epoch load; when it
+  /// matches \p Reader's cached epoch the held snapshot is returned with no
+  /// further shared-state traffic. On an epoch change the reader re-pins
+  /// the current snapshot (a mutex-guarded shared_ptr copy — the only
+  /// slow-path step). Returns nullptr only before the first publication.
+  /// The version sequence observed through any single ReaderEpoch is
+  /// monotonic.
+  const ExpertSnapshot *acquire(ReaderEpoch &Reader) const;
+
+  /// Epoch of the latest publication (0 before the first).
+  uint64_t epoch() const { return Epoch.load(std::memory_order_acquire); }
+
+  /// Pins the current snapshot (slow path; for setup / inspection, not the
+  /// decision loop). Null before the first publication.
+  std::shared_ptr<const ExpertSnapshot> current() const;
+
+  /// Publishes a new snapshot built from \p Experts / \p Scaler /
+  /// \p SelectorPrototype under the next version number. Readers observe
+  /// the swap at their next acquire(); none blocks meanwhile. Returns the
+  /// published snapshot.
+  std::shared_ptr<const ExpertSnapshot>
+  publish(std::shared_ptr<const std::vector<Expert>> Experts,
+          FeatureScaler Scaler,
+          std::shared_ptr<const ExpertSelector> SelectorPrototype);
+
+  /// Re-publishes the *content* of \p Snapshot (experts, scaler, selector
+  /// prototype, checksum) under a fresh version — the rollback primitive:
+  /// version numbers stay monotonic while the content returns bit-identical
+  /// to the pre-swap state.
+  std::shared_ptr<const ExpertSnapshot>
+  republish(const ExpertSnapshot &Snapshot);
+
+  /// Number of publications so far.
+  uint64_t publications() const { return epoch(); }
+
+private:
+  std::shared_ptr<const ExpertSnapshot>
+  publishLocked(std::shared_ptr<ExpertSnapshot> Snap);
+
+  /// Bumped last in publication order (release); readers load it first
+  /// (acquire), so a reader that sees epoch E always finds a snapshot with
+  /// Version >= E behind the Current slot.
+  std::atomic<uint64_t> Epoch{0};
+
+  /// The RCU slot; written under SlotMutex by publishers, copied under
+  /// SlotMutex by readers on the (rare) epoch-change path. A plain
+  /// mutex-guarded shared_ptr rather than std::atomic<shared_ptr>: the
+  /// libstdc++ lock-free implementation unlocks its internal spinlock with
+  /// relaxed ordering on the load side, which is a formal data race against
+  /// the next store (and TSan flags it); the slot is off the steady path,
+  /// so a brief mutex is the simpler correct tool.
+  std::shared_ptr<const ExpertSnapshot> Current;
+
+  /// Guards Current only; held for the duration of a shared_ptr copy.
+  mutable std::mutex SlotMutex;
+
+  /// Serialises writers; never touched by readers.
+  std::mutex PublishMutex;
+
+  support::FaultStats *Stats = nullptr;
+};
+
+/// Crash-safe snapshot publication to disk: serialises \p Snapshot
+/// (checksummed header + version + scaler + selector name + the ExpertIo v2
+/// expert payload) into "<Path>.tmp", fsyncs, then atomically renames over
+/// \p Path. On any failure — including an injected torn write — \p Path is
+/// left untouched (old content or absent), never partial. \p Stats counts
+/// torn publications and candidate corruptions when hooks fire.
+[[nodiscard]] bool saveSnapshotToFile(const std::string &Path,
+                                      const ExpertSnapshot &Snapshot,
+                                      support::Error *Err = nullptr,
+                                      const SnapshotFaultHooks *Hooks = nullptr,
+                                      support::FaultStats *Stats = nullptr);
+
+/// Loads a snapshot file written by saveSnapshotToFile. Verifies the header
+/// checksum over the full payload (and the embedded ExpertIo checksum)
+/// before anything is parsed; mismatches land in the Error taxonomy as
+/// ChecksumMismatch. When \p ExpectMinVersion is non-zero, a file holding an
+/// older version is rejected as StaleVersion — the defence against a
+/// readback serving a stale snapshot. The loaded snapshot carries no
+/// selector prototype (selector choice is the reader's; the stored selector
+/// name is returned through \p SelectorName when non-null).
+[[nodiscard]] std::optional<ExpertSnapshot>
+loadSnapshotFromFile(const std::string &Path, support::Error *Err = nullptr,
+                     uint64_t ExpectMinVersion = 0,
+                     std::string *SelectorName = nullptr,
+                     support::FaultStats *Stats = nullptr);
+
+} // namespace medley::core
+
+#endif // MEDLEY_CORE_EXPERTREGISTRY_H

@@ -1,0 +1,119 @@
+//===-- core/ExpertTrainer.cpp - Online expert refitting ------------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ExpertTrainer.h"
+
+#include "ml/Dataset.h"
+#include "ml/LinearModel.h"
+#include "policy/Features.h"
+
+#include <utility>
+
+using namespace medley;
+using namespace medley::core;
+
+ExpertTrainer::ExpertTrainer(TrainerOptions Options)
+    : Options(std::move(Options)) {}
+
+namespace {
+
+/// Regime tag of an expert, mirroring PolicySet's regime-selector tagging:
+/// 0 = uncontended, 1 = contended, -1 = any.
+int regimeTagOf(const Expert &E) {
+  const std::string &Description = E.description();
+  if (Description.rfind("uncontended", 0) == 0)
+    return 0;
+  if (Description.rfind("contended", 0) == 0)
+    return 1;
+  return -1;
+}
+
+} // namespace
+
+std::optional<ExpertTrainer::RetrainResult>
+ExpertTrainer::retrainCounted(const trace::TickTrace &Trace,
+                              const ExpertSnapshot &Base) const {
+  if (!Base.Experts || Base.Experts->empty())
+    return std::nullopt;
+  const trace::TrainingWindow Window =
+      trace::TrainingWindow::fromTrace(Trace, Options.Window);
+  if (Window.size() < Options.MinSamplesPerExpert)
+    return std::nullopt;
+
+  RetrainResult Result;
+  Result.Experts.reserve(Base.Experts->size());
+
+  LinearModelOptions ModelOptions;
+  ModelOptions.Ridge = Options.Ridge;
+  ModelOptions.Standardize = true;
+  // Every refit standardises with the corpus-wide scaler so candidate
+  // models stay comparable with each other (and the mixture's batched
+  // shared-scaler path keeps applying).
+  ModelOptions.SharedScaler = &Base.Scaler;
+
+  for (const Expert &E : *Base.Experts) {
+    const int Tag = regimeTagOf(E);
+
+    Dataset ThreadData(policy::featureNames());
+    Dataset EnvData(policy::featureNames());
+    double EnvSum = 0.0;
+    for (size_t I = 0; I < Window.size(); ++I) {
+      if (Tag >= 0 && static_cast<int>(Window.contended()[I]) != Tag)
+        continue;
+      ThreadData.add(Window.features()[I], Window.threadTargets()[I]);
+      EnvData.add(Window.features()[I], Window.envTargets()[I]);
+      EnvSum += Window.envTargets()[I];
+    }
+
+    if (ThreadData.size() < Options.MinSamplesPerExpert) {
+      Result.Experts.push_back(E); // Slice too thin: carry the base over.
+      ++Result.CarriedOver;
+      continue;
+    }
+
+    std::optional<LinearModel> W =
+        trainLinearModel(ThreadData, "w:" + E.name() + "@online",
+                         ModelOptions);
+    std::optional<LinearModel> M =
+        trainLinearModel(EnvData, "m:" + E.name() + "@online", ModelOptions);
+    if (!W || !M) {
+      Result.Experts.push_back(E); // Degenerate fit: carry the base over.
+      ++Result.CarriedOver;
+      continue;
+    }
+    const double MeanEnv = EnvSum / static_cast<double>(EnvData.size());
+    Result.Experts.emplace_back(E.name(), E.description(), std::move(*W),
+                                std::move(*M), MeanEnv);
+    ++Result.Refitted;
+  }
+
+  if (Result.Refitted == 0)
+    return std::nullopt; // Nothing refitted: no candidate to stage.
+  return Result;
+}
+
+std::optional<std::vector<Expert>>
+ExpertTrainer::retrain(const trace::TickTrace &Trace,
+                       const ExpertSnapshot &Base) const {
+  std::optional<RetrainResult> Result = retrainCounted(Trace, Base);
+  if (!Result)
+    return std::nullopt;
+  return std::move(Result->Experts);
+}
+
+void ExpertTrainer::retrainAsync(
+    support::ThreadPool &Pool, trace::TickTrace Trace,
+    std::shared_ptr<const ExpertSnapshot> Base,
+    std::function<void(std::optional<std::vector<Expert>>)> Done) const {
+  // Copy the options by value: the trainer object need not outlive the
+  // submitted job.
+  const TrainerOptions Opts = Options;
+  Pool.submit([Opts, Trace = std::move(Trace), Base = std::move(Base),
+               Done = std::move(Done)]() {
+    ExpertTrainer Worker(Opts);
+    Done(Worker.retrain(Trace, *Base));
+  });
+}

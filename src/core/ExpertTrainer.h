@@ -1,0 +1,101 @@
+//===-- core/ExpertTrainer.h - Online expert refitting ----------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity: A Mixture of
+// Experts Approach for Runtime Mapping in Dynamic Environments" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Background refitting of the (w, m) expert pairs from recent trace
+/// windows (DESIGN.md §14.3). The trainer never touches live state: it
+/// reads an immutable base snapshot plus a TickTrace window, and produces a
+/// fresh candidate expert vector for the RolloutController to shadow-score
+/// and (maybe) publish through the ExpertRegistry. Training is fully
+/// deterministic — same (window, base, options) => bit-identical candidate
+/// models — so retraining preserves the repo-wide replay discipline even
+/// when it runs on a support::ThreadPool worker.
+///
+/// Sample routing mirrors the regime machinery: experts whose description
+/// starts with "uncontended"/"contended" refit only on window rows from
+/// that machine regime; untagged experts see every row. Experts whose
+/// slice of the window is too thin (or whose fit degenerates) carry over
+/// from the base snapshot unchanged — a sparse window must never produce a
+/// garbage expert. All refits share the base snapshot's corpus-wide
+/// feature scaler, which keeps the mixture's batched shared-scaler scoring
+/// path valid for candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_CORE_EXPERTTRAINER_H
+#define MEDLEY_CORE_EXPERTTRAINER_H
+
+#include "core/ExpertRegistry.h"
+#include "support/ThreadPool.h"
+#include "trace/TrainingWindow.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace medley::core {
+
+/// Tuning of the online refit.
+struct TrainerOptions {
+  /// Window extraction (size = the --retrain-window knob, code-feature
+  /// template, load-average EMA steps).
+  trace::TrainingWindowOptions Window;
+
+  /// Ridge regularisation for the online fits; small traces need it (an
+  /// exactly collinear window would otherwise degenerate).
+  double Ridge = 1e-3;
+
+  /// An expert refits only when its regime slice of the window has at
+  /// least this many samples; thinner slices carry the base expert over.
+  size_t MinSamplesPerExpert = 16;
+};
+
+/// Refits experts from trace windows; stateless apart from options, so one
+/// trainer can serve many windows (and its methods are const / re-entrant).
+class ExpertTrainer {
+public:
+  explicit ExpertTrainer(TrainerOptions Options = {});
+
+  /// Synchronous deterministic refit of \p Base's experts against the last
+  /// window of \p Trace. Returns the candidate expert vector, or nullopt
+  /// when the window is too thin to refit even one expert (no candidate is
+  /// better than a noise candidate).
+  std::optional<std::vector<Expert>>
+  retrain(const trace::TickTrace &Trace, const ExpertSnapshot &Base) const;
+
+  /// Asynchronous form: runs retrain(\p Trace, *\p Base) on a \p Pool
+  /// worker and hands the result to \p Done *on that worker thread*. The
+  /// caller owns cross-thread hand-off discipline (the RolloutController
+  /// takes candidates through a mutex-guarded mailbox).
+  void retrainAsync(
+      support::ThreadPool &Pool, trace::TickTrace Trace,
+      std::shared_ptr<const ExpertSnapshot> Base,
+      std::function<void(std::optional<std::vector<Expert>>)> Done) const;
+
+  /// Number of experts actually refitted (vs carried over) in the last
+  /// synchronous retrain() on this thread is returned via retrainCounted.
+  struct RetrainResult {
+    std::vector<Expert> Experts;
+    size_t Refitted = 0;  ///< Experts with fresh fits.
+    size_t CarriedOver = 0;///< Experts kept from the base snapshot.
+  };
+
+  /// retrain() with per-expert accounting (same determinism contract).
+  std::optional<RetrainResult>
+  retrainCounted(const trace::TickTrace &Trace,
+                 const ExpertSnapshot &Base) const;
+
+  const TrainerOptions &options() const { return Options; }
+
+private:
+  TrainerOptions Options;
+};
+
+} // namespace medley::core
+
+#endif // MEDLEY_CORE_EXPERTTRAINER_H

@@ -26,15 +26,24 @@ MixtureOfExperts::MixtureOfExperts(
          "selector arity must match the expert count");
   assert(!this->Stats || this->Stats->numExperts() == this->Experts->size());
 
+  bindExpertViews();
+}
+
+void MixtureOfExperts::bindExpertViews() {
+  SharedThreadScaler = nullptr;
+  ThreadModels.clear();
+  EnvModels.clear();
+  AnyEnvObserver = false;
+
   // ExpertBuilder trains every thread predictor with one corpus-wide
   // scaler; when that holds (element-wise identical moments), the decision
   // path standardises features once and scores all experts from the shared
   // copy — bit-identical, but K-1 fewer standardisations per decision.
-  const LinearModel *First = (*this->Experts)[0].threadModel();
+  const LinearModel *First = (*Experts)[0].threadModel();
   if (First) {
     SharedThreadScaler = &First->scaler();
-    for (size_t K = 1; K < this->Experts->size(); ++K) {
-      const LinearModel *M = (*this->Experts)[K].threadModel();
+    for (size_t K = 1; K < Experts->size(); ++K) {
+      const LinearModel *M = (*Experts)[K].threadModel();
       if (!M || M->scaler().means() != First->scaler().means() ||
           M->scaler().scales() != First->scaler().scales()) {
         SharedThreadScaler = nullptr;
@@ -43,17 +52,38 @@ MixtureOfExperts::MixtureOfExperts(
     }
   }
 
-  for (const Expert &E : *this->Experts) {
+  for (const Expert &E : *Experts) {
     if (E.hasEnvObserver())
       AnyEnvObserver = true;
+    // Swap-boundary rebind, not the steady decision path: only the ctor
+    // and rebindExperts reach here.
     if (const LinearModel *M = E.envModel())
+      // medley-lint: allow(hotpath-escape) swap-boundary rebind
       EnvModels.push_back(M);
   }
-  if (EnvModels.size() != this->Experts->size())
+  if (EnvModels.size() != Experts->size())
     EnvModels.clear(); // Mixed linear/external experts: keep the slow path.
   if (SharedThreadScaler)
-    for (const Expert &E : *this->Experts)
+    for (const Expert &E : *Experts)
+      // medley-lint: allow(hotpath-escape) swap-boundary rebind (as above)
       ThreadModels.push_back(E.threadModel());
+}
+
+bool MixtureOfExperts::rebindExperts(
+    std::shared_ptr<const std::vector<Expert>> NewExperts) {
+  if (!NewExperts || NewExperts->size() != Experts->size())
+    return false;
+  Experts = std::move(NewExperts);
+  // Pending env predictions priced the previous expert set; judging the
+  // new experts against them would charge them for models they never ran.
+  HasPending = false;
+  bindExpertViews();
+  return true;
+}
+
+void MixtureOfExperts::readmitQuarantined() {
+  if (auto *Guarded = dynamic_cast<QuarantineSelector *>(Selector.get()))
+    Guarded->readmitAll();
 }
 
 void MixtureOfExperts::stashPending(const policy::FeatureVector &Features,

@@ -70,7 +70,22 @@ public:
   /// Index of the expert chosen at the most recent decision.
   size_t lastExpert() const { return LastExpert; }
 
+  /// Swaps in a new expert vector of the same arity while keeping the
+  /// selector's learned state — the registry swap boundary (DESIGN.md
+  /// §14): pending judgements are dropped (they priced the old experts)
+  /// and the batched-scoring views are rebuilt. Returns false (and changes
+  /// nothing) on an arity mismatch. Not part of the steady decision path.
+  bool rebindExperts(std::shared_ptr<const std::vector<Expert>> NewExperts);
+
+  /// Forwards rollback re-admission to a QuarantineSelector-wrapped
+  /// selector (no-op otherwise): strikes accumulated under a rolled-back
+  /// snapshot must not keep punishing experts under the restored one.
+  void readmitQuarantined();
+
 private:
+  /// (Re)derives the batched-scoring views — SharedThreadScaler,
+  /// ThreadModels, EnvModels, AnyEnvObserver — from the current experts.
+  void bindExpertViews();
   void judgePreviousDecision(const policy::FeatureVector &Features);
 
   /// Records this decision's per-expert environment predictions so the

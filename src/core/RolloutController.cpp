@@ -1,0 +1,268 @@
+//===-- core/RolloutController.cpp - Staged snapshot rollout --------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RolloutController.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace medley;
+using namespace medley::core;
+
+const char *medley::core::rolloutStateName(RolloutState State) {
+  switch (State) {
+  case RolloutState::Idle:
+    return "idle";
+  case RolloutState::Shadow:
+    return "shadow";
+  case RolloutState::Canary:
+    return "canary";
+  case RolloutState::Promoted:
+    return "promoted";
+  case RolloutState::RolledBack:
+    return "rolled-back";
+  }
+  return "unknown";
+}
+
+RolloutController::RolloutController(std::shared_ptr<ExpertRegistry> Registry,
+                                     RolloutOptions Options,
+                                     support::FaultStats *Stats)
+    : Registry(std::move(Registry)), Options(Options), Stats(Stats) {}
+
+void RolloutController::submitCandidate(std::vector<Expert> Candidate) {
+  std::lock_guard<std::mutex> Lock(MailboxMutex);
+  Mailbox = std::move(Candidate);
+  MailboxFull.store(true, std::memory_order_release);
+}
+
+double RolloutController::bestError(const Vec &Predictions, double Observed) {
+  double Best = std::numeric_limits<double>::infinity();
+  for (double P : Predictions) {
+    const double E = std::fabs(P - Observed);
+    // A non-finite prediction (corrupted candidate model) compares as
+    // infinitely wrong rather than poisoning the minimum.
+    if (std::isfinite(E) && E < Best)
+      Best = E;
+  }
+  return Best;
+}
+
+void RolloutController::predictEnvInto(
+    const std::vector<Expert> &Experts,
+    const std::vector<const LinearModel *> &Models,
+    const policy::FeatureVector &Features, Vec &Out) {
+  // medley-lint: allow(hotpath-escape) sticky scratch: capacity sticks
+  // after the first decision, steady-state resizes never allocate
+  Out.resize(Experts.size());
+  if (!Models.empty()) {
+    // Batched path, bit-identical to Expert::predictEnvNorm (same clamp).
+    LinearModel::predictMany(Models.data(), Models.size(), Features.Values,
+                             Out.data());
+    for (double &P : Out)
+      P = std::max(0.0, P);
+    return;
+  }
+  for (size_t K = 0; K < Experts.size(); ++K)
+    Out[K] = Experts[K].predictEnvNorm(Features);
+}
+
+RolloutState RolloutController::observe(const policy::FeatureVector &Features) {
+  if (State != RolloutState::Shadow && State != RolloutState::Canary)
+    return State;
+  // A swap the controller has not processed yet (external publication, or
+  // its own pending transition executed by the next maintain()) makes the
+  // cached views stale: drop the pending judgement and wait.
+  const ExpertSnapshot *Live = Registry->acquire(Reader);
+  if (!Live || !LiveExperts || Live->Experts.get() != LiveExperts ||
+      !OtherExperts) {
+    HasPending = false;
+    return State;
+  }
+
+  const double Observed = Features.EnvNorm;
+
+  if (State == RolloutState::Shadow) {
+    if (HasPending) {
+      const double LiveErr = bestError(PendingLive, Observed);
+      const double CandErr = bestError(PendingOther, Observed);
+      ++ShadowJudged;
+      if (CandErr <= LiveErr)
+        ++ShadowWins;
+      if (ShadowJudged >= Options.ShadowWindow) {
+        const double Needed =
+            Options.PromoteFraction * static_cast<double>(ShadowJudged);
+        if (static_cast<double>(ShadowWins) >= Needed)
+          WantPromote = true;
+        else
+          WantReject = true;
+        HasPending = false;
+        return State; // Verdict reached; stop scoring until maintain().
+      }
+    }
+    predictEnvInto(*LiveExperts, LiveEnvModels, Features, PendingLive);
+    predictEnvInto(*OtherExperts, OtherEnvModels, Features, PendingOther);
+    HasPending = true;
+    return State;
+  }
+
+  // Canary.
+  if (HasPending && PendingScored) {
+    const double CanaryErr = bestError(PendingLive, Observed);
+    const double PreErr = bestError(PendingOther, Observed);
+    const double Threshold = std::max(Options.DivergenceFactor * PreErr,
+                                      Options.AbsoluteErrorFloor);
+    if (!(CanaryErr <= Threshold)) // NaN-safe: non-finite strikes.
+      ++ConsecutiveStrikes;
+    else
+      ConsecutiveStrikes = 0;
+    ++CanaryJudged;
+    HasPending = false;
+    if (ConsecutiveStrikes >= Options.RollbackStrikes) {
+      WantRollback = true;
+      return State;
+    }
+    if (CanaryJudged >= Options.CanaryWindow) {
+      WantComplete = true;
+      return State;
+    }
+  }
+  if (WantRollback || WantComplete)
+    return State;
+
+  // Deterministic Bresenham interleaving: score CanaryFraction of the
+  // canary's decisions against the retained pre-swap snapshot.
+  CanaryAccumulator += Options.CanaryFraction;
+  if (CanaryAccumulator >= 1.0) {
+    CanaryAccumulator -= 1.0;
+    predictEnvInto(*LiveExperts, LiveEnvModels, Features, PendingLive);
+    predictEnvInto(*OtherExperts, OtherEnvModels, Features, PendingOther);
+    HasPending = true;
+    PendingScored = true;
+  } else {
+    HasPending = false;
+    PendingScored = false;
+  }
+  return State;
+}
+
+RolloutState RolloutController::maintain() {
+  // Execute the verdict observe() reached, if any.
+  if (WantReject) {
+    WantReject = false;
+    Candidate.reset();
+    ++ShadowRejects;
+    State = RolloutState::Idle;
+  }
+  if (WantPromote) {
+    WantPromote = false;
+    std::shared_ptr<const ExpertSnapshot> Live = Registry->current();
+    if (Live && Candidate) {
+      // The RCU swap: the candidate goes live under the next version;
+      // the outgoing snapshot is retained for canary shadow-scoring and
+      // bit-identical rollback.
+      Registry->publish(Candidate, Live->Scaler, Live->SelectorPrototype);
+      PreSwap = std::move(Live);
+      Candidate.reset();
+      CanaryJudged = 0;
+      ConsecutiveStrikes = 0;
+      CanaryAccumulator = 0.0;
+      State = RolloutState::Canary;
+    } else {
+      Candidate.reset();
+      State = RolloutState::Idle;
+    }
+  }
+  if (WantRollback) {
+    WantRollback = false;
+    if (PreSwap) {
+      // Republish the retained snapshot's content under a fresh monotonic
+      // version: same experts, same checksum, new epoch.
+      Registry->republish(*PreSwap);
+      ++Rollbacks;
+      if (Stats)
+        ++Stats->SnapshotRollbacks;
+      RollbackPendingAck = true;
+    }
+    PreSwap.reset();
+    State = RolloutState::RolledBack;
+  }
+  if (WantComplete) {
+    WantComplete = false;
+    ++Promotions;
+    if (Stats)
+      ++Stats->SnapshotPromotions;
+    PreSwap.reset();
+    State = RolloutState::Promoted;
+  }
+
+  // Stage a parked candidate — except while a canary is unresolved (it
+  // must promote or roll back first; the mailbox keeps the newest).
+  if (State != RolloutState::Canary &&
+      MailboxFull.load(std::memory_order_acquire)) {
+    std::optional<std::vector<Expert>> Taken;
+    {
+      std::lock_guard<std::mutex> Lock(MailboxMutex);
+      Taken = std::move(Mailbox);
+      Mailbox.reset();
+      MailboxFull.store(false, std::memory_order_release);
+    }
+    std::shared_ptr<const ExpertSnapshot> Live = Registry->current();
+    if (Taken && Live && Live->Experts &&
+        Taken->size() == Live->Experts->size()) {
+      Candidate =
+          std::make_shared<const std::vector<Expert>>(std::move(*Taken));
+      ShadowJudged = 0;
+      ShadowWins = 0;
+      State = RolloutState::Shadow;
+    }
+    // Arity mismatch (or no live snapshot yet): candidate dropped.
+  }
+
+  // Refresh the reader pin and the batched views; a stale pending
+  // judgement from before a swap must not survive it.
+  const ExpertSnapshot *Live = Registry->acquire(Reader);
+  const std::vector<Expert> *NewLive = Live ? Live->Experts.get() : nullptr;
+  const std::vector<Expert> *NewOther = nullptr;
+  if (State == RolloutState::Shadow && Candidate)
+    NewOther = Candidate.get();
+  else if (State == RolloutState::Canary && PreSwap)
+    NewOther = PreSwap->Experts.get();
+  if (NewLive != LiveExperts || NewOther != OtherExperts) {
+    LiveExperts = NewLive;
+    OtherExperts = NewOther;
+    HasPending = false;
+    PendingScored = false;
+    rebuildViews();
+  }
+  return State;
+}
+
+void RolloutController::rebuildViews() {
+  auto Build = [](const std::vector<Expert> *Experts,
+                  std::vector<const LinearModel *> &Models) {
+    Models.clear();
+    if (!Experts)
+      return;
+    for (const Expert &E : *Experts) {
+      const LinearModel *M = E.envModel();
+      if (!M) {
+        Models.clear(); // Mixed linear/external: use the per-expert path.
+        return;
+      }
+      Models.push_back(M);
+    }
+  };
+  Build(LiveExperts, LiveEnvModels);
+  Build(OtherExperts, OtherEnvModels);
+}
+
+bool RolloutController::consumeRollback() {
+  const bool Was = RollbackPendingAck;
+  RollbackPendingAck = false;
+  return Was;
+}

@@ -1,0 +1,218 @@
+//===-- core/RolloutController.h - Staged snapshot rollout ------*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity: A Mixture of
+// Experts Approach for Runtime Mapping in Dynamic Environments" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged-rollout state machine for retrained expert snapshots
+/// (DESIGN.md §14.5):
+///
+///       stage           promote            survive canary
+///   Idle ──► Shadow ──────► Canary ────────────► Promoted
+///              │ lose          │ diverge (strikes)
+///              ▼               ▼
+///            Idle          RolledBack  (pre-swap snapshot republished
+///                                       bit-identically)
+///
+/// Shadow: the candidate runs invisibly — on every live decision both the
+/// live snapshot's experts and the candidate's predict the next
+/// environment, and one step later the realised environment judges them
+/// (the paper's own env-accuracy proxy; nothing is ever "tried out" on
+/// traffic). The candidate is published only after winning at least a
+/// configured fraction of a confidence window.
+///
+/// Canary: the candidate is live (published through the registry — the
+/// RCU swap), but the pre-swap snapshot is retained and keeps
+/// shadow-predicting on a configurable fraction of decisions. Divergence
+/// strikes (the QuarantineSelector's strike discipline applied to whole
+/// snapshots) trigger auto-rollback: the pre-swap snapshot's *content* is
+/// republished under a fresh monotonic version — bit-identical experts,
+/// new epoch — and the mixture's quarantine state is re-admitted so
+/// strikes from the bad snapshot don't leak.
+///
+/// Split for the hot path: observe(), called on every decision, only
+/// judges and stashes through sticky scratch buffers — it is a medley-lint
+/// L7/L8 entry point and must stay allocation-free and lock-free.
+/// maintain(), called at decision-epoch boundaries (or from the lifecycle
+/// loop), drains the trainer mailbox and executes the state transitions
+/// that allocate and publish. The caller contract is single-threaded for
+/// both; only submitCandidate() may be called from another thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_CORE_ROLLOUTCONTROLLER_H
+#define MEDLEY_CORE_ROLLOUTCONTROLLER_H
+
+#include "core/ExpertRegistry.h"
+#include "policy/Features.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace medley::core {
+
+/// Rollout phases. RolledBack is sticky until the next candidate stages.
+enum class RolloutState { Idle, Shadow, Canary, Promoted, RolledBack };
+
+/// Short stable name of \p State ("idle", "shadow", ...).
+const char *rolloutStateName(RolloutState State);
+
+/// Tuning of the rollout ladder.
+struct RolloutOptions {
+  /// Judged decisions a candidate shadow-scores before the promote /
+  /// reject verdict.
+  size_t ShadowWindow = 128;
+
+  /// Fraction of shadow-judged decisions the candidate must win (its best
+  /// env prediction at least as close as the live snapshot's) to reach
+  /// canary.
+  double PromoteFraction = 0.55;
+
+  /// Fraction of canary decisions scored against the retained pre-swap
+  /// snapshot (deterministic Bresenham interleaving — the --canary-fraction
+  /// knob; scoring costs one extra batch of env predictions per decision).
+  double CanaryFraction = 1.0;
+
+  /// Scored canary decisions without a rollback before promotion.
+  size_t CanaryWindow = 256;
+
+  /// Consecutive divergence strikes that trigger auto-rollback.
+  unsigned RollbackStrikes = 3;
+
+  /// A scored canary decision strikes when the live (canary) snapshot's
+  /// best env error exceeds DivergenceFactor x the pre-swap snapshot's
+  /// best error and the absolute floor (mirrors QuarantineOptions).
+  double DivergenceFactor = 3.0;
+  double AbsoluteErrorFloor = 0.5;
+};
+
+/// Drives candidates through Shadow -> Canary -> Promoted | RolledBack
+/// against one ExpertRegistry.
+class RolloutController {
+public:
+  /// \p Registry must outlive the controller. \p Stats (optional,
+  /// non-owning) receives promotion / rollback counters on the
+  /// observe()/maintain() caller's thread.
+  RolloutController(std::shared_ptr<ExpertRegistry> Registry,
+                    RolloutOptions Options = {},
+                    support::FaultStats *Stats = nullptr);
+
+  /// Thread-safe candidate hand-off (the trainer worker's side): the
+  /// candidate is parked in a mailbox and staged by the next maintain().
+  /// A newer submission replaces an unclaimed older one.
+  void submitCandidate(std::vector<Expert> Candidate);
+
+  /// Decision-path hook (medley-lint L7/L8 entry point): judges the
+  /// previous decision's stashed predictions against the environment
+  /// observed in \p Features, advances strike / window counters, and
+  /// stashes this decision's predictions. Never allocates or locks in
+  /// steady state; transitions that publish are deferred to maintain().
+  /// Returns the phase after judging.
+  RolloutState observe(const policy::FeatureVector &Features);
+
+  /// Epoch-boundary slow path: drains the candidate mailbox (staging a new
+  /// Shadow), and executes any transition observe() decided — publishing a
+  /// promoted candidate, rolling back a diverged canary (republishing the
+  /// retained pre-swap snapshot bit-identically), or retiring a rejected
+  /// shadow. Returns the phase after the transitions.
+  RolloutState maintain();
+
+  RolloutState state() const { return State; }
+
+  /// True exactly once after a rollback completed; reading clears the
+  /// flag. The live-mixture policy uses this to re-admit quarantined
+  /// experts after the pre-swap snapshot returns.
+  bool consumeRollback();
+
+  /// Lifetime counters (on the observe()/maintain() thread).
+  uint64_t promotions() const { return Promotions; }
+  uint64_t rollbacks() const { return Rollbacks; }
+  uint64_t shadowRejects() const { return ShadowRejects; }
+
+  /// The retained pre-swap snapshot while a canary is live (null
+  /// otherwise); exposed for tests asserting bit-identical restoration.
+  std::shared_ptr<const ExpertSnapshot> preSwapSnapshot() const {
+    return PreSwap;
+  }
+
+  const RolloutOptions &options() const { return Options; }
+
+private:
+  /// Env predictions of every expert in \p Experts at \p Features, into
+  /// \p Out (sticky scratch; batched when all experts are linear).
+  void predictEnvInto(const std::vector<Expert> &Experts,
+                      const std::vector<const LinearModel *> &Models,
+                      const policy::FeatureVector &Features, Vec &Out);
+
+  /// Best (smallest) |prediction - observed| over \p Predictions.
+  static double bestError(const Vec &Predictions, double Observed);
+
+  /// Rebuilds the batched linear-model views for both tracked expert sets.
+  void rebuildViews();
+
+  std::shared_ptr<ExpertRegistry> Registry;
+  RolloutOptions Options;
+  support::FaultStats *Stats;
+
+  RolloutState State = RolloutState::Idle;
+
+  /// Reader pin onto the live snapshot (the controller is a registry
+  /// reader like any policy instance).
+  ExpertRegistry::ReaderEpoch Reader;
+
+  /// Shadow phase: the candidate under evaluation (unpublished).
+  std::shared_ptr<const std::vector<Expert>> Candidate;
+
+  /// Canary phase: the snapshot that was live before the swap.
+  std::shared_ptr<const ExpertSnapshot> PreSwap;
+
+  // Transition verdicts, decided in observe(), executed in maintain().
+  bool WantPromote = false;
+  bool WantReject = false;
+  bool WantRollback = false;
+  bool WantComplete = false; ///< Canary survived its window: finish.
+
+  // Trainer mailbox: flag checked with one relaxed atomic load per
+  // maintain(); the mutex is touched only when a candidate is waiting.
+  std::atomic<bool> MailboxFull{false};
+  std::mutex MailboxMutex;
+  std::optional<std::vector<Expert>> Mailbox;
+
+  // Shadow bookkeeping.
+  size_t ShadowJudged = 0;
+  size_t ShadowWins = 0;
+
+  // Canary bookkeeping.
+  size_t CanaryJudged = 0;
+  unsigned ConsecutiveStrikes = 0;
+  double CanaryAccumulator = 0.0;
+
+  // Pending predictions stashed by the previous observe(): the live
+  // snapshot's experts and the "other" set (candidate in Shadow, pre-swap
+  // in Canary).
+  bool HasPending = false;
+  bool PendingScored = false; ///< Canary: was this decision scored?
+  Vec PendingLive;
+  Vec PendingOther;
+
+  // Batched linear views (rebuilt by maintain() at swap boundaries only).
+  std::vector<const LinearModel *> LiveEnvModels;
+  std::vector<const LinearModel *> OtherEnvModels;
+  const std::vector<Expert> *LiveExperts = nullptr;
+  const std::vector<Expert> *OtherExperts = nullptr;
+
+  bool RollbackPendingAck = false;
+  uint64_t Promotions = 0;
+  uint64_t Rollbacks = 0;
+  uint64_t ShadowRejects = 0;
+};
+
+} // namespace medley::core
+
+#endif // MEDLEY_CORE_ROLLOUTCONTROLLER_H

@@ -16,7 +16,9 @@
 #define MEDLEY_EXP_POLICYSET_H
 
 #include "core/ExpertBuilder.h"
+#include "core/ExpertRegistry.h"
 #include "core/MixtureOfExperts.h"
+#include "core/RolloutController.h"
 
 #include <map>
 
@@ -67,6 +69,26 @@ public:
   policy::PolicyFactory singleExpertFactory(unsigned NumExperts,
                                             size_t Index);
 
+  /// The process-wide live expert registry, seeded on first use with the
+  /// standard 4-expert set, the corpus feature scaler and the regime
+  /// selector prototype (version 1). The lifecycle machinery (trainer,
+  /// rollout) publishes retrained snapshots into it.
+  std::shared_ptr<core::ExpertRegistry> liveRegistry();
+
+  /// Registry-backed mixture factory ("mixture-live"): every instance
+  /// follows liveRegistry() publications, swapping experts at decision-
+  /// epoch boundaries while keeping its selector's learned state. The
+  /// selector is quarantine-hardened so rollbacks can re-admit strikes.
+  /// \p Rollout, if given, is serviced from the instances' decision loops
+  /// — its single-threaded contract means such a factory must then create
+  /// exactly one instance. \p Faults as in hardenedMixtureFactory.
+  policy::PolicyFactory
+  liveMixtureFactory(unsigned NumExperts, const std::string &SelectorKind,
+                     std::shared_ptr<core::RolloutController> Rollout = nullptr,
+                     core::QuarantineOptions Quarantine = {},
+                     support::FaultStats *Faults = nullptr,
+                     std::shared_ptr<core::MoeStats> Stats = nullptr);
+
   /// Policy names in the paper's presentation order.
   static const std::vector<std::string> &standardPolicies();
 
@@ -79,6 +101,7 @@ private:
   FeatureScaler Scaler;
   bool HaveOffline = false;
   std::shared_ptr<LinearModel> OfflineModel;
+  std::shared_ptr<core::ExpertRegistry> LiveRegistry;
   uint64_t AnalyticSeedCounter = 0x5EED0;
 
   const FeatureScaler &featureScaler();

@@ -11,3 +11,5 @@ using namespace medley::policy;
 ThreadPolicy::~ThreadPolicy() = default;
 
 void ThreadPolicy::observe(const workload::RegionOutcome &) {}
+
+void ThreadPolicy::beginDecisionEpoch() {}

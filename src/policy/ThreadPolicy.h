@@ -31,6 +31,13 @@ public:
   /// is clamped by the runtime to [1, Features.MaxThreads].
   virtual unsigned select(const FeatureVector &Features) = 0;
 
+  /// Decision-epoch boundary: invoked by the runtime binding immediately
+  /// before each decision's features are assembled. Policies backed by a
+  /// versioned store (the expert registry) use this to pick up a freshly
+  /// published snapshot — mid-decision state never changes under a policy.
+  /// Default: no-op. Must be cheap; it runs on every decision.
+  virtual void beginDecisionEpoch();
+
   /// Reports a completed region execution. Default: ignore.
   virtual void observe(const workload::RegionOutcome &Outcome);
 

@@ -32,6 +32,10 @@ const char *errorCodeName(ErrorCode Code) {
     return "non-finite-value";
   case ErrorCode::InvalidArgument:
     return "invalid-argument";
+  case ErrorCode::ChecksumMismatch:
+    return "checksum-mismatch";
+  case ErrorCode::StaleVersion:
+    return "stale-version";
   }
   return "unknown";
 }

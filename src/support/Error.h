@@ -36,6 +36,8 @@ enum class ErrorCode {
   CorruptInput,   ///< Structure violated (bad magic, arity, ordering).
   NonFiniteValue, ///< A NaN/Inf where a finite number is required.
   InvalidArgument,///< Caller-supplied parameter out of range.
+  ChecksumMismatch, ///< Stored content checksum disagrees with the payload.
+  StaleVersion,   ///< Snapshot version older than one already observed.
 };
 
 /// Short stable name of \p Code ("io-failure", "truncated-input", ...).

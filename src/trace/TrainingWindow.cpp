@@ -1,0 +1,65 @@
+//===-- trace/TrainingWindow.cpp - Trace-to-training-rows reader ----------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TrainingWindow.h"
+
+using namespace medley;
+using namespace medley::trace;
+
+TrainingWindow TrainingWindow::fromTrace(const TickTrace &Trace,
+                                         const TrainingWindowOptions &Options) {
+  TrainingWindow W;
+  const size_t Rows = Trace.size();
+  if (Rows < 2)
+    return W;
+
+  // Row i needs row i+1 for its environment target, so the usable range is
+  // [Start, Rows - 1).
+  size_t Start = 0;
+  if (Options.Window != 0 && Rows - 1 > Options.Window)
+    Start = (Rows - 1) - Options.Window;
+
+  const size_t N = (Rows - 1) - Start;
+  W.Features.reserve(N);
+  W.ThreadTargets.reserve(N);
+  W.EnvTargets.reserve(N);
+  W.Contended.reserve(N);
+
+  const auto &Cores = Trace.availableCores();
+  const auto &Workload = Trace.workloadThreads();
+  const auto &Target = Trace.targetThreads();
+  const auto &EnvNorm = Trace.envNorms();
+
+  // Seed the load-average proxies at the window's first observation so a
+  // window is self-contained (same window => same rows, wherever it sat in
+  // the full trace).
+  double EmaShort = static_cast<double>(Workload[Start]);
+  double EmaLong = EmaShort;
+
+  for (size_t I = Start; I + 1 < Rows; ++I) {
+    const double Threads = static_cast<double>(Workload[I]);
+    EmaShort += Options.EmaShort * (Threads - EmaShort);
+    EmaLong += Options.EmaLong * (Threads - EmaLong);
+
+    Vec F(10);
+    F[0] = Options.CodeFeatures[0]; // load/store count
+    F[1] = Options.CodeFeatures[1]; // instructions
+    F[2] = Options.CodeFeatures[2]; // branches
+    F[3] = Threads;                 // workload threads
+    F[4] = static_cast<double>(Cores[I]); // processors
+    F[5] = Threads;                 // runq-sz proxy
+    F[6] = EmaShort;                // ldavg-1 proxy
+    F[7] = EmaLong;                 // ldavg-5 proxy
+    F[8] = 0.0;                     // cached memory (no trace signal)
+    F[9] = 0.0;                     // pages free list rate (no trace signal)
+
+    W.Features.push_back(std::move(F));
+    W.ThreadTargets.push_back(static_cast<double>(Target[I]));
+    W.EnvTargets.push_back(EnvNorm[I + 1]);
+    W.Contended.push_back(Workload[I] > Cores[I] ? 1 : 0);
+  }
+  return W;
+}

@@ -1,0 +1,99 @@
+//===-- trace/TrainingWindow.h - Trace-to-training-rows reader --*- C++ -*-===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity: A Mixture of
+// Experts Approach for Runtime Mapping in Dynamic Environments" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the most recent rows of a columnar TickTrace into supervised
+/// training rows for online expert refitting (DESIGN.md §14.3). Each trace
+/// row i yields one sample:
+///
+///   features  — the 10-d Table-1 vector synthesised from the trace
+///               columns (see below),
+///   y_thread  — the thread count served at row i (TargetThreads), the
+///               behavioural-cloning target for the w model,
+///   y_env     — the environment norm observed at row i+1, exactly the
+///               quantity the m model predicts.
+///
+/// The trace stores five columns, not ten features, so the missing
+/// dimensions are synthesised deterministically: the three static code
+/// features come from a caller-supplied template (the traced region's
+/// CodeFeatures), runq-sz is proxied by the workload thread count, and the
+/// two load averages by short/long EMAs of it — the same quantities those
+/// /proc counters smooth on a real machine. Cached-memory and
+/// page-free-rate carry no trace signal and are left zero; under the
+/// corpus-wide scaler they contribute a constant the fit folds into its
+/// intercept. This is a documented reproduction simplification: the paper
+/// retrains from full sensor logs, the reproduction from its five-column
+/// flight recorder.
+///
+/// The last trace row has no successor to supply y_env and is dropped.
+/// Everything here is deterministic: same trace + options => byte-identical
+/// rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MEDLEY_TRACE_TRAININGWINDOW_H
+#define MEDLEY_TRACE_TRAININGWINDOW_H
+
+#include "linalg/Vector.h"
+#include "trace/TickTrace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace medley::trace {
+
+/// Options for extracting a training window from a trace.
+struct TrainingWindowOptions {
+  /// Maximum number of most-recent trace rows considered (the
+  /// --retrain-window knob). 0 means the whole trace.
+  size_t Window = 512;
+
+  /// Static code features f1..f3 of the traced region (load/store count,
+  /// instructions, branches), copied into every synthesised row.
+  double CodeFeatures[3] = {0.0, 0.0, 0.0};
+
+  /// EMA steps for the ldavg-1 / ldavg-5 proxies.
+  double EmaShort = 0.25;
+  double EmaLong = 0.05;
+};
+
+/// The supervised rows extracted from one trace window. Column-oriented
+/// like the trace itself; all vectors share one length.
+class TrainingWindow {
+public:
+  /// Extracts rows from the last TrainingWindowOptions::Window rows of
+  /// \p Trace. The result is empty when the trace has fewer than two rows.
+  static TrainingWindow fromTrace(const TickTrace &Trace,
+                                  const TrainingWindowOptions &Options);
+
+  size_t size() const { return ThreadTargets.size(); }
+  bool empty() const { return ThreadTargets.empty(); }
+
+  /// 10-d synthesised feature rows, index-aligned with the targets.
+  const std::vector<Vec> &features() const { return Features; }
+
+  /// Thread counts served at each row (targets for the w model).
+  const Vec &threadTargets() const { return ThreadTargets; }
+
+  /// Next-row environment norms (targets for the m model).
+  const Vec &envTargets() const { return EnvTargets; }
+
+  /// Per-row machine regime: true when the workload oversubscribed the
+  /// available cores at that row (the RegimeSelector boundary), used to
+  /// route samples to regime-tagged experts.
+  const std::vector<uint8_t> &contended() const { return Contended; }
+
+private:
+  std::vector<Vec> Features;
+  Vec ThreadTargets;
+  Vec EnvTargets;
+  std::vector<uint8_t> Contended;
+};
+
+} // namespace medley::trace
+
+#endif // MEDLEY_TRACE_TRAININGWINDOW_H

@@ -230,6 +230,17 @@ std::string expertFileText() {
   return OS.str();
 }
 
+/// Rewrites a v2 (checksummed) serialisation as a legacy v1 file so the
+/// parse-level validation runs; on v2 files any mutation trips the
+/// checksum first (covered by ExpertIoTest).
+std::string stripToLegacyV1(const std::string &Text) {
+  size_t HeaderEnd = Text.find('\n');
+  EXPECT_NE(HeaderEnd, std::string::npos);
+  size_t ChecksumEnd = Text.find('\n', HeaderEnd + 1);
+  EXPECT_NE(ChecksumEnd, std::string::npos);
+  return "medley-experts 1\n" + Text.substr(ChecksumEnd + 1);
+}
+
 std::string writeTempFile(const std::string &Name, const std::string &Text) {
   std::string Path = ::testing::TempDir() + Name;
   std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
@@ -250,7 +261,7 @@ TEST(ExpertFileChaosTest, CleanFileRoundTrips) {
 }
 
 TEST(ExpertFileChaosTest, TruncatedFileIsRejected) {
-  std::string Text = expertFileText();
+  std::string Text = stripToLegacyV1(expertFileText());
   std::string Path = writeTempFile("medley_truncated_experts.txt",
                                    Text.substr(0, Text.size() / 2));
   support::Error Err;
@@ -270,7 +281,7 @@ TEST(ExpertFileChaosTest, BadMagicIsRejected) {
 }
 
 TEST(ExpertFileChaosTest, WrongDimensionIsRejected) {
-  std::string Text = expertFileText();
+  std::string Text = stripToLegacyV1(expertFileText());
   size_t Pos = Text.find("features 10");
   ASSERT_NE(Pos, std::string::npos);
   Text.replace(Pos, 11, "features 99");

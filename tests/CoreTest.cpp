@@ -828,6 +828,68 @@ TEST(ExpertIoTest, RejectsMalformedInput) {
                    "1.0\ndescription d\nw means 1 2 3\n"));
 }
 
+TEST(ExpertIoTest, WritesChecksummedV2Header) {
+  std::vector<Expert> Experts = {makeConstantExpert("E1", 8.0, 1.2)};
+  std::stringstream SS;
+  ASSERT_TRUE(writeExperts(SS, Experts));
+  const std::string Text = SS.str();
+  EXPECT_EQ(Text.rfind("medley-experts 2\nchecksum ", 0), 0u);
+  // The checksum token is exactly 16 lowercase hex digits.
+  const size_t CkStart = Text.find("checksum ") + 9;
+  const std::string Ck = Text.substr(CkStart, Text.find('\n', CkStart) - CkStart);
+  ASSERT_EQ(Ck.size(), 16u);
+  for (char C : Ck)
+    EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')) << Ck;
+}
+
+TEST(ExpertIoTest, RejectsBitFlippedPayloadAsChecksumMismatch) {
+  std::vector<Expert> Experts = {makeConstantExpert("E1", 8.0, 1.2),
+                                 makeConstantExpert("E2", 24.0, 2.4)};
+  std::stringstream SS;
+  ASSERT_TRUE(writeExperts(SS, Experts));
+  std::string Text = SS.str();
+
+  // Flip one digit deep in the payload; the v2 checksum must catch it
+  // before any parsing.
+  const size_t Pos = Text.rfind('7') != std::string::npos
+                         ? Text.rfind('7')
+                         : Text.size() - 2;
+  Text[Pos] = Text[Pos] == '7' ? '8' : '7';
+  std::stringstream Damaged(Text);
+  support::Error Err;
+  EXPECT_FALSE(readExperts(Damaged, &Err).has_value());
+  EXPECT_EQ(Err.code(), support::ErrorCode::ChecksumMismatch);
+}
+
+TEST(ExpertIoTest, ReadsLegacyV1FilesWithoutChecksum) {
+  std::vector<Expert> Experts = {makeConstantExpert("E1", 8.0, 1.2)};
+  std::stringstream SS;
+  ASSERT_TRUE(writeExperts(SS, Experts));
+  std::string Text = SS.str();
+
+  // Strip the v2 header down to the v1 form: old magic, no checksum line.
+  const size_t PayloadStart = Text.find('\n', Text.find("checksum ")) + 1;
+  std::stringstream Legacy("medley-experts 1\n" + Text.substr(PayloadStart));
+  auto Loaded = readExperts(Legacy);
+  ASSERT_TRUE(Loaded.has_value());
+  ASSERT_EQ(Loaded->size(), 1u);
+  policy::FeatureVector F = makeFeatures(1.0, 24.0, 30.0);
+  EXPECT_EQ((*Loaded)[0].predictThreads(F), Experts[0].predictThreads(F));
+  EXPECT_DOUBLE_EQ((*Loaded)[0].predictEnvNorm(F),
+                   Experts[0].predictEnvNorm(F));
+}
+
+TEST(ExpertIoTest, TruncatedV2PayloadFailsChecksum) {
+  std::vector<Expert> Experts = {makeConstantExpert("E1", 8.0, 1.2)};
+  std::stringstream SS;
+  ASSERT_TRUE(writeExperts(SS, Experts));
+  std::string Text = SS.str();
+  std::stringstream Truncated(Text.substr(0, Text.size() * 2 / 3));
+  support::Error Err;
+  EXPECT_FALSE(readExperts(Truncated, &Err).has_value());
+  EXPECT_EQ(Err.code(), support::ErrorCode::ChecksumMismatch);
+}
+
 TEST(ExpertIoTest, FileHelpersWork) {
   std::vector<Expert> Experts = {makeConstantExpert("E1", 8.0, 1.2)};
   std::string Path = ::testing::TempDir() + "/medley_experts_test.txt";

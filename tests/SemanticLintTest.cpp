@@ -450,6 +450,25 @@ TEST_F(SemanticCliTest, HotpathEscapeFixtureFires) {
       << Report;
 }
 
+TEST_F(SemanticCliTest, RegistryLockFixtureFiresOnTheAcquireEntry) {
+  // The lifecycle entry points: a registry reader that locks and
+  // allocates on the acquire path must trip both L7 (via the
+  // ExpertRegistry::acquire decision entry) and L8 (sleep under the
+  // publish mutex).
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("registry-lock") + " --json " + Json +
+                    " " + fixture("registry-lock") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  EXPECT_NE(Report.find("hotpath-escape"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("ExpertRegistry::acquire -> repinSnapshot"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("held across blocking call"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("PublishMutex"), std::string::npos) << Report;
+}
+
 TEST_F(SemanticCliTest, LockOrderFixtureFiresForCycleAndBlockingCall) {
   std::string Json = path("report.json");
   EXPECT_EQ(runLint("--root " + fixture("lock-order") + " --json " + Json +

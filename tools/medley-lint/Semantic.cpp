@@ -341,6 +341,19 @@ bool medley::lint::isDecisionEntry(const CallGraph::Node &N) {
   if (N.Name == "buildFeatures" &&
       N.Qual.find("policy::") != std::string::npos)
     return true;
+  // The expert-lifecycle hot path (DESIGN.md §14): snapshot acquisition
+  // runs at every decision-epoch boundary and rollout shadow scoring at
+  // every decision, so both must stay allocation- and lock-free like the
+  // decision loop they sit on.
+  if (N.Class == "ExpertRegistry")
+    return N.Name == "acquire";
+  // (maintain() is deliberately NOT an entry: it is the epoch-boundary
+  // slow path where staging, rebinds and the candidate mailbox mutex are
+  // allowed to live.)
+  if (N.Class == "RolloutController")
+    return N.Name == "observe";
+  if (N.Class == "LiveMixture")
+    return N.Name == "select";
   // The SoA tick kernels: the per-tick column reductions and the steady
   // fast path run once per simulated tick, so any allocation reachable
   // from them multiplies by the tick count. Arena-backed staging (the

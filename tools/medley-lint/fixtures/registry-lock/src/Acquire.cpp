@@ -1,0 +1,40 @@
+//===-- fixtures/registry-lock/src/Acquire.cpp - Seeded known-bad tree ----===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the expert-lifecycle entry points: a registry reader
+// that takes the publish lock on the acquire path. ExpertRegistry::acquire
+// is an L7 decision entry, so the allocation it reaches through
+// repinSnapshot (Repin.cpp, a different translation unit) must fire
+// hotpath-escape, and the sleep under PublishMutex must fire the L8
+// held-across-blocking-call check. This is exactly the design the real
+// registry exists to forbid: readers pin snapshots with one atomic load,
+// never a lock. This file must never be compiled or linted as part of the
+// product tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+std::vector<int> repinSnapshot(int Version);
+
+class ExpertRegistry {
+public:
+  int acquire(int Version);
+
+private:
+  std::mutex PublishMutex;
+  std::vector<int> Pinned;
+};
+
+int ExpertRegistry::acquire(int Version) {
+  std::lock_guard<std::mutex> Guard(PublishMutex);
+  // Waiting out a concurrent publication while holding its mutex: every
+  // other reader stalls for the full publication.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Pinned = repinSnapshot(Version);
+  return Pinned.empty() ? -1 : Pinned.front();
+}

@@ -1,0 +1,19 @@
+//===-- fixtures/registry-lock/src/Repin.cpp - Seeded known-bad tree ------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// The escape itself: the naive reader re-pins by materialising a fresh
+// copy of the snapshot, one call below the acquire entry. Only the linked
+// call graph connects ExpertRegistry::acquire -> repinSnapshot to the
+// push_back below.
+//
+//===----------------------------------------------------------------------===//
+
+#include <vector>
+
+std::vector<int> repinSnapshot(int Version) {
+  std::vector<int> Out;
+  for (int I = 0; I < Version; ++I)
+    Out.push_back(I);
+  return Out;
+}
