@@ -22,6 +22,11 @@ LiveMixture::LiveMixture(std::shared_ptr<ExpertRegistry> Registry,
   assert(Snap && "registry must hold an initial snapshot");
   Inner = std::make_unique<MixtureOfExperts>(
       Snap->Experts, std::move(Selector), std::move(Stats), Options);
+  // Identity tag for publication detection: only ever *compared* against
+  // the freshly acquired snapshot, never dereferenced, so a retired
+  // generation cannot be reached through it (and `Reader` pins the
+  // current one regardless).
+  // medley-lint: allow(snapshot-retention)
   BoundExperts = Snap->Experts.get();
   BoundVersion = Snap->Version;
 }
@@ -41,6 +46,9 @@ void LiveMixture::beginDecisionEpoch() {
   if (!Snap || Snap->Experts.get() == BoundExperts)
     return; // Steady path: nothing published since the last decision.
   if (Inner->rebindExperts(Snap->Experts)) {
+    // Same identity-tag pattern as the constructor: compared, never
+    // dereferenced, and `Reader` keeps the matching epoch pinned.
+    // medley-lint: allow(snapshot-retention)
     BoundExperts = Snap->Experts.get();
     BoundVersion = Snap->Version;
     ++Swaps;

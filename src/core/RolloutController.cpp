@@ -233,6 +233,11 @@ RolloutState RolloutController::maintain() {
   else if (State == RolloutState::Canary && PreSwap)
     NewOther = PreSwap->Experts.get();
   if (NewLive != LiveExperts || NewOther != OtherExperts) {
+    // The cached pointer stays valid between maintain() calls because
+    // `Reader` keeps the epoch pinned: the registry cannot retire the
+    // snapshot generation this view points into until the pin advances,
+    // which only happens on the next acquire() above.
+    // medley-lint: allow(snapshot-retention)
     LiveExperts = NewLive;
     OtherExperts = NewOther;
     HasPending = false;

@@ -5,14 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The two-phase semantic analyzer (DESIGN.md §12): call-graph linking
-/// and name resolution, the L7–L9 interprocedural rules on in-process
-/// snippets, schedule-independence of the linked graph, the incremental
-/// cache, baseline-key escaping, multi-line allow coverage, and CLI runs
-/// over the seeded known-bad fixture trees.
+/// The two-phase semantic analyzer (DESIGN.md §12, §15): call-graph
+/// linking and name resolution, the L7–L9 interprocedural rules and the
+/// L10–L12 flow-sensitive rules on in-process snippets,
+/// schedule-independence of the linked graph, the incremental cache and
+/// its analyzer/rule-catalog fingerprint, baseline-key escaping and
+/// stale-entry tracking, multi-line allow coverage, and CLI runs over
+/// the seeded known-bad fixture trees.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "medley-lint/Cache.h"
 #include "medley-lint/Semantic.h"
 
 #include <gtest/gtest.h>
@@ -205,9 +208,11 @@ TEST(HotpathEscapeTest, SoATickKernelsAreDecisionEntries) {
   // entries reach it.
   EXPECT_EQ(countRule(Findings, "hotpath-escape"), 1u)
       << messagesOf(Findings);
-  for (const Finding &F : Findings)
-    if (F.Rule == "hotpath-escape")
+  for (const Finding &F : Findings) {
+    if (F.Rule == "hotpath-escape") {
       EXPECT_EQ(F.File, "src/sim/Gather.cpp");
+    }
+  }
 }
 
 TEST(HotpathEscapeTest, TestTreeDefinitionsAreOutOfScope) {
@@ -257,6 +262,311 @@ TEST(DeterminismTaintTest, SeedFromPlainParameterStaysQuiet) {
                 "  std::mt19937 Gen(Seed);\n"
                 "}\n")}));
   EXPECT_FALSE(hasRule(Findings, "determinism-taint")) << messagesOf(Findings);
+}
+
+//===----------------------------------------------------------------------===//
+// L10 cross-thread-write: CFG + must-lock dataflow on in-process snippets
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A pool type whose parallelFor marks its lambda a thread-task body.
+const char *MiniPoolDecl =
+    "struct MiniPool {\n"
+    "  template <typename Fn> void parallelFor(unsigned long N, Fn &&B);\n"
+    "};\n";
+
+} // namespace
+
+TEST(CrossThreadWriteTest, UnguardedWritesOnTaskPathsFire) {
+  std::string Src = std::string(MiniPoolDecl) +
+                    "class Agg {\n"
+                    "public:\n"
+                    "  void runAll(MiniPool &Pool, unsigned long N);\n"
+                    "  void bump(long K);\n"
+                    "private:\n"
+                    "  long Hits = 0;\n"
+                    "  long Mixed = 0;\n"
+                    "  long Guarded = 0;\n"
+                    "  std::atomic<long> Epoch{0};\n"
+                    "  std::mutex Mu;\n"
+                    "};\n"
+                    "void Agg::runAll(MiniPool &Pool, unsigned long N) {\n"
+                    "  Pool.parallelFor(N, [this](unsigned long I) {\n"
+                    "    Hits += 1;\n"
+                    "    Epoch = static_cast<long>(I);\n"
+                    "    {\n"
+                    "      std::lock_guard<std::mutex> G(Mu);\n"
+                    "      Guarded += 1;\n"
+                    "    }\n"
+                    "    bump(static_cast<long>(I));\n"
+                    "  });\n"
+                    "}\n"
+                    "void Agg::bump(long K) { Mixed += K; }\n";
+  auto Findings =
+      runSemanticRules(linkCallGraph({indexSrc("src/core/Agg.cpp", Src)}));
+  std::string Msgs = messagesOf(Findings);
+  // `Hits` directly in the body; `Mixed` via the call — both lock-free.
+  // The atomic `Epoch` and the guarded `Guarded` stay quiet, and the
+  // guard released at the brace-scope end must NOT leak onto the
+  // bump() call after it.
+  EXPECT_EQ(countRule(Findings, "cross-thread-write"), 2u) << Msgs;
+  EXPECT_NE(Msgs.find("'Hits'"), std::string::npos) << Msgs;
+  EXPECT_NE(Msgs.find("'Mixed'"), std::string::npos) << Msgs;
+  EXPECT_EQ(Msgs.find("'Guarded'"), std::string::npos) << Msgs;
+  EXPECT_EQ(Msgs.find("'Epoch'"), std::string::npos) << Msgs;
+}
+
+TEST(CrossThreadWriteTest, ManualLockUnlockIsFlowSensitive) {
+  std::string Src = std::string(MiniPoolDecl) +
+                    "class Agg {\n"
+                    "public:\n"
+                    "  void runAll(MiniPool &Pool, unsigned long N);\n"
+                    "private:\n"
+                    "  long A = 0;\n"
+                    "  long B = 0;\n"
+                    "  std::mutex Mu;\n"
+                    "};\n"
+                    "void Agg::runAll(MiniPool &Pool, unsigned long N) {\n"
+                    "  Pool.parallelFor(N, [this](unsigned long I) {\n"
+                    "    Mu.lock();\n"
+                    "    A += 1;\n"
+                    "    Mu.unlock();\n"
+                    "    B += 1;\n"
+                    "  });\n"
+                    "}\n";
+  auto Findings =
+      runSemanticRules(linkCallGraph({indexSrc("src/core/Agg.cpp", Src)}));
+  std::string Msgs = messagesOf(Findings);
+  EXPECT_EQ(countRule(Findings, "cross-thread-write"), 1u) << Msgs;
+  EXPECT_NE(Msgs.find("'B'"), std::string::npos) << Msgs;
+}
+
+TEST(CrossThreadWriteTest, WritesOutsideTaskBodiesStayQuiet) {
+  // The same unguarded writes, but nothing ever spawns a task: the rule
+  // anchors on thread-task bodies, not on writes per se.
+  std::string Src = "class Agg {\n"
+                    "public:\n"
+                    "  void tick();\n"
+                    "  void bump(long K);\n"
+                    "private:\n"
+                    "  long Hits = 0;\n"
+                    "  long Mixed = 0;\n"
+                    "};\n"
+                    "void Agg::tick() {\n"
+                    "  Hits += 1;\n"
+                    "  bump(2);\n"
+                    "}\n"
+                    "void Agg::bump(long K) { Mixed += K; }\n";
+  auto Findings =
+      runSemanticRules(linkCallGraph({indexSrc("src/core/Agg.cpp", Src)}));
+  EXPECT_FALSE(hasRule(Findings, "cross-thread-write"))
+      << messagesOf(Findings);
+}
+
+TEST(CrossThreadWriteTest, TaskLocalReceiverStaysQuiet) {
+  // Calls on objects local to the task body are task-private state; the
+  // BFS must not traverse into them.
+  std::string Src = std::string(MiniPoolDecl) +
+                    "class Agg {\n"
+                    "public:\n"
+                    "  void runAll(MiniPool &Pool, unsigned long N);\n"
+                    "  void bump(long K);\n"
+                    "private:\n"
+                    "  long Mixed = 0;\n"
+                    "};\n"
+                    "void Agg::runAll(MiniPool &Pool, unsigned long N) {\n"
+                    "  Pool.parallelFor(N, [](unsigned long I) {\n"
+                    "    Agg Local;\n"
+                    "    Local.bump(static_cast<long>(I));\n"
+                    "  });\n"
+                    "}\n"
+                    "void Agg::bump(long K) { Mixed += K; }\n";
+  auto Findings =
+      runSemanticRules(linkCallGraph({indexSrc("src/core/Agg.cpp", Src)}));
+  EXPECT_FALSE(hasRule(Findings, "cross-thread-write"))
+      << messagesOf(Findings);
+}
+
+//===----------------------------------------------------------------------===//
+// L11 snapshot-retention: acquire tracking on in-process snippets
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The minimal registry definition that arms L11 (the rule activates
+/// only when an `ExpertRegistry::acquire` node exists in the graph).
+FileIndex registryIndex() {
+  return indexSrc("src/core/Registry.cpp",
+                  "struct ExpertSnapshot { unsigned long Version = 0; };\n"
+                  "struct ReaderPin { const ExpertSnapshot *Held = nullptr; "
+                  "};\n"
+                  "class ExpertRegistry {\n"
+                  "public:\n"
+                  "  const ExpertSnapshot *acquire(ReaderPin &Reader);\n"
+                  "  void maintain();\n"
+                  "private:\n"
+                  "  ExpertSnapshot Current;\n"
+                  "};\n"
+                  "const ExpertSnapshot *ExpertRegistry::acquire(ReaderPin "
+                  "&Reader) {\n"
+                  "  Reader.Held = &Current;\n"
+                  "  return Reader.Held;\n"
+                  "}\n"
+                  "void ExpertRegistry::maintain() {}\n");
+}
+
+const char *HolderSrc =
+    "struct ExpertSnapshot;\n"
+    "struct ReaderPin { const ExpertSnapshot *Held = nullptr; };\n"
+    "class ExpertRegistry {\n"
+    "public:\n"
+    "  const ExpertSnapshot *acquire(ReaderPin &Reader);\n"
+    "  void maintain();\n"
+    "};\n"
+    "class Holder {\n"
+    "public:\n"
+    "  void stash(ExpertRegistry &Reg);\n"
+    "  const ExpertSnapshot *pin(ExpertRegistry &Reg);\n"
+    "  void across(ExpertRegistry &Reg);\n"
+    "private:\n"
+    "  const ExpertSnapshot *Cached = nullptr;\n"
+    "  unsigned long Sink = 0;\n"
+    "};\n"
+    "void Holder::stash(ExpertRegistry &Reg) {\n"
+    "  ReaderPin Pin;\n"
+    "  const ExpertSnapshot *S = Reg.acquire(Pin);\n"
+    "  Cached = S;\n"
+    "}\n"
+    "const ExpertSnapshot *Holder::pin(ExpertRegistry &Reg) {\n"
+    "  ReaderPin Pin;\n"
+    "  return Reg.acquire(Pin);\n"
+    "}\n"
+    "void Holder::across(ExpertRegistry &Reg) {\n"
+    "  ReaderPin Pin;\n"
+    "  const ExpertSnapshot *S = Reg.acquire(Pin);\n"
+    "  Reg.maintain();\n"
+    "  Sink = S->Version;\n"
+    "}\n";
+
+} // namespace
+
+TEST(SnapshotRetentionTest, StoreReturnAndHoldAcrossFire) {
+  auto Findings = runSemanticRules(linkCallGraph(
+      {registryIndex(), indexSrc("src/core/Holder.cpp", HolderSrc)}));
+  std::string Msgs = messagesOf(Findings);
+  EXPECT_EQ(countRule(Findings, "snapshot-retention"), 3u) << Msgs;
+  EXPECT_NE(Msgs.find("stored into a field/global"), std::string::npos)
+      << Msgs;
+  EXPECT_NE(Msgs.find("returned from the acquiring function"),
+            std::string::npos)
+      << Msgs;
+  EXPECT_NE(Msgs.find("held across 'maintain'"), std::string::npos) << Msgs;
+}
+
+TEST(SnapshotRetentionTest, DisarmedWithoutRegistryAcquireDefinition) {
+  // Identical holder code, but no ExpertRegistry::acquire definition in
+  // the tree: other projects' acquire() methods must not trip the rule.
+  auto Findings = runSemanticRules(
+      linkCallGraph({indexSrc("src/core/Holder.cpp", HolderSrc)}));
+  EXPECT_FALSE(hasRule(Findings, "snapshot-retention"))
+      << messagesOf(Findings);
+}
+
+//===----------------------------------------------------------------------===//
+// L12 arena-escape: origin + liveness dataflow on in-process snippets
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *ArenaDecl = "namespace support {\n"
+                        "class Arena {\n"
+                        "public:\n"
+                        "  template <typename T> T *allocateArray(unsigned "
+                        "long N);\n"
+                        "  void reset();\n"
+                        "};\n"
+                        "} // namespace support\n";
+
+} // namespace
+
+TEST(ArenaEscapeTest, StoreReturnAndUseAfterResetFire) {
+  std::string Src =
+      std::string(ArenaDecl) +
+      "class Ticker {\n"
+      "public:\n"
+      "  void tickStore(unsigned long N);\n"
+      "  float *tickLeak(unsigned long N);\n"
+      "  void tickBranch(unsigned long N, bool Flush);\n"
+      "private:\n"
+      "  support::Arena TickArena;\n"
+      "  float *Stale = nullptr;\n"
+      "};\n"
+      "void Ticker::tickStore(unsigned long N) {\n"
+      "  float *Buf = TickArena.allocateArray<float>(N);\n"
+      "  Stale = Buf;\n"
+      "}\n"
+      "float *Ticker::tickLeak(unsigned long N) {\n"
+      "  float *Buf = TickArena.allocateArray<float>(N);\n"
+      "  return Buf;\n"
+      "}\n"
+      "void Ticker::tickBranch(unsigned long N, bool Flush) {\n"
+      "  float *Buf = TickArena.allocateArray<float>(N);\n"
+      "  Buf[0] = 1.0f;\n"
+      "  if (Flush)\n"
+      "    TickArena.reset();\n"
+      "  Buf[0] = 2.0f;\n"
+      "}\n";
+  auto Findings =
+      runSemanticRules(linkCallGraph({indexSrc("src/core/Ticker.cpp", Src)}));
+  std::string Msgs = messagesOf(Findings);
+  EXPECT_EQ(countRule(Findings, "arena-escape"), 3u) << Msgs;
+  EXPECT_NE(Msgs.find("stored into a field/global"), std::string::npos)
+      << Msgs;
+  EXPECT_NE(Msgs.find("returned to the caller"), std::string::npos) << Msgs;
+  EXPECT_NE(Msgs.find("used after"), std::string::npos) << Msgs;
+}
+
+TEST(ArenaEscapeTest, ResetAfterLastUseStaysQuiet) {
+  std::string Src = std::string(ArenaDecl) +
+                    "class Ticker {\n"
+                    "public:\n"
+                    "  void tickClean(unsigned long N);\n"
+                    "private:\n"
+                    "  support::Arena TickArena;\n"
+                    "};\n"
+                    "void Ticker::tickClean(unsigned long N) {\n"
+                    "  float *Buf = TickArena.allocateArray<float>(N);\n"
+                    "  for (unsigned long I = 0; I < N; ++I)\n"
+                    "    Buf[I] = 0.0f;\n"
+                    "  TickArena.reset();\n"
+                    "}\n";
+  auto Findings =
+      runSemanticRules(linkCallGraph({indexSrc("src/core/Ticker.cpp", Src)}));
+  EXPECT_FALSE(hasRule(Findings, "arena-escape")) << messagesOf(Findings);
+}
+
+TEST(ArenaEscapeTest, ResetOnLoopBackEdgeFlagsNextIterationUse) {
+  // The reset flows around the loop back edge: the use at the top of
+  // the next iteration reads freed storage even though the reset is
+  // textually after it.
+  std::string Src = std::string(ArenaDecl) +
+                    "class Ticker {\n"
+                    "public:\n"
+                    "  void spin(unsigned long N);\n"
+                    "private:\n"
+                    "  support::Arena TickArena;\n"
+                    "};\n"
+                    "void Ticker::spin(unsigned long N) {\n"
+                    "  float *Buf = TickArena.allocateArray<float>(N);\n"
+                    "  for (unsigned long I = 0; I < N; ++I) {\n"
+                    "    Buf[0] = 1.0f;\n"
+                    "    TickArena.reset();\n"
+                    "  }\n"
+                    "}\n";
+  auto Findings =
+      runSemanticRules(linkCallGraph({indexSrc("src/core/Ticker.cpp", Src)}));
+  EXPECT_EQ(countRule(Findings, "arena-escape"), 1u) << messagesOf(Findings);
 }
 
 //===----------------------------------------------------------------------===//
@@ -331,6 +641,91 @@ TEST(BaselineEscapeTest, BaselineSuppressesFindingOnPipeBearingLine) {
       << messagesOf(Findings);
   auto Lines = renderBaseline(Findings);
   EXPECT_TRUE(applyBaseline(Findings, Lines).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline bookkeeping: used vs stale entries
+//===----------------------------------------------------------------------===//
+
+TEST(BaselineDetailedTest, TracksUsedAndStaleLines) {
+  std::string Source = "bool f(double X) { return X == 1.0; }\n"
+                       "bool g(double Y) { return Y == 2.0; }\n";
+  auto Findings = lintSource("src/core/Fixture.cpp", Source, FileKind::Src);
+  ASSERT_EQ(countRule(Findings, "float-equality"), 2u)
+      << messagesOf(Findings);
+  auto Keys = renderBaseline(Findings);
+  ASSERT_EQ(Keys.size(), 2u);
+
+  std::vector<std::string> Lines = {
+      "# a comment line", Keys[0], "src/gone.cpp|float-equality|Z == 3.0",
+      "", Keys[1]};
+  BaselineResult BR = applyBaselineDetailed(Findings, Lines);
+  // Both real findings suppressed; the fabricated entry is stale; the
+  // comment and the blank line belong to neither list.
+  EXPECT_TRUE(BR.Kept.empty()) << messagesOf(BR.Kept);
+  EXPECT_EQ(BR.UsedLines, (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(BR.StaleLines, (std::vector<size_t>{2}));
+}
+
+TEST(BaselineDetailedTest, DuplicateKeysConsumeOnePerFinding) {
+  std::string Source = "bool f(double X) { return X == 1.0; }\n";
+  auto Findings = lintSource("src/core/Fixture.cpp", Source, FileKind::Src);
+  ASSERT_EQ(Findings.size(), 1u);
+  auto Keys = renderBaseline(Findings);
+  ASSERT_EQ(Keys.size(), 1u);
+  // The same key twice: one copy suppresses the finding, the other is
+  // stale — the burn-down gate must notice the redundant line.
+  std::vector<std::string> Lines = {Keys[0], Keys[0]};
+  BaselineResult BR = applyBaselineDetailed(Findings, Lines);
+  EXPECT_TRUE(BR.Kept.empty());
+  EXPECT_EQ(BR.UsedLines, (std::vector<size_t>{0}));
+  EXPECT_EQ(BR.StaleLines, (std::vector<size_t>{1}));
+}
+
+//===----------------------------------------------------------------------===//
+// Cache fingerprint: analyzer/rule bumps invalidate warm entries
+//===----------------------------------------------------------------------===//
+
+TEST(CacheFingerprintTest, SaltChangesTheFingerprint) {
+  EXPECT_EQ(cacheFingerprint(""), cacheFingerprint(""));
+  EXPECT_NE(cacheFingerprint(""), cacheFingerprint("rule-bump"));
+}
+
+TEST(CacheFingerprintTest, FingerprintBumpInvalidatesWarmEntries) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "medley_fp_cache";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+
+  std::vector<SourceFile> Files;
+  for (int I = 0; I < 3; ++I) {
+    std::string N = std::to_string(I);
+    Files.push_back({"src/core/F" + N + ".cpp",
+                     "bool eq" + N + "(double X) { return X == 1.0; }\n"});
+  }
+  AnalyzeOptions Opts;
+  Opts.CachePath = (Dir / "cache.txt").string();
+
+  AnalyzeResult Cold = analyzeSources(Files, Opts);
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  AnalyzeResult Warm = analyzeSources(Files, Opts);
+  EXPECT_EQ(Warm.CacheHits, Files.size());
+
+  // A simulated rule-catalog bump: every warm entry must be discarded
+  // even though no source byte changed, and the findings must come out
+  // identical to the cold run.
+  Opts.FingerprintSalt = "rule-bump";
+  AnalyzeResult Bumped = analyzeSources(Files, Opts);
+  EXPECT_EQ(Bumped.CacheHits, 0u);
+  ASSERT_EQ(Bumped.Findings.size(), Cold.Findings.size());
+  for (size_t I = 0; I < Cold.Findings.size(); ++I)
+    EXPECT_EQ(renderText(Bumped.Findings[I]), renderText(Cold.Findings[I]));
+
+  // And the bumped fingerprint is itself cached: the next run is warm.
+  AnalyzeResult Rewarm = analyzeSources(Files, Opts);
+  EXPECT_EQ(Rewarm.CacheHits, Files.size());
+
+  std::filesystem::remove_all(Dir);
 }
 
 //===----------------------------------------------------------------------===//
@@ -551,6 +946,153 @@ TEST_F(SemanticCliTest, WarmCacheRunIsByteIdenticalAndInvalidatesOnEdit) {
   EXPECT_EQ(runLint("--cache " + Cache + " --root " + Tree + " --json " + R1 +
                     " " + Tree + "/src"),
             0);
+}
+
+TEST_F(SemanticCliTest, CrossThreadWriteFixtureFires) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("cross-thread-write") + " --json " +
+                    Json + " " + fixture("cross-thread-write") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  EXPECT_NE(Report.find("cross-thread-write"), std::string::npos) << Report;
+  // Direct in the task body, via a same-TU call, and via the cross-TU
+  // out-of-line definition in Worker.cpp.
+  EXPECT_NE(Report.find("'Hits'"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("'Mixed'"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("'Sum'"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("Aggregator::bump"), std::string::npos) << Report;
+  // The guarded, atomic, and task-local legs stay quiet.
+  EXPECT_EQ(Report.find("'Guarded'"), std::string::npos) << Report;
+  EXPECT_EQ(Report.find("'Epoch'"), std::string::npos) << Report;
+  EXPECT_EQ(Report.find("'Notes'"), std::string::npos) << Report;
+}
+
+TEST_F(SemanticCliTest, SnapshotRetentionFixtureFires) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("snapshot-retention") + " --json " +
+                    Json + " " + fixture("snapshot-retention") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  EXPECT_NE(Report.find("snapshot-retention"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("stored into a field/global"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("returned from the acquiring function"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("held across 'maintain'"), std::string::npos)
+      << Report;
+  // The transitive may-block leg: helper() itself only sleeps.
+  EXPECT_NE(Report.find("held across 'helper'"), std::string::npos)
+      << Report;
+}
+
+TEST_F(SemanticCliTest, ArenaEscapeFixtureFires) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("arena-escape") + " --json " + Json +
+                    " " + fixture("arena-escape") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  EXPECT_NE(Report.find("arena-escape"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("stored into a field/global"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("returned to the caller"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("used after"), std::string::npos) << Report;
+  // The cross-TU leg: flush() resets TickArena over in Flush.cpp.
+  EXPECT_NE(Report.find("still live across 'flush'"), std::string::npos)
+      << Report;
+}
+
+TEST_F(SemanticCliTest, SarifCarriesCatalogRuleIndexAndFingerprints) {
+  // Every report embeds the full twelve-rule catalog plus per-result
+  // ruleIndex and stable partialFingerprints — over all six seeded
+  // fixture trees (L7–L12).
+  const char *Trees[] = {"hotpath-escape",     "registry-lock",
+                         "lock-order",         "determinism-taint",
+                         "cross-thread-write", "snapshot-retention",
+                         "arena-escape"};
+  for (const char *Tree : Trees) {
+    std::string Sarif = path(std::string(Tree) + ".sarif");
+    EXPECT_EQ(runLint("--root " + fixture(Tree) + " --sarif " + Sarif + " " +
+                      fixture(Tree) + "/src"),
+              1)
+        << Tree;
+    std::string Report = slurp(Sarif);
+    EXPECT_NE(Report.find("\"version\": \"2.1.0\""), std::string::npos)
+        << Tree;
+    for (const char *Name :
+         {"\"Nondeterminism\"", "\"HotpathEscape\"", "\"LockOrder\"",
+          "\"DeterminismTaint\"", "\"CrossThreadWrite\"",
+          "\"SnapshotRetention\"", "\"ArenaEscape\""})
+      EXPECT_NE(Report.find(Name), std::string::npos) << Tree << " " << Name;
+    EXPECT_NE(Report.find("\"ruleIndex\""), std::string::npos) << Tree;
+    EXPECT_NE(Report.find("\"partialFingerprints\""), std::string::npos)
+        << Tree;
+    EXPECT_NE(Report.find("\"medleyLintKey/v1\""), std::string::npos) << Tree;
+  }
+}
+
+TEST_F(SemanticCliTest, StaleBaselineFailsWithExitThreeAndPruneRepairs) {
+  std::string Base = path("baseline.txt");
+  std::string Tree = fixture("arena-escape");
+
+  // Findings still fail the run while the baseline is being written.
+  EXPECT_EQ(runLint("--root " + Tree + " --write-baseline " + Base + " " +
+                    Tree + "/src"),
+            1);
+  // A fully covering baseline turns the run green.
+  EXPECT_EQ(runLint("--root " + Tree + " --baseline " + Base + " " + Tree +
+                    "/src"),
+            0);
+
+  // Plant a stale entry (plus a comment that must survive pruning).
+  {
+    std::ofstream Out(Base, std::ios::app);
+    Out << "# keep this comment\n";
+    Out << "src/Gone.cpp|arena-escape|float *Dead = nullptr;\n";
+  }
+  // Default: stale entries warn but stay green (local burn-down).
+  EXPECT_EQ(runLint("--root " + Tree + " --baseline " + Base + " " + Tree +
+                    "/src"),
+            0);
+  // The CI gate: clean tree + stale baseline = exit 3.
+  EXPECT_EQ(runLint("--root " + Tree + " --baseline " + Base +
+                    " --fail-stale-baseline " + Tree + "/src"),
+            3);
+  // Pruning rewrites the file in place; the pruning run still reports
+  // the staleness it repaired, the next run is clean.
+  EXPECT_EQ(runLint("--root " + Tree + " --baseline " + Base +
+                    " --prune-baseline --fail-stale-baseline " + Tree +
+                    "/src"),
+            3);
+  std::string Pruned = slurp(Base);
+  EXPECT_EQ(Pruned.find("src/Gone.cpp"), std::string::npos) << Pruned;
+  EXPECT_NE(Pruned.find("# keep this comment"), std::string::npos) << Pruned;
+  EXPECT_EQ(runLint("--root " + Tree + " --baseline " + Base +
+                    " --fail-stale-baseline " + Tree + "/src"),
+            0);
+}
+
+TEST_F(SemanticCliTest, FixtureReportsAreByteIdenticalAcrossJobsAndCache) {
+  // The flow-sensitive rules ride phase 1 (cached, parallel): the JSON
+  // report must not depend on worker count or cache temperature.
+  std::string Tree = fixture("cross-thread-write");
+  std::string Cache = path("cache.txt");
+  std::string R1 = path("r1.json"), R4 = path("r4.json"),
+              RW = path("rw.json");
+  EXPECT_EQ(runLint("--jobs 1 --root " + Tree + " --json " + R1 + " " + Tree +
+                    "/src"),
+            1);
+  EXPECT_EQ(runLint("--jobs 4 --cache " + Cache + " --root " + Tree +
+                    " --json " + R4 + " " + Tree + "/src"),
+            1);
+  EXPECT_EQ(runLint("--jobs 4 --cache " + Cache + " --root " + Tree +
+                    " --json " + RW + " " + Tree + "/src"),
+            1);
+  std::string A = slurp(R1);
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, slurp(R4));
+  EXPECT_EQ(A, slurp(RW));
 }
 
 #endif // MEDLEY_LINT_BIN && MEDLEY_LINT_FIXTURE_DIR

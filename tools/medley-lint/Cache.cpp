@@ -14,9 +14,11 @@ using namespace medley::lint;
 
 namespace {
 
-/// Bump on any format or rule-semantics change: a mismatch simply makes
-/// the next run cold.
-const char *const CacheHeader = "medley-lint-cache 2";
+/// Bump on any format change: a mismatch simply makes the next run
+/// cold. Rule-semantics changes are covered by the fingerprint field
+/// next to it (cacheFingerprint), so forgetting a manual bump cannot
+/// serve stale reports.
+const char *const CacheHeader = "medley-lint-cache 3";
 
 bool parseU64(const std::string &S, unsigned long long &Out) {
   if (S.empty())
@@ -44,6 +46,21 @@ unsigned long long medley::lint::fnv1aHash(const std::string &Data) {
   return H;
 }
 
+unsigned long long medley::lint::cacheFingerprint(const std::string &Salt) {
+  std::string Ident = AnalyzerVersion;
+  for (const RuleMeta &M : ruleCatalog()) {
+    Ident += '\n';
+    Ident += M.Id;
+    Ident += '\t';
+    Ident += M.Name;
+    Ident += '\t';
+    Ident += M.Short;
+  }
+  Ident += '\n';
+  Ident += Salt;
+  return fnv1aHash(Ident);
+}
+
 void LintCache::load(const std::string &Path) {
   Entries.clear();
   std::ifstream In(Path, std::ios::binary);
@@ -55,7 +72,8 @@ void LintCache::load(const std::string &Path) {
 
   size_t Pos = 0;
   std::vector<std::string> F;
-  if (!readTsvLine(Data, Pos, F) || F.size() != 1 || F[0] != CacheHeader)
+  if (!readTsvLine(Data, Pos, F) || F.size() != 2 || F[0] != CacheHeader ||
+      F[1] != std::to_string(Fingerprint))
     return;
   while (Pos < Data.size()) {
     if (!readTsvLine(Data, Pos, F) || F.size() != 4 || F[0] != "F") {
@@ -107,7 +125,8 @@ void LintCache::put(CacheEntry E) {
 }
 
 bool LintCache::save(const std::string &Path) const {
-  std::string Out = std::string(CacheHeader) + "\n";
+  std::string Out;
+  appendTsvLine(Out, {CacheHeader, std::to_string(Fingerprint)});
   for (const auto &[FilePath, E] : Entries) {
     appendTsvLine(Out, {"F", FilePath, std::to_string(E.Hash),
                         std::to_string(E.TokenFindings.size())});

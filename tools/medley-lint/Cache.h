@@ -26,6 +26,13 @@ namespace medley::lint {
 /// 64-bit FNV-1a over the raw bytes.
 unsigned long long fnv1aHash(const std::string &Data);
 
+/// The analyzer-identity fingerprint folded into the cache header:
+/// FNV-1a over the analyzer version, the full rule catalog (ids, names,
+/// descriptions) and \p Salt. Content hashes alone cannot invalidate a
+/// warm cache when the *analyzer* changed — bumping any rule or the
+/// serialization format changes this value and turns the next run cold.
+unsigned long long cacheFingerprint(const std::string &Salt);
+
 /// One cached file result.
 struct CacheEntry {
   unsigned long long Hash = 0;
@@ -38,8 +45,14 @@ struct CacheEntry {
 /// single-threaded (the driver calls them after the parallel phase).
 class LintCache {
 public:
-  /// Reads \p Path; a missing, unreadable or version-mismatched file
-  /// just leaves the cache empty (a cold run).
+  /// Sets the analyzer fingerprint checked by load() and written by
+  /// save(). Call before load(); entries saved under a different
+  /// fingerprint are ignored wholesale.
+  void setFingerprint(unsigned long long F) { Fingerprint = F; }
+
+  /// Reads \p Path; a missing, unreadable, version- or
+  /// fingerprint-mismatched file just leaves the cache empty (a cold
+  /// run).
   void load(const std::string &Path);
 
   /// On a hit (\p File present with matching \p Hash) copies the entry
@@ -57,6 +70,7 @@ public:
 
 private:
   std::map<std::string, CacheEntry> Entries;
+  unsigned long long Fingerprint = 0;
 };
 
 } // namespace medley::lint

@@ -101,6 +101,7 @@ CallGraph medley::lint::linkCallGraph(const std::vector<FileIndex> &Indexes) {
       }
       CallGraph::Node &N = G.Nodes[It->second];
       N.HasSource |= Fn.HasSource;
+      N.IsThreadBody |= Fn.IsThreadBody;
       for (const CallSite &C : Fn.Calls)
         N.Calls.emplace_back(C, FileId);
       for (const AllocSite &A : Fn.Allocs)
@@ -113,6 +114,26 @@ CallGraph medley::lint::linkCallGraph(const std::vector<FileIndex> &Indexes) {
         N.Flows.push_back(F);
       for (const SinkUse &S : Fn.Sinks)
         N.Sinks.emplace_back(S, FileId);
+      for (const UnguardedWrite &W : Fn.Writes)
+        N.Writes.emplace_back(W, FileId);
+      for (const RetentionSite &R : Fn.Retentions)
+        N.Retentions.emplace_back(R, FileId);
+      N.FlowCalls.insert(N.FlowCalls.end(), Fn.FlowCalls.begin(),
+                         Fn.FlowCalls.end());
+      N.ResetArenas.insert(N.ResetArenas.end(), Fn.ResetArenas.begin(),
+                           Fn.ResetArenas.end());
+      N.SpawnedBodies.insert(N.SpawnedBodies.end(), Fn.SpawnedBodies.begin(),
+                             Fn.SpawnedBodies.end());
+    }
+    for (const FieldDecl &FD : Ix->Fields) {
+      auto Key = std::make_pair(FD.Class, FD.Name);
+      auto It = G.Fields.find(Key);
+      if (It == G.Fields.end()) {
+        G.Fields.emplace(Key, FD);
+      } else {
+        It->second.Atomic |= FD.Atomic;
+        It->second.Mutex |= FD.Mutex;
+      }
     }
   }
 
@@ -135,7 +156,9 @@ CallGraph medley::lint::linkCallGraph(const std::vector<FileIndex> &Indexes) {
     G.ByName.emplace(G.Nodes[I].Name, I);
   }
 
-  // Resolve every call site once; Edges holds the per-node union.
+  // Resolve every call site once; Edges holds the per-node union. A
+  // spawned lambda body is an explicit edge from its defining function
+  // (the spawn call is not a name-resolvable call site).
   G.Edges.assign(G.Nodes.size(), {});
   for (size_t I = 0; I < G.Nodes.size(); ++I) {
     std::vector<size_t> &Out = G.Edges[I];
@@ -143,6 +166,11 @@ CallGraph medley::lint::linkCallGraph(const std::vector<FileIndex> &Indexes) {
       (void)FileId;
       std::vector<size_t> Targets = resolveCall(G, G.Nodes[I], CS);
       Out.insert(Out.end(), Targets.begin(), Targets.end());
+    }
+    for (const std::string &Body : G.Nodes[I].SpawnedBodies) {
+      auto It = G.ByQual.find(Body);
+      if (It != G.ByQual.end())
+        Out.push_back(It->second);
     }
     std::sort(Out.begin(), Out.end());
     Out.erase(std::unique(Out.begin(), Out.end()), Out.end());

@@ -52,12 +52,21 @@ struct CallGraph {
     unsigned Col = 0;
     std::string LineText;
     bool HasSource = false;
+    /// True when this node is a lambda body handed to a thread-spawning
+    /// call — an L10 root.
+    bool IsThreadBody = false;
     std::vector<std::pair<CallSite, size_t>> Calls;
     std::vector<std::pair<AllocSite, size_t>> Allocs;
     std::vector<std::pair<LockAcq, size_t>> Acquires;
     std::vector<std::pair<LockEdge, size_t>> LockEdges;
     std::vector<TaintFlow> Flows;
     std::vector<std::pair<SinkUse, size_t>> Sinks;
+    // Flow-sensitive summaries (DESIGN.md §15).
+    std::vector<std::pair<UnguardedWrite, size_t>> Writes;
+    std::vector<std::pair<RetentionSite, size_t>> Retentions;
+    std::vector<FlowCall> FlowCalls;
+    std::vector<std::string> ResetArenas;
+    std::vector<std::string> SpawnedBodies; ///< Quals of spawned lambdas.
   };
 
   std::vector<FileRef> Files;
@@ -65,7 +74,12 @@ struct CallGraph {
   std::map<std::string, size_t> ByQual;
   std::multimap<std::string, size_t> ByName; ///< Unqualified name → node.
   /// Union of resolved callees per node, sorted and de-duplicated.
+  /// Includes explicit parent → spawned-lambda edges.
   std::vector<std::vector<size_t>> Edges;
+  /// Declared fields and namespace-scope globals, merged across files:
+  /// (class-or-empty, name) → declaration with atomicity ORed over every
+  /// sighting, so one atomic declaration anywhere wins.
+  std::map<std::pair<std::string, std::string>, FieldDecl> Fields;
 
   /// True when rules named in an allow annotation cover \p Line of
   /// \p FileId ("all" counts).

@@ -14,6 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "medley-lint/Cfg.h"
+#include "medley-lint/Dataflow.h"
 #include "medley-lint/Index.h"
 #include "medley-lint/Internal.h"
 
@@ -108,6 +110,15 @@ bool isSeedSink(const std::string &S) {
   return oneOf(S, K);
 }
 
+/// Calls that move a lambda argument onto another thread: the lambda's
+/// body becomes a synthetic IsThreadBody function node (DESIGN.md §15).
+bool isSpawnCall(const std::string &S) {
+  static const std::array<const char *, 6> K = {
+      "parallelFor", "submit", "retrainAsync", "async", "thread",
+      "emplace_back"};
+  return oneOf(S, K);
+}
+
 /// The indexer proper: one instance per file.
 class Indexer {
 public:
@@ -124,6 +135,19 @@ private:
   const Tokens &T;
   const std::vector<std::string> &Lines;
   FileIndex &Out;
+  /// Token ranges of task lambdas extracted from the function currently
+  /// being finished; the linear passes skip them so their events are
+  /// attributed to the synthetic lambda node, not the spawner.
+  std::vector<std::pair<size_t, size_t>> CurSkips;
+
+  bool skipAt(size_t I, size_t &End) const {
+    for (const std::pair<size_t, size_t> &R : CurSkips)
+      if (I >= R.first && I < R.second) {
+        End = R.second;
+        return true;
+      }
+    return false;
+  }
 
   std::string lineText(unsigned Line) const {
     if (Line >= 1 && Line <= Lines.size())
@@ -178,8 +202,128 @@ private:
         I = Next;
         continue;
       }
+      if (tryFieldDecl(I, E, Cls.empty() ? "" : Cls.back(), Next)) {
+        I = Next;
+        continue;
+      }
       ++I;
     }
+  }
+
+  /// Instance-field / global variable declarations at class or
+  /// namespace scope: `std::atomic<uint64_t> Epoch{0};`,
+  /// `support::FaultStats *Stats = nullptr;`, `std::mutex Mu;`.
+  /// Consumes the statement on success (a field may or may not be
+  /// recorded); returns false for anything that is not clearly a
+  /// variable declaration, leaving the scan untouched.
+  bool tryFieldDecl(size_t I, size_t E, const std::string &Class,
+                    size_t &Next) {
+    if (T[I].K != Token::Ident)
+      return false;
+    const std::string &First = T[I].Text;
+    if ((First == "public" || First == "private" || First == "protected") &&
+        punctIs(T, I + 1, ":")) {
+      Next = I + 2;
+      return true;
+    }
+    if (isControlKw(First) || First == "operator" || First == "friend" ||
+        First == "extern" || First == "virtual" || First == "explicit")
+      return false;
+
+    size_t J = I;
+    size_t LastIdent = 0;
+    size_t NamePos = 0;
+    bool Ended = false;
+    while (J < E && !Ended) {
+      const Token &K = T[J];
+      if (K.K == Token::Ident) {
+        LastIdent = J;
+        if (punctIs(T, J + 1, "<")) {
+          size_t Skip = skipTemplateArgs(T, J + 1);
+          if (Skip > J + 2) {
+            J = Skip;
+            continue;
+          }
+        }
+        ++J;
+        continue;
+      }
+      if (K.K != Token::Punct)
+        return false;
+      const std::string &P = K.Text;
+      if (P == "(")
+        return false; // function declaration/definition or expression
+      if (P == "[") {
+        J = skipBalanced(T, J, "[", "]"); // array extent
+        continue;
+      }
+      if (P == "{") {
+        // Brace init directly after the declarator name.
+        if (!LastIdent || J != LastIdent + 1)
+          return false;
+        NamePos = LastIdent;
+        J = skipBalanced(T, J, "{", "}");
+        continue;
+      }
+      if (P == "=") {
+        if (!LastIdent)
+          return false;
+        NamePos = LastIdent;
+        // Initializer: consume to the top-level ';'.
+        int D = 0;
+        while (J < E) {
+          if (T[J].K == Token::Punct) {
+            const std::string &Q = T[J].Text;
+            if (Q == "(" || Q == "[" || Q == "{")
+              ++D;
+            else if (Q == ")" || Q == "]" || Q == "}")
+              --D;
+            else if (Q == ";" && D == 0)
+              break;
+          }
+          ++J;
+        }
+        Ended = true;
+        break;
+      }
+      if (P == ";") {
+        if (!NamePos)
+          NamePos = LastIdent;
+        Ended = true;
+        break;
+      }
+      if (P == "::" || P == "*" || P == "&" || P == ",") {
+        ++J;
+        continue;
+      }
+      return false;
+    }
+    if (!Ended || !NamePos || NamePos <= I)
+      return false;
+    Next = J + 1;
+
+    bool Atomic = false, Mutex = false, Skip = false;
+    for (size_t K = I; K < NamePos; ++K) {
+      if (T[K].K != Token::Ident)
+        continue;
+      const std::string &Ty = T[K].Text;
+      if (Ty == "atomic" || Ty.rfind("atomic_", 0) == 0)
+        Atomic = true;
+      else if (Ty.find("mutex") != std::string::npos ||
+               Ty == "condition_variable" || Ty == "once_flag")
+        Mutex = true;
+      else if (Ty == "constexpr" || Ty == "thread_local")
+        Skip = true; // compile-time or thread-private — never shared
+    }
+    if (!Skip) {
+      FieldDecl FD;
+      FD.Class = Class;
+      FD.Name = T[NamePos].Text;
+      FD.Atomic = Atomic;
+      FD.Mutex = Mutex;
+      Out.Fields.push_back(std::move(FD));
+    }
+    return true;
   }
 
   size_t parseNamespace(size_t I, size_t E, std::vector<std::string> &Ns,
@@ -306,14 +450,16 @@ private:
         Fn.Col = T[I].Col;
         Fn.LineText = lineText(Fn.Line);
         size_t BodyB = J + 1, BodyE = BodyEnd > 0 ? BodyEnd - 1 : BodyEnd;
-        parseBody(BodyB, BodyE, Fn);
-        parseFlows(BodyB, BodyE, Fn);
-        Out.Functions.push_back(std::move(Fn));
+        finishFunction(std::move(Fn), I + 2, AfterParams > I + 2
+                                                 ? AfterParams - 1
+                                                 : I + 2,
+                       BodyB, BodyE, {}, 0);
         Next = BodyEnd;
         return true;
       }
-      if (P == ";" || P == "," || P == "=")
+      if (P == ";" || (!SeenColon && (P == "," || P == "=")))
         return false; // declaration, `= default`, or an expression
+                      // (after ':' commas separate mem-initializers)
       if (P == "(") {
         J = skipBalanced(T, J, "(", ")");
         continue;
@@ -327,6 +473,153 @@ private:
       ++J;
     }
     return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function finishing: linear passes, CFG, spawned task lambdas
+  //===--------------------------------------------------------------------===//
+
+  /// A lambda argument of a spawn call inside a function body.
+  struct LambdaSpec {
+    size_t Begin = 0, End = 0;     ///< Full `[..](..){..}` token range.
+    size_t ParamB = 0, ParamE = 0; ///< Parameter range (inside parens).
+    size_t BodyB = 0, BodyE = 0;   ///< Body range (inside braces).
+    unsigned Line = 0, Col = 0;
+    /// By-value and init captures: copies owned by the task.
+    std::vector<std::string> ValueCaptures;
+  };
+
+  /// Finds lambdas passed to ThreadPool-style spawn calls inside
+  /// [B, E). Each becomes a synthetic IsThreadBody function.
+  void findSpawnLambdas(size_t B, size_t E, std::vector<LambdaSpec> &Specs) {
+    for (size_t I = B; I < E; ++I) {
+      if (T[I].K != Token::Ident || !isSpawnCall(T[I].Text) ||
+          !punctIs(T, I + 1, "("))
+        continue;
+      size_t ArgsEnd = skipBalanced(T, I + 1, "(", ")");
+      for (size_t J = I + 2; J + 1 < ArgsEnd; ++J) {
+        if (!punctIs(T, J, "[") ||
+            !(punctIs(T, J - 1, "(") || punctIs(T, J - 1, ",")))
+          continue;
+        LambdaSpec L;
+        if (!parseLambda(J, ArgsEnd > 0 ? ArgsEnd - 1 : ArgsEnd, L))
+          continue;
+        Specs.push_back(std::move(L));
+        J = Specs.back().End - 1;
+      }
+      I = ArgsEnd > I ? ArgsEnd - 1 : I;
+    }
+  }
+
+  bool parseLambda(size_t LB, size_t E, LambdaSpec &L) {
+    size_t CapEnd = skipBalanced(T, LB, "[", "]"); // one past ']'
+    if (CapEnd >= E)
+      return false;
+    // Captures: by-value and init captures become task-local names.
+    {
+      std::vector<std::string> Parts;
+      size_t PartB = LB + 1;
+      int D = 0;
+      for (size_t K = LB + 1; K + 1 < CapEnd; ++K) {
+        if (T[K].K != Token::Punct)
+          continue;
+        const std::string &P = T[K].Text;
+        if (P == "(" || P == "[" || P == "{")
+          ++D;
+        else if (P == ")" || P == "]" || P == "}")
+          --D;
+        else if (P == "," && D == 0) {
+          capturedName(PartB, K, L.ValueCaptures);
+          PartB = K + 1;
+        }
+      }
+      capturedName(PartB, CapEnd > 0 ? CapEnd - 1 : CapEnd, L.ValueCaptures);
+    }
+    size_t P = CapEnd;
+    if (punctIs(T, P, "(")) {
+      size_t PEnd = skipBalanced(T, P, "(", ")");
+      L.ParamB = P + 1;
+      L.ParamE = PEnd > P + 1 ? PEnd - 1 : P + 1;
+      P = PEnd;
+    }
+    while (P < E && !punctIs(T, P, "{")) {
+      if (punctIs(T, P, ";") || punctIs(T, P, ")") || punctIs(T, P, ","))
+        return false;
+      ++P; // mutable / noexcept / -> return-type
+    }
+    if (!punctIs(T, P, "{"))
+      return false;
+    size_t BodyEnd = skipBalanced(T, P, "{", "}");
+    L.Begin = LB;
+    L.End = BodyEnd;
+    L.BodyB = P + 1;
+    L.BodyE = BodyEnd > P + 1 ? BodyEnd - 1 : P + 1;
+    L.Line = T[LB].Line;
+    L.Col = T[LB].Col;
+    return true;
+  }
+
+  /// One capture-list entry: `X` and `X = expr` copy into the closure
+  /// (task-local); `&X`, `this`, and bare defaults do not bind a
+  /// task-owned name.
+  void capturedName(size_t B, size_t E, std::vector<std::string> &Out) const {
+    if (B >= E)
+      return;
+    if (T[B].K != Token::Ident || T[B].Text == "this")
+      return; // '&', '=', '*this', or a ref capture
+    if (E > B + 1 && !punctIs(T, B + 1, "="))
+      return; // not a simple or init capture
+    Out.push_back(T[B].Text);
+  }
+
+  /// Runs every per-function pass over one body: the linear call/lock/
+  /// flow scans (skipping extracted task lambdas), then the CFG build
+  /// and dataflow summaries, then recursion into each task lambda as a
+  /// synthetic IsThreadBody function.
+  void finishFunction(FunctionInfo Fn, size_t ParamB, size_t ParamE,
+                      size_t BodyB, size_t BodyE,
+                      std::vector<std::string> ExtraLocals, int Depth) {
+    std::vector<LambdaSpec> Lambdas;
+    if (Depth < 4)
+      findSpawnLambdas(BodyB, BodyE, Lambdas);
+
+    std::vector<std::pair<size_t, size_t>> Skips;
+    Skips.reserve(Lambdas.size());
+    for (const LambdaSpec &L : Lambdas)
+      Skips.push_back({L.Begin, L.End});
+
+    std::vector<std::pair<size_t, size_t>> SavedSkips = CurSkips;
+    CurSkips = Skips;
+    parseBody(BodyB, BodyE, Fn);
+    parseFlows(BodyB, BodyE, Fn);
+
+    CfgBuildContext Ctx;
+    Ctx.Toks = &T;
+    Ctx.Lines = &Lines;
+    Ctx.ClassName = Fn.Class;
+    Ctx.SeedLocals = collectParamNames(T, ParamB, ParamE);
+    for (std::string &L : ExtraLocals)
+      Ctx.SeedLocals.push_back(std::move(L));
+    Ctx.SkipRanges = Skips;
+    FunctionCfg Cfg = buildFunctionCfg(BodyB, BodyE, Ctx);
+    computeFlowSummaries(Cfg, Fn);
+    CurSkips = std::move(SavedSkips);
+
+    for (LambdaSpec &L : Lambdas) {
+      FunctionInfo LFn;
+      LFn.Name = "<lambda:" + std::to_string(L.Line) + ":" +
+                 std::to_string(L.Col) + ">";
+      LFn.Qual = Fn.Qual + "::" + LFn.Name;
+      LFn.Class = Fn.Class;
+      LFn.Line = L.Line;
+      LFn.Col = L.Col;
+      LFn.LineText = lineText(L.Line);
+      LFn.IsThreadBody = true;
+      Fn.SpawnedBodies.push_back(LFn.Qual);
+      finishFunction(std::move(LFn), L.ParamB, L.ParamE, L.BodyB, L.BodyE,
+                     std::move(L.ValueCaptures), Depth + 1);
+    }
+    Out.Functions.push_back(std::move(Fn));
   }
 
   //===--------------------------------------------------------------------===//
@@ -423,6 +716,11 @@ private:
     };
 
     for (size_t I = B; I < E; ++I) {
+      size_t SkipEnd = 0;
+      if (skipAt(I, SkipEnd)) {
+        I = SkipEnd - 1; // balanced range: depth is unaffected
+        continue;
+      }
       const Token &Tok = T[I];
       if (Tok.K == Token::Punct) {
         if (Tok.Text == "{") {
@@ -570,6 +868,11 @@ private:
   RhsInfo scanRhs(size_t B, size_t E) const {
     RhsInfo Info;
     for (size_t I = B; I < E; ++I) {
+      size_t SkipEnd = 0;
+      if (skipAt(I, SkipEnd)) {
+        I = SkipEnd - 1;
+        continue;
+      }
       const Token &Tok = T[I];
       if (Tok.K != Token::Ident)
         continue;
@@ -693,6 +996,11 @@ private:
 
     // Seed-style sinks anywhere in the statement.
     for (size_t I = B; I < E; ++I) {
+      size_t SkipEnd = 0;
+      if (skipAt(I, SkipEnd)) {
+        I = SkipEnd - 1;
+        continue;
+      }
       if (T[I].K != Token::Ident || !isSeedSink(T[I].Text))
         continue;
       size_t ArgsOpen = 0;
@@ -715,6 +1023,11 @@ private:
     if (T[B].K == Token::Ident && !isControlKw(T[B].Text)) {
       int Depth = 0;
       for (size_t I = B; I < E; ++I) {
+        size_t SkipEnd = 0;
+        if (skipAt(I, SkipEnd)) {
+          I = SkipEnd - 1;
+          continue;
+        }
         if (T[I].K != Token::Punct)
           continue;
         const std::string &P = T[I].Text;
@@ -737,6 +1050,11 @@ private:
     int PDepth = 0;
     size_t S = B;
     for (size_t I = B; I < E; ++I) {
+      size_t SkipEnd = 0;
+      if (skipAt(I, SkipEnd)) {
+        I = SkipEnd - 1; // balanced range: paren depth is unaffected
+        continue;
+      }
       if (T[I].K != Token::Punct)
         continue;
       const std::string &P = T[I].Text;
@@ -928,10 +1246,14 @@ std::string medley::lint::serializeFileIndex(const FileIndex &Index) {
   std::ostringstream OS;
   emitLine(OS, {"I", Index.Path, std::to_string(static_cast<int>(Index.Kind)),
                 std::to_string(Index.Functions.size()),
-                std::to_string(Index.AllowLines.size())});
+                std::to_string(Index.AllowLines.size()),
+                std::to_string(Index.Fields.size())});
   for (const auto &[Line, Rules] : Index.AllowLines)
     emitLine(OS, {"w", std::to_string(Line),
                   joinList({Rules.begin(), Rules.end()})});
+  for (const FieldDecl &FD : Index.Fields)
+    emitLine(OS, {"D", FD.Class, FD.Name, FD.Atomic ? "1" : "0",
+                  FD.Mutex ? "1" : "0"});
   for (const FunctionInfo &Fn : Index.Functions) {
     emitLine(OS, {"N", Fn.Qual, Fn.Name, Fn.Class, std::to_string(Fn.Line),
                   std::to_string(Fn.Col), Fn.HasSource ? "1" : "0",
@@ -940,7 +1262,13 @@ std::string medley::lint::serializeFileIndex(const FileIndex &Index) {
                   std::to_string(Fn.Acquires.size()),
                   std::to_string(Fn.LockEdges.size()),
                   std::to_string(Fn.Flows.size()),
-                  std::to_string(Fn.Sinks.size())});
+                  std::to_string(Fn.Sinks.size()),
+                  Fn.IsThreadBody ? "1" : "0",
+                  std::to_string(Fn.SpawnedBodies.size()),
+                  std::to_string(Fn.Writes.size()),
+                  std::to_string(Fn.Retentions.size()),
+                  std::to_string(Fn.FlowCalls.size()),
+                  std::to_string(Fn.ResetArenas.size())});
     for (const CallSite &C : Fn.Calls)
       emitLine(OS, {"c", C.Name, C.Qualifier, C.IsMember ? "1" : "0",
                     std::to_string(C.Line), std::to_string(C.Col),
@@ -960,6 +1288,22 @@ std::string medley::lint::serializeFileIndex(const FileIndex &Index) {
       emitLine(OS, {"s", S.Sink, joinList(S.ArgVars), joinList(S.ArgCalls),
                     S.HasSource ? "1" : "0", std::to_string(S.Line),
                     std::to_string(S.Col), S.LineText});
+    for (const std::string &SB : Fn.SpawnedBodies)
+      emitLine(OS, {"b", SB});
+    for (const UnguardedWrite &W : Fn.Writes)
+      emitLine(OS, {"W", W.Lhs, W.Base, W.Last, std::to_string(W.Line),
+                    std::to_string(W.Col), W.LineText});
+    for (const RetentionSite &R : Fn.Retentions)
+      emitLine(OS, {"R", std::to_string(R.K), R.Var, R.Origin, R.Base,
+                    R.Last, R.Callee, R.CalleeQual,
+                    R.CalleeMember ? "1" : "0", std::to_string(R.Line),
+                    std::to_string(R.Col), R.LineText});
+    for (const FlowCall &FC : Fn.FlowCalls)
+      emitLine(OS, {"o", FC.Name, FC.Qualifier, FC.IsMember ? "1" : "0",
+                    FC.LocalRecv ? "1" : "0", FC.LockFree ? "1" : "0",
+                    std::to_string(FC.Line), std::to_string(FC.Col)});
+    for (const std::string &Z : Fn.ResetArenas)
+      emitLine(OS, {"Z", Z});
   }
   return OS.str();
 }
@@ -967,15 +1311,16 @@ std::string medley::lint::serializeFileIndex(const FileIndex &Index) {
 bool medley::lint::deserializeFileIndex(const std::string &Data, size_t &Pos,
                                         FileIndex &Out) {
   std::vector<std::string> F;
-  if (!readLine(Data, Pos, F) || F.size() != 5 || F[0] != "I")
+  if (!readLine(Data, Pos, F) || F.size() != 6 || F[0] != "I")
     return false;
   Out = FileIndex();
   Out.Path = F[1];
-  unsigned Kind = 0, NumFns = 0, NumAllow = 0;
+  unsigned Kind = 0, NumFns = 0, NumAllow = 0, NumFields = 0;
   if (!toUnsigned(F[2], Kind) || Kind > static_cast<unsigned>(FileKind::Other))
     return false;
   Out.Kind = static_cast<FileKind>(Kind);
-  if (!toUnsigned(F[3], NumFns) || !toUnsigned(F[4], NumAllow))
+  if (!toUnsigned(F[3], NumFns) || !toUnsigned(F[4], NumAllow) ||
+      !toUnsigned(F[5], NumFields))
     return false;
   for (unsigned I = 0; I < NumAllow; ++I) {
     unsigned Line = 0;
@@ -985,21 +1330,36 @@ bool medley::lint::deserializeFileIndex(const std::string &Data, size_t &Pos,
     std::vector<std::string> Rules = splitList(F[2]);
     Out.AllowLines[Line] = {Rules.begin(), Rules.end()};
   }
+  for (unsigned I = 0; I < NumFields; ++I) {
+    if (!readLine(Data, Pos, F) || F.size() != 5 || F[0] != "D")
+      return false;
+    FieldDecl FD;
+    FD.Class = F[1];
+    FD.Name = F[2];
+    FD.Atomic = F[3] == "1";
+    FD.Mutex = F[4] == "1";
+    Out.Fields.push_back(std::move(FD));
+  }
   for (unsigned I = 0; I < NumFns; ++I) {
-    if (!readLine(Data, Pos, F) || F.size() != 14 || F[0] != "N")
+    if (!readLine(Data, Pos, F) || F.size() != 20 || F[0] != "N")
       return false;
     FunctionInfo Fn;
     Fn.Qual = F[1];
     Fn.Name = F[2];
     Fn.Class = F[3];
     unsigned NC = 0, NA = 0, NQ = 0, NE = 0, NF = 0, NS = 0;
+    unsigned NB = 0, NW = 0, NR = 0, NO = 0, NZ = 0;
     if (!toUnsigned(F[4], Fn.Line) || !toUnsigned(F[5], Fn.Col) ||
         !toUnsigned(F[8], NC) || !toUnsigned(F[9], NA) ||
         !toUnsigned(F[10], NQ) || !toUnsigned(F[11], NE) ||
-        !toUnsigned(F[12], NF) || !toUnsigned(F[13], NS))
+        !toUnsigned(F[12], NF) || !toUnsigned(F[13], NS) ||
+        !toUnsigned(F[15], NB) || !toUnsigned(F[16], NW) ||
+        !toUnsigned(F[17], NR) || !toUnsigned(F[18], NO) ||
+        !toUnsigned(F[19], NZ))
       return false;
     Fn.HasSource = F[6] == "1";
     Fn.LineText = F[7];
+    Fn.IsThreadBody = F[14] == "1";
     for (unsigned J = 0; J < NC; ++J) {
       CallSite C;
       if (!readLine(Data, Pos, F) || F.size() != 8 || F[0] != "c" ||
@@ -1061,6 +1421,57 @@ bool medley::lint::deserializeFileIndex(const std::string &Data, size_t &Pos,
       S.HasSource = F[4] == "1";
       S.LineText = F[7];
       Fn.Sinks.push_back(std::move(S));
+    }
+    for (unsigned J = 0; J < NB; ++J) {
+      if (!readLine(Data, Pos, F) || F.size() != 2 || F[0] != "b")
+        return false;
+      Fn.SpawnedBodies.push_back(F[1]);
+    }
+    for (unsigned J = 0; J < NW; ++J) {
+      UnguardedWrite W;
+      if (!readLine(Data, Pos, F) || F.size() != 7 || F[0] != "W" ||
+          !toUnsigned(F[4], W.Line) || !toUnsigned(F[5], W.Col))
+        return false;
+      W.Lhs = F[1];
+      W.Base = F[2];
+      W.Last = F[3];
+      W.LineText = F[6];
+      Fn.Writes.push_back(std::move(W));
+    }
+    for (unsigned J = 0; J < NR; ++J) {
+      RetentionSite R;
+      unsigned K = 0;
+      if (!readLine(Data, Pos, F) || F.size() != 12 || F[0] != "R" ||
+          !toUnsigned(F[1], K) || K > RetentionSite::AcrossCall ||
+          !toUnsigned(F[9], R.Line) || !toUnsigned(F[10], R.Col))
+        return false;
+      R.K = static_cast<int>(K);
+      R.Var = F[2];
+      R.Origin = F[3];
+      R.Base = F[4];
+      R.Last = F[5];
+      R.Callee = F[6];
+      R.CalleeQual = F[7];
+      R.CalleeMember = F[8] == "1";
+      R.LineText = F[11];
+      Fn.Retentions.push_back(std::move(R));
+    }
+    for (unsigned J = 0; J < NO; ++J) {
+      FlowCall FC;
+      if (!readLine(Data, Pos, F) || F.size() != 8 || F[0] != "o" ||
+          !toUnsigned(F[6], FC.Line) || !toUnsigned(F[7], FC.Col))
+        return false;
+      FC.Name = F[1];
+      FC.Qualifier = F[2];
+      FC.IsMember = F[3] == "1";
+      FC.LocalRecv = F[4] == "1";
+      FC.LockFree = F[5] == "1";
+      Fn.FlowCalls.push_back(std::move(FC));
+    }
+    for (unsigned J = 0; J < NZ; ++J) {
+      if (!readLine(Data, Pos, F) || F.size() != 2 || F[0] != "Z")
+        return false;
+      Fn.ResetArenas.push_back(F[1]);
     }
     Out.Functions.push_back(std::move(Fn));
   }

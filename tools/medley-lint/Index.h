@@ -97,6 +97,67 @@ struct SinkUse {
   std::string LineText; ///< Trimmed source line (baseline key).
 };
 
+/// One instance-field or file-scope global declaration. The flow rules
+/// (L10–L12) resolve written names against this table to decide whether
+/// an lvalue is shared state, and whether its type already provides the
+/// required synchronization.
+struct FieldDecl {
+  std::string Class; ///< Declaring class; empty for file-scope globals.
+  std::string Name;
+  bool Atomic = false; ///< std::atomic<...> / atomic_* typed.
+  bool Mutex = false;  ///< mutex / condition_variable — lock state.
+};
+
+/// A field/global candidate written with an empty must-held lock set on
+/// some path through the function (L10's per-function summary). Writes
+/// provably under a lock on every path are not summarized at all.
+struct UnguardedWrite {
+  std::string Lhs;  ///< Full written chain as written ("Stats->Torn").
+  std::string Base; ///< Chain base: "this", an ident, or "" (bare name).
+  std::string Last; ///< Written component — the field candidate.
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string LineText; ///< Trimmed source line (baseline key).
+};
+
+/// One lifetime event for a tracked pointer: a registry-snapshot
+/// (`acquire`) or arena (`allocateArray`) result that is stored past its
+/// scope, returned, used after a reset, or live across a call. L11/L12
+/// decide which events are violations using whole-program facts.
+struct RetentionSite {
+  enum Kind {
+    StoreTo = 0,       ///< Stored through a non-local lvalue.
+    ReturnFrom = 1,    ///< Returned out of the defining function.
+    UseAfterReset = 2, ///< Used after a matching Arena::reset on a path.
+    AcrossCall = 3,    ///< Live across a call site.
+  };
+  int K = StoreTo;
+  std::string Var;        ///< Tracked local ("<result>" for direct returns).
+  std::string Origin;     ///< "acquire" or "arena:<normalized id>".
+  std::string Base;       ///< StoreTo: destination chain base.
+  std::string Last;       ///< StoreTo: destination last component.
+  std::string Callee;     ///< AcrossCall: callee name.
+  std::string CalleeQual; ///< AcrossCall: callee qualifier as written.
+  bool CalleeMember = false;
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string LineText; ///< Trimmed source line (baseline key).
+};
+
+/// Flow-sensitive call summary for the thread-reachability walk: where
+/// the simple CallSite records the brace-scoped held set, a FlowCall
+/// records the dataflow must-held verdict plus whether the receiver is a
+/// function-local object (writes behind it are task-local, not shared).
+struct FlowCall {
+  std::string Name;
+  std::string Qualifier;
+  bool IsMember = false;
+  bool LocalRecv = false; ///< Receiver chain base is a local/param.
+  bool LockFree = false;  ///< Must-held lock set empty at the site.
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
 /// Everything phase 2 needs to know about one function definition.
 struct FunctionInfo {
   std::string Qual;  ///< Fully qualified name, no signature: overloads
@@ -107,12 +168,24 @@ struct FunctionInfo {
   unsigned Col = 0;
   std::string LineText; ///< Trimmed definition line (baseline key).
   bool HasSource = false; ///< Any direct entropy/wall-clock source.
+  /// True for a lambda handed to a ThreadPool-style spawn call
+  /// (parallelFor/submit/...): it runs on another thread, so its entry
+  /// lock set is empty regardless of what the spawner held.
+  bool IsThreadBody = false;
   std::vector<CallSite> Calls;
   std::vector<AllocSite> Allocs;
   std::vector<LockAcq> Acquires;
   std::vector<LockEdge> LockEdges;
   std::vector<TaintFlow> Flows;
   std::vector<SinkUse> Sinks;
+  /// Quals of the task-lambda bodies this function spawns; the linker
+  /// adds explicit caller→lambda edges for them (name resolution cannot).
+  std::vector<std::string> SpawnedBodies;
+  std::vector<UnguardedWrite> Writes;
+  std::vector<RetentionSite> Retentions;
+  std::vector<FlowCall> FlowCalls;
+  /// Normalized arena ids this function calls .reset() on directly.
+  std::vector<std::string> ResetArenas;
 };
 
 /// The phase-1 product for one file.
@@ -120,6 +193,8 @@ struct FileIndex {
   std::string Path; ///< Reported (root-stripped) path.
   FileKind Kind = FileKind::Other;
   std::vector<FunctionInfo> Functions;
+  /// Instance fields and file-scope globals declared in this file.
+  std::vector<FieldDecl> Fields;
   /// Allow-annotation coverage, fully expanded over statement extents
   /// (`line -> rules`), so phase 2 can honour annotations without the
   /// source text.

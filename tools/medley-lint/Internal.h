@@ -29,6 +29,28 @@ inline constexpr const char *RuleHotpathAlloc = "hotpath-alloc";
 inline constexpr const char *RuleHotpathEscape = "hotpath-escape";
 inline constexpr const char *RuleLockOrder = "lock-order";
 inline constexpr const char *RuleDeterminismTaint = "determinism-taint";
+// Flow-sensitive families (DESIGN.md §15), computed from the CFG +
+// dataflow summaries over the linked call graph.
+inline constexpr const char *RuleCrossThreadWrite = "cross-thread-write";
+inline constexpr const char *RuleSnapshotRetention = "snapshot-retention";
+inline constexpr const char *RuleArenaEscape = "arena-escape";
+
+/// Analyzer identity folded into the incremental-cache fingerprint: any
+/// change to what the analyzer computes (new rules, changed summaries,
+/// changed serialization) must bump this so warm caches cannot serve
+/// stale reports.
+inline constexpr const char *AnalyzerVersion = "medley-lint-3";
+
+/// One catalog row per rule: id, human name, one-line description.
+/// Drives the SARIF `rules` metadata and the cache fingerprint.
+struct RuleMeta {
+  const char *Id;
+  const char *Name;
+  const char *Short;
+};
+
+/// All rules L1–L12 in reporting order.
+const std::vector<RuleMeta> &ruleCatalog();
 
 /// Runs every rule family applicable to \p Kind over \p Lexed, appending
 /// raw (un-suppressed, unsorted) findings to \p Out. \p SourceLines is

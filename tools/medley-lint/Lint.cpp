@@ -108,6 +108,38 @@ std::string escapeKeyField(const std::string &S) {
 
 } // namespace
 
+const std::vector<RuleMeta> &medley::lint::ruleCatalog() {
+  static const std::vector<RuleMeta> Catalog = {
+      {RuleNondeterminism, "Nondeterminism",
+       "Wall-clock reads or unseeded entropy in src/"},
+      {RuleUnorderedReduction, "UnorderedReduction",
+       "Reduction fed by unordered-container iteration order"},
+      {RuleRawConcurrency, "RawConcurrency",
+       "Raw std::thread/detach/mutex.lock() outside src/support/"},
+      {RuleFloatEquality, "FloatEquality",
+       "==/!= against floating-point literals outside test assertions"},
+      {RuleErrorCheck, "ErrorCheck",
+       "support::Error out-parameter the function body never touches"},
+      {RuleHotpathAlloc, "HotpathAlloc",
+       "Value-returning linalg call in an allocation-free hot-path file"},
+      {RuleHotpathEscape, "HotpathEscape",
+       "Allocation site reachable from a decision entry point"},
+      {RuleLockOrder, "LockOrder",
+       "Lock-acquisition-order cycle or lock held across a blocking call"},
+      {RuleDeterminismTaint, "DeterminismTaint",
+       "Entropy/wall-clock taint reaching an RNG seed or trace sink"},
+      {RuleCrossThreadWrite, "CrossThreadWrite",
+       "Unsynchronized non-atomic field/global write on a thread-task path"},
+      {RuleSnapshotRetention, "SnapshotRetention",
+       "ExpertRegistry snapshot cached, returned, or held across "
+       "maintain()/blocking calls"},
+      {RuleArenaEscape, "ArenaEscape",
+       "Arena::allocateArray storage escaping tick scope or used after "
+       "reset()"},
+  };
+  return Catalog;
+}
+
 size_t medley::lint::skipBalanced(const std::vector<Token> &Toks, size_t I,
                                   const char *Open, const char *Close) {
   int Depth = 0;
@@ -288,26 +320,43 @@ medley::lint::renderBaseline(const std::vector<Finding> &Findings) {
 std::vector<Finding>
 medley::lint::applyBaseline(std::vector<Finding> Findings,
                             const std::vector<std::string> &Lines) {
+  return applyBaselineDetailed(std::move(Findings), Lines).Kept;
+}
+
+BaselineResult
+medley::lint::applyBaselineDetailed(std::vector<Finding> Findings,
+                                    const std::vector<std::string> &Lines) {
   // Multiset of suppressions: each baseline line forgives exactly one
   // matching finding, so a file that grows a second identical problem
-  // still fails.
-  std::multiset<std::string> Suppressed;
-  for (const std::string &Raw : Lines) {
-    std::string Line = trim(Raw);
+  // still fails. Identical lines are consumed in file order, keeping
+  // the used/stale split deterministic.
+  std::map<std::string, std::vector<size_t>> ByKey;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    std::string Line = trim(Lines[I]);
     if (Line.empty() || Line[0] == '#')
       continue;
-    Suppressed.insert(Line);
+    ByKey[Line].push_back(I);
   }
-  std::vector<Finding> Kept;
+
+  BaselineResult R;
+  std::set<size_t> Used;
   for (Finding &F : Findings) {
-    auto It = Suppressed.find(renderBaselineKey(F));
-    if (It != Suppressed.end())
-      Suppressed.erase(It);
-    else
-      Kept.push_back(std::move(F));
+    auto It = ByKey.find(renderBaselineKey(F));
+    if (It != ByKey.end() && !It->second.empty()) {
+      Used.insert(It->second.front());
+      It->second.erase(It->second.begin());
+    } else {
+      R.Kept.push_back(std::move(F));
+    }
   }
-  std::sort(Kept.begin(), Kept.end(), findingLess);
-  return Kept;
+  std::sort(R.Kept.begin(), R.Kept.end(), findingLess);
+  R.UsedLines.assign(Used.begin(), Used.end());
+  for (const auto &[Key, Idxs] : ByKey) {
+    (void)Key;
+    R.StaleLines.insert(R.StaleLines.end(), Idxs.begin(), Idxs.end());
+  }
+  std::sort(R.StaleLines.begin(), R.StaleLines.end());
+  return R;
 }
 
 std::string medley::lint::renderJson(const std::vector<Finding> &Findings) {

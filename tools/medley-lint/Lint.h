@@ -7,7 +7,7 @@
 /// \file
 /// medley-lint: a project-specific static-analysis pass over the Medley
 /// sources enforcing the invariants the experiment engine's determinism
-/// contract rests on (DESIGN.md §10). Nine rule families:
+/// contract rests on (DESIGN.md §10). Twelve rule families:
 ///
 ///   nondeterminism     (L1)  wall-clock / unseeded entropy in src/
 ///   unordered-reduction(L2)  reductions fed by unordered-container order
@@ -29,9 +29,20 @@
 ///                            calls
 ///   determinism-taint  (L9)  interprocedural: entropy/wall-clock taint
 ///                            flowing into RNG seeds or trace output
+///   cross-thread-write (L10) flow-sensitive: non-atomic fields/globals
+///                            written lock-free on paths reachable from
+///                            thread-task bodies
+///   snapshot-retention (L11) flow-sensitive: ExpertRegistry snapshots
+///                            cached in fields/globals, returned, or
+///                            held across maintain()/blocking calls
+///   arena-escape       (L12) flow-sensitive: Arena::allocateArray
+///                            storage escaping tick scope or used after
+///                            the arena's reset()
 ///
-/// L7–L9 live in Semantic.h/CallGraph.h (DESIGN.md §12); this header is
-/// the single-file token layer they build on.
+/// L7–L9 live in Semantic.h/CallGraph.h (DESIGN.md §12); L10–L12 add a
+/// per-function CFG + dataflow layer in phase 1 (Cfg.h/Dataflow.h,
+/// DESIGN.md §15). This header is the single-file token layer they all
+/// build on.
 ///
 /// The analysis is a tokenizer plus per-rule heuristics — deliberately
 /// not a real C++ front end. It trades soundness for zero dependencies
@@ -135,6 +146,18 @@ bool parseBaselineKey(const std::string &Line, std::string &File,
 /// finding per suppression. Returns the survivors, still sorted.
 std::vector<Finding> applyBaseline(std::vector<Finding> Findings,
                                    const std::vector<std::string> &Lines);
+
+/// applyBaseline plus an audit of the baseline itself: which input
+/// lines actually forgave a finding and which are stale (the finding
+/// they suppressed no longer exists). Comment and blank lines appear in
+/// neither list. Drives `--prune-baseline` and the CI staleness gate.
+struct BaselineResult {
+  std::vector<Finding> Kept; ///< Survivors, sorted like applyBaseline.
+  std::vector<size_t> UsedLines;  ///< Indices into Lines that matched.
+  std::vector<size_t> StaleLines; ///< Indices that matched nothing.
+};
+BaselineResult applyBaselineDetailed(std::vector<Finding> Findings,
+                                     const std::vector<std::string> &Lines);
 
 /// The whole report as pretty-printed JSON: a sorted findings array
 /// plus per-rule counts. Stable across runs — no timestamps, no paths

@@ -5,17 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Findings as a SARIF 2.1.0 log: one run, one result per finding,
-/// rule ids collected into the driver's rule table. Kept to the subset
-/// editors and CI annotators actually read, and — like every other
-/// medley-lint report — byte-stable across runs.
+/// Findings as a SARIF 2.1.0 log: one run, one result per finding. The
+/// driver's `rules` table carries the full L1–L12 catalog (id, name,
+/// one-line shortDescription) whether or not a rule fired, results
+/// reference it by `ruleIndex`, and each result carries a
+/// `partialFingerprints` entry — the FNV-1a hash of the
+/// position-independent baseline key — so CI result matching survives
+/// unrelated edits above a finding. Kept to the subset editors and CI
+/// annotators actually read, and — like every other medley-lint report
+/// — byte-stable across runs.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "medley-lint/Cache.h"
 #include "medley-lint/Internal.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 #include <tuple>
 
@@ -62,9 +69,10 @@ std::string medley::lint::renderSarif(const std::vector<Finding> &Findings) {
                      std::tie(B.File, B.Line, B.Col, B.Rule, B.Message);
             });
 
-  std::set<std::string> Rules;
-  for (const Finding &F : Sorted)
-    Rules.insert(F.Rule);
+  const std::vector<RuleMeta> &Catalog = ruleCatalog();
+  std::map<std::string, size_t> RuleIndex;
+  for (size_t I = 0; I < Catalog.size(); ++I)
+    RuleIndex.emplace(Catalog[I].Id, I);
 
   std::ostringstream OS;
   OS << "{\n"
@@ -78,27 +86,34 @@ std::string medley::lint::renderSarif(const std::vector<Finding> &Findings) {
      << "          \"name\": \"medley-lint\",\n"
      << "          \"informationUri\": \"DESIGN.md\",\n"
      << "          \"rules\": [";
-  {
-    bool First = true;
-    for (const std::string &Rule : Rules) {
-      OS << (First ? "\n" : ",\n")
-         << "            {\"id\": \"" << jsonEscape(Rule) << "\"}";
-      First = false;
-    }
+  for (size_t I = 0; I < Catalog.size(); ++I) {
+    const RuleMeta &M = Catalog[I];
+    OS << (I ? ",\n" : "\n") << "            {\"id\": \"" << jsonEscape(M.Id)
+       << "\", \"name\": \"" << jsonEscape(M.Name)
+       << "\", \"shortDescription\": {\"text\": \"" << jsonEscape(M.Short)
+       << "\"}}";
   }
-  OS << (Rules.empty() ? "]\n" : "\n          ]\n");
+  OS << (Catalog.empty() ? "]\n" : "\n          ]\n");
   OS << "        }\n"
      << "      },\n"
      << "      \"results\": [";
   for (size_t I = 0; I < Sorted.size(); ++I) {
     const Finding &F = Sorted[I];
+    char Fp[24];
+    std::snprintf(Fp, sizeof(Fp), "%016llx",
+                  fnv1aHash(renderBaselineKey(F)));
     OS << (I ? ",\n" : "\n");
-    OS << "        {\"ruleId\": \"" << jsonEscape(F.Rule)
-       << "\", \"level\": \"warning\", \"message\": {\"text\": \""
+    OS << "        {\"ruleId\": \"" << jsonEscape(F.Rule) << "\"";
+    auto RI = RuleIndex.find(F.Rule);
+    if (RI != RuleIndex.end())
+      OS << ", \"ruleIndex\": " << RI->second;
+    OS << ", \"level\": \"warning\", \"message\": {\"text\": \""
        << jsonEscape(F.Message) << "\"}, \"locations\": [{"
        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
        << jsonEscape(F.File) << "\"}, \"region\": {\"startLine\": " << F.Line
-       << ", \"startColumn\": " << F.Col << "}}}]}";
+       << ", \"startColumn\": " << F.Col
+       << "}}}], \"partialFingerprints\": {\"medleyLintKey/v1\": \"" << Fp
+       << "\"}}";
   }
   OS << (Sorted.empty() ? "]\n" : "\n      ]\n");
   OS << "    }\n  ]\n}\n";

@@ -11,6 +11,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <tuple>
 
@@ -325,6 +326,353 @@ void ruleDeterminismTaint(const CallGraph &G, std::vector<Finding> &Out) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// L10–L12 shared: destination resolution
+//===----------------------------------------------------------------------===//
+
+/// What a summary write/store destination resolves to. The CFG builder
+/// only proves "not a local"; whether the name is actually a declared
+/// field or namespace-scope global — and whether it is atomic or
+/// mutex-typed — is a whole-project question answered here.
+struct DestInfo {
+  bool Resolved = false;
+  bool Guarded = false; ///< Every candidate declaration is atomic/mutex.
+};
+
+DestInfo resolveDest(const CallGraph &G, const CallGraph::Node &N,
+                     const std::string &Base, const std::string &Last) {
+  DestInfo D;
+  if (Base.empty() || Base == "this") {
+    // Bare name / explicit this: a field of the writer's own class,
+    // else a global. Unresolved names (locals the builder could not
+    // prove, macros) are skipped rather than guessed at.
+    auto It = G.Fields.end();
+    if (!N.Class.empty())
+      It = G.Fields.find({N.Class, Last});
+    if (It == G.Fields.end() && Base.empty())
+      It = G.Fields.find({std::string(), Last});
+    if (It == G.Fields.end())
+      return D;
+    D.Resolved = true;
+    D.Guarded = It->second.Atomic || It->second.Mutex;
+    return D;
+  }
+  // A chain `A.B...`: the base must itself be a field/global; the final
+  // member is then looked up by name across every indexed class (the
+  // base's type is unknown at token level). All-guarded candidates
+  // count as guarded.
+  auto BaseIt = G.Fields.end();
+  if (!N.Class.empty())
+    BaseIt = G.Fields.find({N.Class, Base});
+  if (BaseIt == G.Fields.end())
+    BaseIt = G.Fields.find({std::string(), Base});
+  if (BaseIt == G.Fields.end())
+    return D;
+  bool Any = false;
+  bool AllGuarded = true;
+  for (const auto &[Key, FD] : G.Fields)
+    if (Key.second == Last) {
+      Any = true;
+      AllGuarded = AllGuarded && (FD.Atomic || FD.Mutex);
+    }
+  if (!Any)
+    return D;
+  D.Resolved = true;
+  D.Guarded = AllGuarded;
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// L10: cross-thread-write
+//===----------------------------------------------------------------------===//
+
+void ruleCrossThreadWrite(const CallGraph &G, std::vector<Finding> &Out) {
+  // Best (shortest, then lexicographically smallest) path from a
+  // thread-task body to each node with unguarded writes. The walk only
+  // follows calls made with no lock held and on a non-local receiver: a
+  // call into an object the task constructed itself cannot race.
+  struct Best {
+    size_t Depth = static_cast<size_t>(-1);
+    std::string Path;
+  };
+  std::map<size_t, Best> BestByNode;
+
+  for (size_t E = 0; E < G.Nodes.size(); ++E) {
+    if (!inScope(G, E) || !G.Nodes[E].IsThreadBody)
+      continue;
+    std::vector<size_t> Parent(G.Nodes.size(), static_cast<size_t>(-1));
+    std::vector<size_t> Depth(G.Nodes.size(), static_cast<size_t>(-1));
+    std::deque<size_t> Queue;
+    Depth[E] = 0;
+    Queue.push_back(E);
+    while (!Queue.empty()) {
+      size_t N = Queue.front();
+      Queue.pop_front();
+      if (!G.Nodes[N].Writes.empty()) {
+        std::string Path;
+        for (size_t At = N;; At = Parent[At]) {
+          Path = G.Nodes[At].Qual + (Path.empty() ? "" : " -> " + Path);
+          if (At == E)
+            break;
+        }
+        Best &B = BestByNode[N];
+        if (Depth[N] < B.Depth || (Depth[N] == B.Depth && Path < B.Path)) {
+          B.Depth = Depth[N];
+          B.Path = Path;
+        }
+      }
+      auto Visit = [&](size_t Succ) {
+        if (!inScope(G, Succ) || Depth[Succ] != static_cast<size_t>(-1))
+          return;
+        Depth[Succ] = Depth[N] + 1;
+        Parent[Succ] = N;
+        Queue.push_back(Succ);
+      };
+      for (const FlowCall &FC : G.Nodes[N].FlowCalls) {
+        if (!FC.LockFree || FC.LocalRecv)
+          continue;
+        CallSite CS;
+        CS.Name = FC.Name;
+        CS.Qualifier = FC.Qualifier;
+        CS.IsMember = FC.IsMember;
+        for (size_t Succ : resolveCall(G, G.Nodes[N], CS))
+          Visit(Succ);
+      }
+      // A task that spawns further tasks keeps everything on-thread.
+      for (const std::string &Body : G.Nodes[N].SpawnedBodies) {
+        auto It = G.ByQual.find(Body);
+        if (It != G.ByQual.end())
+          Visit(It->second);
+      }
+    }
+  }
+
+  for (const auto &[NodeId, B] : BestByNode) {
+    const CallGraph::Node &N = G.Nodes[NodeId];
+    for (const auto &[W, FileId] : N.Writes) {
+      DestInfo D = resolveDest(G, N, W.Base, W.Last);
+      if (!D.Resolved || D.Guarded)
+        continue;
+      if (G.allowedAt(FileId, W.Line, RuleCrossThreadWrite))
+        continue;
+      Out.push_back(makeFinding(
+          G, FileId, W.Line, W.Col, RuleCrossThreadWrite,
+          "write to '" + W.Lhs + "' with no lock held on a path reachable "
+              "from a thread-task body (" + B.Path + ") — the destination "
+              "is a non-atomic field/global, so concurrent tasks race; "
+              "guard the write or make it std::atomic (DESIGN.md §15)",
+          W.LineText));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L11: snapshot-retention
+//===----------------------------------------------------------------------===//
+
+void ruleSnapshotRetention(const CallGraph &G, std::vector<Finding> &Out) {
+  // Only meaningful in trees that define the registry: the "acquire"
+  // origin the summaries track is ExpertRegistry::acquire's epoch
+  // snapshot (DESIGN.md §14).
+  bool Active = false;
+  for (const CallGraph::Node &N : G.Nodes)
+    if (N.Class == "ExpertRegistry" && N.Name == "acquire") {
+      Active = true;
+      break;
+    }
+  if (!Active)
+    return;
+
+  // Transitive "may park the thread or run the reclaimer": holding a
+  // snapshot across such a call stretches the epoch and delays
+  // reclamation of every retired generation.
+  std::vector<char> MayBlock(G.Nodes.size(), 0);
+  for (size_t I = 0; I < G.Nodes.size(); ++I)
+    if (inScope(G, I))
+      for (const FlowCall &FC : G.Nodes[I].FlowCalls)
+        if (isBlockingCallName(FC.Name) || FC.Name == "maintain")
+          MayBlock[I] = 1;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < G.Nodes.size(); ++I) {
+      if (!inScope(G, I) || MayBlock[I])
+        continue;
+      for (size_t Succ : G.Edges[I])
+        if (inScope(G, Succ) && MayBlock[Succ]) {
+          MayBlock[I] = 1;
+          Changed = true;
+          break;
+        }
+    }
+  }
+
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    if (!inScope(G, I))
+      continue;
+    const CallGraph::Node &N = G.Nodes[I];
+    for (const auto &[R, FileId] : N.Retentions) {
+      if (R.Origin != "acquire")
+        continue;
+      if (G.allowedAt(FileId, R.Line, RuleSnapshotRetention))
+        continue;
+      switch (R.K) {
+      case RetentionSite::StoreTo: {
+        if (!resolveDest(G, N, R.Base, R.Last).Resolved)
+          break;
+        Out.push_back(makeFinding(
+            G, FileId, R.Line, R.Col, RuleSnapshotRetention,
+            "snapshot-derived pointer '" + R.Var + "' stored into a "
+                "field/global — ExpertSnapshot contents are only valid "
+                "while the epoch pin is held; re-acquire per epoch "
+                "instead of caching (DESIGN.md §14)",
+            R.LineText));
+        break;
+      }
+      case RetentionSite::ReturnFrom:
+        Out.push_back(makeFinding(
+            G, FileId, R.Line, R.Col, RuleSnapshotRetention,
+            "snapshot-derived value" +
+                (R.Var == "<result>" ? std::string()
+                                     : " '" + R.Var + "'") +
+                " returned from the acquiring function — the caller "
+                "outlives the epoch pin; pass the snapshot handle "
+                "itself instead (DESIGN.md §14)",
+            R.LineText));
+        break;
+      case RetentionSite::AcrossCall: {
+        bool Bad =
+            isBlockingCallName(R.Callee) || R.Callee == "maintain";
+        if (!Bad) {
+          CallSite CS;
+          CS.Name = R.Callee;
+          CS.Qualifier = R.CalleeQual;
+          CS.IsMember = R.CalleeMember;
+          for (size_t T : resolveCall(G, N, CS))
+            if (inScope(G, T) && MayBlock[T]) {
+              Bad = true;
+              break;
+            }
+        }
+        if (!Bad)
+          break;
+        Out.push_back(makeFinding(
+            G, FileId, R.Line, R.Col, RuleSnapshotRetention,
+            "snapshot '" + R.Var + "' held across '" + R.Callee +
+                "', which may block or run the registry reclaimer — "
+                "the pin stalls snapshot retirement for the full wait; "
+                "drop the snapshot first (DESIGN.md §14)",
+            R.LineText));
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L12: arena-escape
+//===----------------------------------------------------------------------===//
+
+void ruleArenaEscape(const CallGraph &G, std::vector<Finding> &Out) {
+  // Arena ids each node (transitively) resets, so "held across a call
+  // that resets the matching arena" sees resets buried in callees.
+  std::vector<std::set<std::string>> Resets(G.Nodes.size());
+  for (size_t I = 0; I < G.Nodes.size(); ++I)
+    if (inScope(G, I))
+      Resets[I].insert(G.Nodes[I].ResetArenas.begin(),
+                       G.Nodes[I].ResetArenas.end());
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < G.Nodes.size(); ++I) {
+      if (!inScope(G, I))
+        continue;
+      for (size_t Succ : G.Edges[I]) {
+        if (!inScope(G, Succ))
+          continue;
+        for (const std::string &A : Resets[Succ])
+          if (Resets[I].insert(A).second)
+            Changed = true;
+      }
+    }
+  }
+
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    if (!inScope(G, I))
+      continue;
+    const CallGraph::Node &N = G.Nodes[I];
+    for (const auto &[R, FileId] : N.Retentions) {
+      if (R.Origin.rfind("arena:", 0) != 0)
+        continue;
+      std::string ArenaId = R.Origin.substr(6);
+      if (G.allowedAt(FileId, R.Line, RuleArenaEscape))
+        continue;
+      switch (R.K) {
+      case RetentionSite::StoreTo: {
+        if (!resolveDest(G, N, R.Base, R.Last).Resolved)
+          break;
+        Out.push_back(makeFinding(
+            G, FileId, R.Line, R.Col, RuleArenaEscape,
+            "arena-backed pointer '" + R.Var + "' (from '" + ArenaId +
+                "') stored into a field/global — the storage is bulk-"
+                "freed at the arena's next reset(), leaving a dangling "
+                "pointer; copy the data out or allocate it off-arena "
+                "(DESIGN.md §15)",
+            R.LineText));
+        break;
+      }
+      case RetentionSite::ReturnFrom:
+        Out.push_back(makeFinding(
+            G, FileId, R.Line, R.Col, RuleArenaEscape,
+            "arena-backed value" +
+                (R.Var == "<result>" ? std::string()
+                                     : " '" + R.Var + "'") +
+                " (from '" + ArenaId + "') returned to the caller — "
+                "arena storage is tick-scoped and dies at reset(); "
+                "return an owned copy instead (DESIGN.md §15)",
+            R.LineText));
+        break;
+      case RetentionSite::UseAfterReset:
+        Out.push_back(makeFinding(
+            G, FileId, R.Line, R.Col, RuleArenaEscape,
+            "arena-backed pointer '" + R.Var + "' used after '" +
+                ArenaId + "' was reset() on at least one path — the "
+                "storage has been bulk-freed; reorder the reset or "
+                "re-derive the pointer (DESIGN.md §15)",
+            R.LineText));
+        break;
+      case RetentionSite::AcrossCall: {
+        CallSite CS;
+        CS.Name = R.Callee;
+        CS.Qualifier = R.CalleeQual;
+        CS.IsMember = R.CalleeMember;
+        bool ResetsIt = false;
+        for (size_t T : resolveCall(G, N, CS))
+          if (inScope(G, T) && Resets[T].count(ArenaId)) {
+            ResetsIt = true;
+            break;
+          }
+        if (!ResetsIt)
+          break;
+        Out.push_back(makeFinding(
+            G, FileId, R.Line, R.Col, RuleArenaEscape,
+            "arena-backed pointer '" + R.Var + "' still live across '" +
+                R.Callee + "', which resets '" + ArenaId +
+                "' — every later use reads bulk-freed storage; finish "
+                "with the pointer before the reset (DESIGN.md §15)",
+            R.LineText));
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+}
+
 } // namespace
 
 bool medley::lint::isDecisionEntry(const CallGraph::Node &N) {
@@ -374,6 +722,9 @@ std::vector<Finding> medley::lint::runSemanticRules(const CallGraph &G) {
   ruleHotpathEscape(G, Out);
   ruleLockOrder(G, Out);
   ruleDeterminismTaint(G, Out);
+  ruleCrossThreadWrite(G, Out);
+  ruleSnapshotRetention(G, Out);
+  ruleArenaEscape(G, Out);
   return Out;
 }
 
@@ -382,6 +733,7 @@ AnalyzeResult medley::lint::analyzeSources(const std::vector<SourceFile> &Files,
   AnalyzeResult R;
 
   LintCache Cache;
+  Cache.setFingerprint(cacheFingerprint(Opts.FingerprintSalt));
   if (!Opts.CachePath.empty())
     Cache.load(Opts.CachePath);
 
@@ -391,6 +743,7 @@ AnalyzeResult medley::lint::analyzeSources(const std::vector<SourceFile> &Files,
   };
   std::vector<PerFile> Results(Files.size());
   std::vector<unsigned long long> Hashes(Files.size(), 0);
+  std::atomic<size_t> Hits{0};
 
   // Phase 1, dynamically scheduled over files. Every slot is written by
   // exactly one body invocation, and the merge below walks slots in
@@ -403,11 +756,13 @@ AnalyzeResult medley::lint::analyzeSources(const std::vector<SourceFile> &Files,
     if (Cache.lookup(SF.Path, Hashes[I], Hit)) {
       Results[I].Findings = std::move(Hit.TokenFindings);
       Results[I].Index = std::move(Hit.Index);
+      Hits.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     Results[I].Findings = lintSource(SF.Path, SF.Source);
     Results[I].Index = buildFileIndex(SF.Path, SF.Source);
   });
+  R.CacheHits = Hits.load();
 
   for (PerFile &P : Results)
     R.Findings.insert(R.Findings.end(), P.Findings.begin(), P.Findings.end());
@@ -430,6 +785,7 @@ AnalyzeResult medley::lint::analyzeSources(const std::vector<SourceFile> &Files,
 
   if (!Opts.CachePath.empty()) {
     LintCache Fresh; // Full rewrite: entries for vanished files age out.
+    Fresh.setFingerprint(cacheFingerprint(Opts.FingerprintSalt));
     for (size_t I = 0; I < Files.size(); ++I) {
       CacheEntry E;
       E.Hash = Hashes[I];

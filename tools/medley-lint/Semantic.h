@@ -28,7 +28,23 @@
 ///                           reaching RNG seeds or stream/trace output
 ///                           are flagged unless the sink is annotated.
 ///
-/// All three traverse only src/ and src/support/ definitions — tests,
+/// The flow-sensitive families (DESIGN.md §15) consume the per-function
+/// CFG + dataflow summaries the indexer computes in phase 1:
+///
+///   cross-thread-write  (L10) non-atomic fields/globals written with no
+///                             lock held on any path reachable from a
+///                             thread-task body (lambdas handed to
+///                             parallelFor/submit/retrainAsync/...).
+///   snapshot-retention  (L11) ExpertSnapshot pointers from
+///                             ExpertRegistry::acquire stored into
+///                             fields/globals, returned, or held live
+///                             across maintain()/blocking calls.
+///   arena-escape        (L12) support::Arena::allocateArray storage
+///                             escaping its tick scope (stored,
+///                             returned) or used after the matching
+///                             arena's reset() on any path.
+///
+/// All six traverse only src/ and src/support/ definitions — tests,
 /// benches and apps may allocate, lock and log as they please.
 ///
 //===----------------------------------------------------------------------===//
@@ -48,9 +64,13 @@ struct SourceFile {
 };
 
 struct AnalyzeOptions {
-  bool Semantic = true;   ///< Run phase 2 (L7–L9) after the token rules.
+  bool Semantic = true;   ///< Run phase 2 (L7–L12) after the token rules.
   unsigned Jobs = 0;      ///< Phase-1 worker count; 0 → defaultJobs().
   std::string CachePath;  ///< Incremental cache file; empty disables.
+  /// Extra bytes folded into the cache fingerprint alongside the
+  /// analyzer version and rule catalog. Tests use it to simulate a rule
+  /// bump; production runs leave it empty.
+  std::string FingerprintSalt;
 };
 
 struct AnalyzeResult {
@@ -59,6 +79,8 @@ struct AnalyzeResult {
   std::vector<Finding> Findings;
   /// The linked graph (empty when Semantic was off) for --graph-json.
   CallGraph Graph;
+  /// Files served from the incremental cache this run (0 on a cold run).
+  size_t CacheHits = 0;
 };
 
 /// True for the decision entry points L7 anchors on: MixtureOfExperts

@@ -1,0 +1,38 @@
+//===-- fixtures/arena-escape/src/Flush.cpp - Cross-TU reset leg ----------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// The out-of-line definition of Ticker::flush for the arena-escape
+// fixture: it resets TickArena, so a pointer held live across a
+// flush() call in Ticker.cpp must be flagged even though the reset
+// lives in a different translation unit. refill() is the pass case —
+// reset followed by a fresh allocation is the normal tick cycle. This
+// file must never be compiled or linted as part of the product tree.
+//
+//===----------------------------------------------------------------------===//
+
+namespace support {
+class Arena {
+public:
+  template <typename T> T *allocateArray(unsigned long N);
+  void reset();
+};
+} // namespace support
+
+class Ticker {
+public:
+  void flush();
+  void refill(unsigned long N);
+
+private:
+  support::Arena TickArena;
+  float *Stale = nullptr;
+};
+
+void Ticker::flush() { TickArena.reset(); }
+
+void Ticker::refill(unsigned long N) {
+  TickArena.reset();
+  float *Buf = TickArena.allocateArray<float>(N);
+  Buf[0] = 0.0f; // ok: allocated after the reset
+}

@@ -1,0 +1,72 @@
+//===-- fixtures/arena-escape/src/Ticker.cpp - Seeded known-bad tree ------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the arena-escape rule (L12). TickArena is the
+// per-tick bump allocator; its storage dies at reset():
+//
+//   - tickClean():  allocate, fill, reset after the last use   -> pass
+//   - tickStore():  arena pointer stored into a member          -> flag
+//   - tickLeak():   arena pointer returned to the caller        -> flag
+//   - tickBranch(): pointer used after a reset() on one branch  -> flag
+//   - tickAcross(): pointer live across flush() (Flush.cpp),
+//                   which resets the same arena                 -> flag
+//
+// This file must never be compiled or linted as part of the product
+// tree.
+//
+//===----------------------------------------------------------------------===//
+
+namespace support {
+class Arena {
+public:
+  template <typename T> T *allocateArray(unsigned long N);
+  void reset();
+};
+} // namespace support
+
+class Ticker {
+public:
+  void tickClean(unsigned long N);
+  void tickStore(unsigned long N);
+  float *tickLeak(unsigned long N);
+  void tickBranch(unsigned long N, bool Flush);
+  void tickAcross(unsigned long N);
+  void flush(); // out-of-line in Flush.cpp; resets TickArena
+
+private:
+  support::Arena TickArena;
+  float *Stale = nullptr;
+};
+
+void Ticker::tickClean(unsigned long N) {
+  float *Buf = TickArena.allocateArray<float>(N);
+  for (unsigned long I = 0; I < N; ++I)
+    Buf[I] = 0.0f;
+  TickArena.reset(); // ok: Buf is dead by now
+}
+
+void Ticker::tickStore(unsigned long N) {
+  float *Buf = TickArena.allocateArray<float>(N);
+  Stale = Buf; // <- arena-escape: outlives the tick
+}
+
+float *Ticker::tickLeak(unsigned long N) {
+  float *Buf = TickArena.allocateArray<float>(N);
+  return Buf; // <- arena-escape: caller outlives the storage
+}
+
+void Ticker::tickBranch(unsigned long N, bool Flush) {
+  float *Buf = TickArena.allocateArray<float>(N);
+  Buf[0] = 1.0f;
+  if (Flush)
+    TickArena.reset();
+  Buf[0] = 2.0f; // <- arena-escape: freed on the Flush path
+}
+
+void Ticker::tickAcross(unsigned long N) {
+  float *Buf = TickArena.allocateArray<float>(N);
+  Buf[0] = 1.0f;
+  flush(); // <- arena-escape: flush() resets TickArena
+  Buf[0] = 2.0f;
+}

@@ -1,0 +1,68 @@
+//===-- fixtures/cross-thread-write/src/Aggregator.cpp - Seeded bad tree --===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the cross-thread-write rule (L10). The lambda
+// handed to parallelFor is a thread-task body; from it the analyzer
+// must flag exactly three writes:
+//
+//   - `Hits += 1`  directly in the task body, no lock held;
+//   - `Mixed += K` in bump(): the guarded branch releases Mu before the
+//     join point, so the must-held set is empty at the write
+//     (flow-sensitivity — the `Guarded += K` write inside the guard
+//     scope must NOT fire);
+//   - `Sum += V`   in Aggregator::record, defined in Worker.cpp (the
+//     cross-translation-unit leg).
+//
+// Everything else is a pass case: atomic destinations, writes under a
+// held lock_guard, and calls on task-local objects. This file must
+// never be compiled or linted as part of the product tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <mutex>
+
+struct MiniPool {
+  template <typename Fn> void parallelFor(unsigned long N, Fn &&Body);
+};
+
+class Aggregator {
+public:
+  void runAll(MiniPool &Pool, unsigned long N);
+  void bump(long K);
+  void record(long V); // out-of-line in Worker.cpp
+  void note(long V) { Notes += V; }
+
+private:
+  long Hits = 0;              // seeded race: written lock-free on-task
+  long Mixed = 0;             // seeded race: written at a lock-free join
+  long Guarded = 0;           // pass: only written under Mu
+  long Notes = 0;             // pass: only written via task-local objects
+  long Sum = 0;               // seeded race: written by record()
+  std::atomic<long> Epoch{0}; // pass: atomic destination
+  std::mutex Mu;
+};
+
+void Aggregator::runAll(MiniPool &Pool, unsigned long N) {
+  Pool.parallelFor(N, [this](unsigned long I) {
+    Hits += 1;                          // <- cross-thread-write
+    Epoch = static_cast<long>(I);       // ok: atomic
+    {
+      std::lock_guard<std::mutex> G(Mu);
+      Guarded += 1;                     // ok: Mu held
+    }
+    bump(static_cast<long>(I));
+    record(static_cast<long>(I));
+    Aggregator Local;
+    Local.note(5);                      // ok: task-local receiver
+  });
+}
+
+void Aggregator::bump(long K) {
+  if (K > 0) {
+    std::lock_guard<std::mutex> G(Mu);
+    Guarded += K; // ok: guarded on this path
+  }
+  Mixed += K; // <- cross-thread-write: the join point holds no lock
+}

@@ -1,0 +1,41 @@
+//===-- fixtures/cross-thread-write/src/Worker.cpp - Cross-TU leg ---------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// The out-of-line definition of Aggregator::record for the
+// cross-thread-write fixture: the task body in Aggregator.cpp calls
+// record(), so the unguarded `Sum += V` here must be flagged even
+// though the spawn site lives in a different translation unit. The
+// locked variant below it must not. This file must never be compiled
+// or linted as part of the product tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <mutex>
+
+class Aggregator {
+public:
+  void runAll(void *Pool, unsigned long N);
+  void bump(long K);
+  void record(long V);
+  void recordLocked(long V);
+
+private:
+  long Hits = 0;
+  long Mixed = 0;
+  long Guarded = 0;
+  long Notes = 0;
+  long Sum = 0;
+  std::atomic<long> Epoch{0};
+  std::mutex Mu;
+};
+
+void Aggregator::record(long V) {
+  Sum += V; // <- cross-thread-write: reached from the task body
+}
+
+void Aggregator::recordLocked(long V) {
+  std::lock_guard<std::mutex> G(Mu);
+  Sum += V; // ok: Mu held for the whole body
+}

@@ -1,0 +1,67 @@
+//===-- fixtures/snapshot-retention/src/Holder.cpp - Store/return cases ---===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the snapshot-retention rule (L11), storage legs:
+//
+//   - stash():  acquired pointer stored into a member field  -> flag
+//   - publish(): acquired pointer stored into a global       -> flag
+//   - pin():    acquired pointer returned to the caller      -> flag
+//   - peek():   value copied out while the pin is live       -> pass
+//
+// This file must never be compiled or linted as part of the product
+// tree.
+//
+//===----------------------------------------------------------------------===//
+
+struct ExpertSnapshot {
+  unsigned long Version = 0;
+};
+
+struct ReaderPin {
+  const ExpertSnapshot *Held = nullptr;
+};
+
+class ExpertRegistry {
+public:
+  const ExpertSnapshot *acquire(ReaderPin &Reader);
+  void maintain();
+};
+
+const ExpertSnapshot *GLastSnapshot = nullptr;
+
+class SnapshotHolder {
+public:
+  void stash(ExpertRegistry &Reg);
+  void publish(ExpertRegistry &Reg);
+  const ExpertSnapshot *pin(ExpertRegistry &Reg);
+  unsigned long peek(ExpertRegistry &Reg);
+
+private:
+  const ExpertSnapshot *Cached = nullptr;
+};
+
+void SnapshotHolder::stash(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  const ExpertSnapshot *S = Reg.acquire(Pin);
+  Cached = S; // <- snapshot-retention: cached in a field
+}
+
+void SnapshotHolder::publish(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  const ExpertSnapshot *S = Reg.acquire(Pin);
+  GLastSnapshot = S; // <- snapshot-retention: cached in a global
+}
+
+const ExpertSnapshot *SnapshotHolder::pin(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  return Reg.acquire(Pin); // <- snapshot-retention: returned
+}
+
+unsigned long SnapshotHolder::peek(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  const ExpertSnapshot *S = Reg.acquire(Pin);
+  if (!S)
+    return 0;
+  return S->Version; // ok: a copied value, not the pointer
+}

@@ -1,0 +1,79 @@
+//===-- fixtures/snapshot-retention/src/Maintain.cpp - Held-across cases --===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the snapshot-retention rule (L11), epoch-stretch
+// legs — a snapshot still live across a call that parks the thread or
+// runs the reclaimer delays retirement of every retired generation:
+//
+//   - acrossMaintain(): live across Reg.maintain()            -> flag
+//   - directWait():     live across this_thread::sleep_for    -> flag
+//   - viaHelper():      live across helper(), which sleeps
+//                       (transitive may-block)                 -> flag
+//   - scoped():         snapshot dead before the sleep        -> pass
+//
+// This file must never be compiled or linted as part of the product
+// tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <thread>
+
+struct ExpertSnapshot {
+  unsigned long Version = 0;
+};
+
+struct ReaderPin {
+  const ExpertSnapshot *Held = nullptr;
+};
+
+class ExpertRegistry {
+public:
+  const ExpertSnapshot *acquire(ReaderPin &Reader);
+  void maintain();
+};
+
+unsigned long GVersionSink = 0;
+
+class EpochWorker {
+public:
+  void acrossMaintain(ExpertRegistry &Reg);
+  void directWait(ExpertRegistry &Reg);
+  void viaHelper(ExpertRegistry &Reg);
+  void scoped(ExpertRegistry &Reg);
+  void helper();
+};
+
+void EpochWorker::acrossMaintain(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  const ExpertSnapshot *S = Reg.acquire(Pin);
+  Reg.maintain(); // <- snapshot-retention: S held across the reclaimer
+  GVersionSink = S->Version;
+}
+
+void EpochWorker::directWait(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  const ExpertSnapshot *S = Reg.acquire(Pin);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(1)); // <- snapshot-retention: held across
+  GVersionSink = S->Version;
+}
+
+void EpochWorker::helper() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void EpochWorker::viaHelper(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  const ExpertSnapshot *S = Reg.acquire(Pin);
+  helper(); // <- snapshot-retention: helper() transitively blocks
+  GVersionSink = S->Version;
+}
+
+void EpochWorker::scoped(ExpertRegistry &Reg) {
+  ReaderPin Pin;
+  const ExpertSnapshot *S = Reg.acquire(Pin);
+  GVersionSink = S->Version; // done with the snapshot before the wait
+  std::this_thread::sleep_for(std::chrono::milliseconds(1)); // ok: S dead
+}

@@ -1,0 +1,36 @@
+//===-- fixtures/snapshot-retention/src/Registry.cpp - Minimal registry ---===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// A minimal ExpertRegistry/ExpertSnapshot pair for the
+// snapshot-retention fixture tree: the rule arms itself only when a
+// node `ExpertRegistry::acquire` exists in the linked graph, which this
+// file provides. Its own body is a pass case — the pin bookkeeping
+// stores through a *parameter*, not a field. This file must never be
+// compiled or linted as part of the product tree.
+//
+//===----------------------------------------------------------------------===//
+
+struct ExpertSnapshot {
+  unsigned long Version = 0;
+};
+
+struct ReaderPin {
+  const ExpertSnapshot *Held = nullptr;
+};
+
+class ExpertRegistry {
+public:
+  const ExpertSnapshot *acquire(ReaderPin &Reader);
+  void maintain();
+
+private:
+  ExpertSnapshot Current;
+};
+
+const ExpertSnapshot *ExpertRegistry::acquire(ReaderPin &Reader) {
+  Reader.Held = &Current; // ok: the pin is the caller's, not a field
+  return Reader.Held;
+}
+
+void ExpertRegistry::maintain() {}

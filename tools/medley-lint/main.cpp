@@ -5,19 +5,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// medley-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+/// medley-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error,
+/// 3 clean but the baseline has stale entries (CI burn-down gate; a
+/// findings exit takes precedence).
 ///
 ///   medley-lint [options] <path>...
 ///     --root DIR            strip DIR/ from reported paths (stable diffs)
 ///     --baseline FILE       suppress findings listed in FILE
 ///     --write-baseline FILE write the current findings as a baseline
+///     --prune-baseline      rewrite --baseline FILE dropping entries that
+///                           no longer match a finding (keeps comments)
+///     --fail-stale-baseline exit 3 when --baseline has stale entries and
+///                           nothing else failed
 ///     --json FILE           write the JSON report to FILE
 ///     --sarif FILE          write a SARIF 2.1.0 report to FILE
 ///     --graph-json FILE     dump the linked call graph as JSON
-///     --cache FILE          incremental per-file cache (content-hashed)
+///     --cache FILE          incremental per-file cache (content-hashed,
+///                           fingerprinted by the analyzer identity)
 ///     --jobs N              phase-1 worker threads (default: MEDLEY_JOBS
 ///                           or hardware concurrency)
-///     --no-semantic         token rules only; skip L7–L9 and the graph
+///     --no-semantic         token rules only; skip L7–L12 and the graph
 ///
 /// Paths may be files or directories; directories are scanned
 /// recursively for *.cpp / *.h. Output is sorted by (file, line, col,
@@ -32,6 +39,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 using namespace medley::lint;
@@ -42,7 +50,8 @@ namespace {
 int usage(const std::string &Message) {
   std::cerr << "medley-lint: " << Message << "\n"
             << "usage: medley-lint [--root DIR] [--baseline FILE] "
-               "[--write-baseline FILE] [--json FILE] [--sarif FILE] "
+               "[--write-baseline FILE] [--prune-baseline] "
+               "[--fail-stale-baseline] [--json FILE] [--sarif FILE] "
                "[--graph-json FILE] [--cache FILE] [--jobs N] "
                "[--no-semantic] <path>...\n";
   return 2;
@@ -103,6 +112,8 @@ bool writeFile(const std::string &Path, const std::string &Content) {
 int main(int Argc, char **Argv) {
   std::string Root, BaselinePath, WriteBaselinePath, JsonPath, SarifPath,
       GraphJsonPath;
+  bool PruneBaseline = false;
+  bool FailStaleBaseline = false;
   AnalyzeOptions Opts;
   std::vector<std::string> Paths;
 
@@ -123,6 +134,10 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--write-baseline") {
       if (!Value(WriteBaselinePath))
         return usage("--write-baseline needs a file");
+    } else if (Arg == "--prune-baseline") {
+      PruneBaseline = true;
+    } else if (Arg == "--fail-stale-baseline") {
+      FailStaleBaseline = true;
     } else if (Arg == "--json") {
       if (!Value(JsonPath))
         return usage("--json needs a file");
@@ -157,6 +172,8 @@ int main(int Argc, char **Argv) {
   }
   if (Paths.empty())
     return usage("no paths given");
+  if ((PruneBaseline || FailStaleBaseline) && BaselinePath.empty())
+    return usage("--prune-baseline/--fail-stale-baseline need --baseline");
 
   std::string CollectError;
   std::vector<std::string> Files = collectFiles(Paths, CollectError);
@@ -192,6 +209,7 @@ int main(int Argc, char **Argv) {
       return usage("cannot write baseline: " + WriteBaselinePath);
   }
 
+  size_t StaleBaselineLines = 0;
   if (!BaselinePath.empty()) {
     std::ifstream In(BaselinePath);
     if (!In)
@@ -200,7 +218,23 @@ int main(int Argc, char **Argv) {
     std::string Line;
     while (std::getline(In, Line))
       Lines.push_back(Line);
-    Findings = applyBaseline(std::move(Findings), Lines);
+    BaselineResult BR = applyBaselineDetailed(std::move(Findings), Lines);
+    Findings = std::move(BR.Kept);
+    StaleBaselineLines = BR.StaleLines.size();
+    for (size_t I : BR.StaleLines)
+      std::cerr << "medley-lint: stale baseline entry (" << BaselinePath
+                << ":" << (I + 1) << "): " << Lines[I] << "\n";
+    if (PruneBaseline) {
+      // Rewrite in place: comments and blank lines survive, used
+      // suppressions keep their original order, stale ones drop out.
+      std::set<size_t> Stale(BR.StaleLines.begin(), BR.StaleLines.end());
+      std::ostringstream Out;
+      for (size_t I = 0; I < Lines.size(); ++I)
+        if (!Stale.count(I))
+          Out << Lines[I] << "\n";
+      if (!writeFile(BaselinePath, Out.str()))
+        return usage("cannot rewrite baseline: " + BaselinePath);
+    }
   }
 
   if (!JsonPath.empty() && !writeFile(JsonPath, renderJson(Findings)))
@@ -213,5 +247,7 @@ int main(int Argc, char **Argv) {
   std::cout << "medley-lint: " << Files.size() << " files, "
             << Findings.size() << " finding"
             << (Findings.size() == 1 ? "" : "s") << "\n";
-  return Findings.empty() ? 0 : 1;
+  if (!Findings.empty())
+    return 1;
+  return (FailStaleBaseline && StaleBaselineLines) ? 3 : 0;
 }
