@@ -30,6 +30,7 @@
 #include "core/LiveMixture.h"
 #include "support/ThreadPool.h"
 #include "exp/Driver.h"
+#include "exp/Fleet.h"
 #include "exp/PolicySet.h"
 #include "exp/Reporter.h"
 #include "policy/Features.h"
@@ -445,6 +446,67 @@ int cmdLifecycle(const Args &A) {
   return 0;
 }
 
+int cmdFleet(const Args &A) {
+  exp::FleetScenarioConfig Config;
+  Config.Shards = A.getUnsigned("shards", 16);
+  Config.Tenants = A.getUnsigned("tenants", 10000);
+  Config.Rounds = A.getUnsigned("rounds", 8);
+  Config.TicksPerRound = A.getUnsigned("ticks", 25);
+  Config.ChurnRate = A.getDouble("churn", 0.01);
+  Config.Seed = A.getUnsigned("seed", 0xF1EE7);
+  Config.StormShards = A.getUnsigned("storm-shards", 0);
+  Config.Policy = A.get("policy", "mixture");
+  Config.Memoize = A.has("memoize");
+  Config.TenantMaxThreads = A.getUnsigned("tenant-threads", 8);
+  Config.Jobs = A.getUnsigned("jobs", 0);
+  if (Config.Shards == 0 || Config.Tenants == 0) {
+    std::cerr << "fleet needs at least one shard and one tenant\n";
+    return 1;
+  }
+
+  std::cout << "fleet: " << Config.Tenants << " tenants across "
+            << Config.Shards << " shards, " << Config.Rounds << " rounds x "
+            << Config.TicksPerRound << " ticks under '" << Config.Policy
+            << "'" << (Config.Memoize ? " (memoized)" : "") << "\n";
+
+  exp::FleetResult R = exp::runFleetScenario(Config);
+
+  std::cout << "  ticks: " << R.Stats.Totals.Ticks << "  decisions: "
+            << R.DecisionsTotal << "  arrivals: "
+            << R.Stats.Totals.ArrivalsDelivered << "  departures: "
+            << R.Stats.Totals.DeparturesSent << "  alive: "
+            << R.Stats.Totals.TasksAlive << "\n";
+  std::cout << "  throughput: " << formatDouble(R.TicksPerSec / 1e3, 1)
+            << " Kticks/s, " << formatDouble(R.DecisionsPerSec / 1e6, 2)
+            << " Mdecisions/s (" << formatDouble(R.WallSeconds, 2)
+            << " s wall)\n";
+  const support::LatencyHistogram &H = R.TickLatency;
+  std::cout << "  tick latency p50/p95/p99/p99.9: " << H.p50() << "/"
+            << H.p95() << "/" << H.p99() << "/" << H.p999() << " ns (max "
+            << H.max() << ")\n";
+  std::cout << "  determinism: stats checksum " << R.Stats.Checksum
+            << ", decision checksum " << R.DecisionChecksum
+            << " (bit-identical at any --jobs)\n";
+
+  if (A.has("per-shard")) {
+    Table T;
+    T.addRow({"shard", "ticks", "arrivals", "departures", "alive",
+              "decisions"});
+    for (size_t S = 0; S < R.Stats.Shards.size(); ++S) {
+      const sim::FleetShardStats &Stats = R.Stats.Shards[S];
+      T.addRow();
+      T.addCell(static_cast<unsigned>(S));
+      T.addCell(static_cast<unsigned>(Stats.Ticks));
+      T.addCell(static_cast<unsigned>(Stats.ArrivalsDelivered));
+      T.addCell(static_cast<unsigned>(Stats.DeparturesSent));
+      T.addCell(static_cast<unsigned>(Stats.TasksAlive));
+      T.addCell(static_cast<unsigned>(R.Decisions[S].Count));
+    }
+    T.print(std::cout);
+  }
+  return 0;
+}
+
 void usage() {
   std::cout
       << "medley — mixture-of-experts thread mapping (PLDI 2015 repro)\n\n"
@@ -471,7 +533,15 @@ void usage() {
          "                 [--divergence-factor 3.0] [--error-floor 0.5]\n"
          "                 [--snapshot-out FILE]\n"
          "                 (baseline run -> background refit -> shadow/"
-         "canary rollout)\n";
+         "canary rollout)\n"
+         "  medley fleet   [--shards 16] [--tenants 10000] [--rounds 8]\n"
+         "                 [--ticks 25] [--churn 0.01] [--storm-shards 0]\n"
+         "                 [--policy mixture] [--memoize] "
+         "[--tenant-threads 8]\n"
+         "                 [--seed 62951] [--jobs N] [--per-shard]\n"
+         "                 (sharded fleet scenario: deterministic aggregates"
+         " at any --jobs;\n"
+         "                 --per-shard prints the per-shard breakdown)\n";
 }
 
 } // namespace
@@ -499,6 +569,8 @@ int main(int Argc, char **Argv) {
     return cmdExperts(A);
   if (Command == "lifecycle")
     return cmdLifecycle(A);
+  if (Command == "fleet")
+    return cmdFleet(A);
   usage();
   return Command == "help" || Command == "--help" ? 0 : 1;
 }

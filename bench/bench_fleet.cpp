@@ -1,0 +1,245 @@
+//===-- bench/bench_fleet.cpp - Fleet-scale throughput & tail latency ----------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// The scale benchmark of the sharded fleet engine (DESIGN.md §16): 10^5
+// tenants across 16 share-nothing shards, reporting simulated ticks/sec,
+// policy decisions/sec, per-tick tail latency (p50/p95/p99/p99.9) and the
+// steady-tick heap-allocation count. Results land in BENCH_fleet.json for
+// the bench-compare perf gate; the gated metrics are fleet.ns_per_tick
+// (>15% regression fails) and fleet.allocs_per_steady_tick (any increase
+// fails — the zero-allocation contract).
+//
+//   bench_fleet [--smoke] [--shards N] [--tenants N] [--rounds N]
+//               [--ticks N] [--jobs N]
+//
+// --smoke   small fleet, still asserting the determinism and memo
+//           bit-identity invariants end-to-end; no JSON written
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "exp/Fleet.h"
+#include "support/StringUtils.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <new>
+#include <string>
+
+using namespace medley;
+
+// Counting global allocator, as in bench_hotpath_decision: every operator
+// new bumps the counter so the steady-tick allocation gate can count heap
+// traffic exactly. Sanitizer builds keep the stock allocator (their
+// interceptors conflict with a user replacement); the gate only runs on
+// plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MEDLEY_COUNTING_ALLOC 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MEDLEY_COUNTING_ALLOC 0
+#else
+#define MEDLEY_COUNTING_ALLOC 1
+#endif
+#else
+#define MEDLEY_COUNTING_ALLOC 1
+#endif
+
+static std::atomic<size_t> GAllocCount{0};
+
+#if MEDLEY_COUNTING_ALLOC
+static void *countedAlloc(std::size_t Size) {
+  ++GAllocCount;
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+static void *countedAlignedAlloc(std::size_t Size, std::size_t Align) {
+  ++GAllocCount;
+  std::size_t Rounded = (Size + Align - 1) / Align * Align;
+  if (void *P = std::aligned_alloc(Align, Rounded ? Rounded : Align))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Size) { return countedAlloc(Size); }
+void *operator new[](std::size_t Size) { return countedAlloc(Size); }
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  return countedAlignedAlloc(Size, static_cast<std::size_t>(Align));
+}
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return countedAlignedAlloc(Size, static_cast<std::size_t>(Align));
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+#endif // MEDLEY_COUNTING_ALLOC
+
+namespace {
+
+/// Heap allocations of one steady fleet tick: a churn-free single-shard
+/// engine, warmed past every sticky-capacity phase, then metered tick by
+/// tick. The minimum is the steady-state figure; the gate is zero.
+size_t steadyTickAllocs(bool Memoize) {
+  exp::FleetScenarioConfig Config;
+  Config.Shards = 1;
+  Config.Tenants = 512;
+  Config.ChurnRate = 0.0;
+  Config.BurstEvery = 0;
+  Config.StormShards = 0;
+  Config.Memoize = Memoize;
+  exp::FleetScenario Scenario(Config);
+  Scenario.seed();
+
+  sim::FleetEngine &Engine = Scenario.engine();
+  Engine.stepShard(0, 128); // Warm-up: capacities and memo tables settle.
+  size_t Min = std::numeric_limits<size_t>::max();
+  for (int I = 0; I < 64; ++I) {
+    size_t Before = GAllocCount.load();
+    Engine.stepShard(0, 1);
+    Min = std::min(Min, GAllocCount.load() - Before);
+  }
+  return Min;
+}
+
+void printResult(const char *Label, const exp::FleetResult &R) {
+  const support::LatencyHistogram &H = R.TickLatency;
+  std::cout << "  " << padRight(Label, 10) << "  "
+            << padLeft(formatDouble(R.WallSeconds, 2), 7) << " s   "
+            << padLeft(formatDouble(R.TicksPerSec / 1e3, 1), 8)
+            << " Kticks/s  "
+            << padLeft(formatDouble(R.DecisionsPerSec / 1e6, 2), 6)
+            << " Mdec/s   tick p50/p95/p99/p99.9 "
+            << H.p50() << '/' << H.p95() << '/' << H.p99() << '/' << H.p999()
+            << " ns\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  exp::FleetScenarioConfig Config;
+  Config.Shards = 16;
+  Config.Tenants = 100000;
+  Config.Rounds = 8;
+  Config.TicksPerRound = 25;
+  Config.StormShards = 4;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--smoke")
+      Smoke = true;
+    else if (Arg == "--shards" && I + 1 < Argc)
+      Config.Shards = static_cast<unsigned>(std::stoul(Argv[++I]));
+    else if (Arg == "--tenants" && I + 1 < Argc)
+      Config.Tenants = static_cast<unsigned>(std::stoul(Argv[++I]));
+    else if (Arg == "--rounds" && I + 1 < Argc)
+      Config.Rounds = std::stoul(Argv[++I]);
+    else if (Arg == "--ticks" && I + 1 < Argc)
+      Config.TicksPerRound = static_cast<unsigned>(std::stoul(Argv[++I]));
+    else if (Arg == "--jobs" && I + 1 < Argc)
+      Config.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
+    else {
+      std::cerr << "usage: bench_fleet [--smoke] [--shards N] [--tenants N]"
+                   " [--rounds N] [--ticks N] [--jobs N]\n";
+      return 1;
+    }
+  }
+  if (Smoke) {
+    Config.Shards = 4;
+    Config.Tenants = 2000;
+    Config.Rounds = 2;
+    Config.TicksPerRound = 10;
+    Config.StormShards = 1;
+  }
+
+  bench::printBanner(
+      "fleet-scale mapping throughput",
+      "not a paper claim — 10^5 concurrent tenants across share-nothing "
+      "shards with deterministic reduction");
+
+  std::cout << "  " << Config.Tenants << " tenants, " << Config.Shards
+            << " shards, " << Config.Rounds << " rounds x "
+            << Config.TicksPerRound << " ticks, policy '" << Config.Policy
+            << "'\n\n";
+
+  // The timed run, memo off.
+  exp::FleetResult Plain = exp::runFleetScenario(Config);
+  printResult("fleet", Plain);
+
+  // Memoized run: the deterministic half must be bit-identical — the memo
+  // may only skip arithmetic that provably reproduces the same bits.
+  exp::FleetScenarioConfig MemoConfig = Config;
+  MemoConfig.Memoize = true;
+  exp::FleetResult Memo = exp::runFleetScenario(MemoConfig);
+  printResult("memoized", Memo);
+  if (Memo.DecisionChecksum != Plain.DecisionChecksum ||
+      Memo.DecisionsTotal != Plain.DecisionsTotal ||
+      Memo.Stats.Checksum != Plain.Stats.Checksum) {
+    std::cerr << "FAIL: memoized run diverged from the plain run "
+                 "(decision checksum "
+              << Memo.DecisionChecksum << " vs " << Plain.DecisionChecksum
+              << ")\n";
+    return 1;
+  }
+  std::cout << "  memo bit-identity: decision+stats checksums match\n";
+
+  size_t TickAllocs = steadyTickAllocs(/*Memoize=*/false);
+  size_t TickAllocsMemo = steadyTickAllocs(/*Memoize=*/true);
+  std::cout << "  steady tick: " << TickAllocs << " heap allocations ("
+            << TickAllocsMemo << " memoized)\n";
+
+  if (Smoke) {
+    std::cout << "\nsmoke run -- BENCH_fleet.json not written\n";
+    return Plain.DecisionsTotal == 0 ? 1 : 0;
+  }
+
+  double NsPerTick =
+      Plain.WallSeconds * 1e9 /
+      static_cast<double>(std::max<uint64_t>(1, Plain.Stats.Totals.Ticks));
+  double NsPerTickMemo =
+      Memo.WallSeconds * 1e9 /
+      static_cast<double>(std::max<uint64_t>(1, Memo.Stats.Totals.Ticks));
+  const support::LatencyHistogram &H = Plain.TickLatency;
+
+  std::ofstream Json("BENCH_fleet.json");
+  Json << "{\n  \"bench\": \"fleet\",\n"
+       << "  \"shape\": {\"shards\": " << Config.Shards
+       << ", \"tenants\": " << Config.Tenants
+       << ", \"rounds\": " << Config.Rounds
+       << ", \"ticks_per_round\": " << Config.TicksPerRound << "},\n"
+       << "  \"fleet\": {\"ns_per_tick\": " << NsPerTick
+       << ", \"ticks_per_sec\": " << Plain.TicksPerSec
+       << ", \"decisions_per_sec\": " << Plain.DecisionsPerSec
+       << ", \"allocs_per_steady_tick\": " << TickAllocs << "},\n"
+       << "  \"fleet_memoized\": {\"ns_per_tick\": " << NsPerTickMemo
+       << ", \"decisions_per_sec\": " << Memo.DecisionsPerSec
+       << ", \"allocs_per_steady_tick\": " << TickAllocsMemo << "},\n"
+       << "  \"tick_latency\": {\"p50_ns\": " << H.p50()
+       << ", \"p95_ns\": " << H.p95() << ", \"p99_ns\": " << H.p99()
+       << ", \"p999_ns\": " << H.p999() << ", \"max_ns\": " << H.max()
+       << "},\n"
+       << "  \"determinism\": {\"stats_checksum\": " << Plain.Stats.Checksum
+       << ", \"decision_checksum\": " << Plain.DecisionChecksum
+       << ", \"decisions_total\": " << Plain.DecisionsTotal << "}\n}\n";
+  std::cout << "\nwrote BENCH_fleet.json\n";
+  return Plain.DecisionsTotal == 0 ? 1 : 0;
+}

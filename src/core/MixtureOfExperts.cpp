@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace medley;
 using namespace medley::core;
@@ -34,6 +35,9 @@ void MixtureOfExperts::bindExpertViews() {
   ThreadModels.clear();
   EnvModels.clear();
   AnyEnvObserver = false;
+  // New models produce new bits for the same features; drop the memo.
+  MemoValid = false;
+  MemoHaveThreadPreds = false;
 
   // ExpertBuilder trains every thread predictor with one corpus-wide
   // scaler; when that holds (element-wise identical moments), the decision
@@ -87,8 +91,18 @@ void MixtureOfExperts::readmitQuarantined() {
 }
 
 void MixtureOfExperts::stashPending(const policy::FeatureVector &Features,
-                                    size_t Chosen) {
+                                    size_t Chosen, bool ReusePredictions) {
   PendingFeatures = Features.Values;
+  if (ReusePredictions) {
+    // Memo hit: PendingEnvPredictions still holds the predictions for
+    // exactly these feature bits under the current expert set (nothing
+    // else writes it), so recomputing them would reproduce the same
+    // values — skip straight to re-arming the judgement.
+    assert(PendingEnvPredictions.size() == Experts->size());
+    PendingChosen = Chosen;
+    HasPending = true;
+    return;
+  }
   PendingEnvPredictions.resize(Experts->size());
   if (!EnvModels.empty()) {
     // Direct linear path, bit-identical to Expert::predictEnvNorm: batch
@@ -143,6 +157,17 @@ void MixtureOfExperts::judgePreviousDecision(
 }
 
 unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
+  // Pure-part memo probe (before the judge runs: the judge only updates
+  // the selector, never the cached pure computations). A hit means the
+  // previous decision saw these exact feature bits, so its standardised
+  // features, batched thread scores and environment predictions are
+  // bitwise reusable; gating and adaptation below still run in full.
+  const bool MemoHit =
+      Options.Memoize && MemoValid &&
+      Features.Values.size() == policy::NumFeatures &&
+      std::memcmp(MemoKey.data(), Features.Values.data(),
+                  sizeof(double) * policy::NumFeatures) == 0;
+
   judgePreviousDecision(Features);
 
   if (Options.Faults && Features.SanitizedCount > 0)
@@ -160,23 +185,30 @@ unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
     long N = std::clamp<long>(std::lround(Processors), 1,
                               static_cast<long>(Features.MaxThreads));
     unsigned Threads = static_cast<unsigned>(N);
-    stashPending(Features, LastExpert);
+    stashPending(Features, LastExpert, MemoHit);
+    rememberMemoKey(Features, /*ComputedThreadPreds=*/false, MemoHit);
     return Threads;
   }
 
   size_t Chosen;
   unsigned Threads;
   bool HaveThreadPreds = false;
+  bool ComputedThreadPreds = false;
   Vec &Weights = ScratchWeights;
   if (Options.SoftBlend &&
       Selector->blendWeights(Features.Values, Weights)) {
     // Soft gating: accuracy-weighted blend of the expert predictions.
     if (SharedThreadScaler) {
-      SharedThreadScaler->transformInto(Features.Values, ScratchStd);
-      ScratchRawThreads.resize(ThreadModels.size());
-      LinearModel::predictStandardizedMany(ThreadModels.data(),
-                                           ThreadModels.size(), ScratchStd,
-                                           ScratchRawThreads.data());
+      if (!(MemoHit && MemoHaveThreadPreds)) {
+        SharedThreadScaler->transformInto(Features.Values, ScratchStd);
+        ScratchRawThreads.resize(ThreadModels.size());
+        LinearModel::predictStandardizedMany(ThreadModels.data(),
+                                             ThreadModels.size(), ScratchStd,
+                                             ScratchRawThreads.data());
+      }
+      // Either branch leaves ScratchStd/ScratchRawThreads holding the
+      // values for exactly these feature bits.
+      ComputedThreadPreds = true;
     }
     ScratchThreadPreds.resize(Experts->size());
     double Blend = 0.0;
@@ -213,7 +245,8 @@ unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
 
   // Stash this decision's environment predictions; they are judged at the
   // next region, which is the paper's next timestamp.
-  stashPending(Features, Chosen);
+  stashPending(Features, Chosen, MemoHit);
+  rememberMemoKey(Features, ComputedThreadPreds, MemoHit);
 
   if (Stats) {
     ++Stats->SelectionCounts[Chosen];
@@ -231,10 +264,30 @@ unsigned MixtureOfExperts::select(const policy::FeatureVector &Features) {
   return Threads;
 }
 
+void MixtureOfExperts::rememberMemoKey(const policy::FeatureVector &Features,
+                                       bool ComputedThreadPreds,
+                                       bool MemoHit) {
+  if (!Options.Memoize)
+    return;
+  if (Features.Values.size() != policy::NumFeatures) {
+    MemoValid = false;
+    MemoHaveThreadPreds = false;
+    return;
+  }
+  std::memcpy(MemoKey.data(), Features.Values.data(),
+              sizeof(double) * policy::NumFeatures);
+  MemoValid = true;
+  // Thread scores stay reusable if this call refreshed them, or if the key
+  // did not change and they were already pinned to it.
+  MemoHaveThreadPreds = ComputedThreadPreds || (MemoHit && MemoHaveThreadPreds);
+}
+
 void MixtureOfExperts::reset() {
   Selector->reset();
   HasPending = false;
   LastExpert = 0;
+  MemoValid = false;
+  MemoHaveThreadPreds = false;
 }
 
 const std::string &MixtureOfExperts::name() const {

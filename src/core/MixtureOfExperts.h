@@ -26,6 +26,7 @@
 #include "core/MoeStats.h"
 #include "policy/ThreadPolicy.h"
 
+#include <array>
 #include <memory>
 
 namespace medley::core {
@@ -47,6 +48,17 @@ struct MixtureOptions {
   /// fallbacks under full quarantine and sanitized feature values. Must
   /// outlive the policy instance.
   support::FaultStats *Faults = nullptr;
+
+  /// Pure-part decision memoization (ROADMAP item 5): when consecutive
+  /// decisions arrive with bit-identical feature vectors — which the fleet
+  /// engine's environment epochs make the common case — the expensive
+  /// pure computations (feature standardisation, the batched thread-model
+  /// scoring, the per-expert environment predictions) are reused from the
+  /// previous decision instead of recomputed. Selector adaptation (the
+  /// judge update) and gating still run on every decision, so the emitted
+  /// decision sequence is bit-identical with the memo on or off; only the
+  /// arithmetic that provably reproduces the same bits is skipped.
+  bool Memoize = false;
 };
 
 /// Mixture-of-experts thread-selection policy.
@@ -89,8 +101,17 @@ private:
   void judgePreviousDecision(const policy::FeatureVector &Features);
 
   /// Records this decision's per-expert environment predictions so the
-  /// next call can judge them.
-  void stashPending(const policy::FeatureVector &Features, size_t Chosen);
+  /// next call can judge them. When \p ReusePredictions is set, the
+  /// predictions already in PendingEnvPredictions were computed from
+  /// bit-identical features against the same expert set and are kept.
+  void stashPending(const policy::FeatureVector &Features, size_t Chosen,
+                    bool ReusePredictions = false);
+
+  /// Pins the memo to this decision's feature bits after the decision
+  /// completes; \p ComputedThreadPreds records whether ScratchStd /
+  /// ScratchRawThreads were (re)filled for these features this call.
+  void rememberMemoKey(const policy::FeatureVector &Features,
+                       bool ComputedThreadPreds, bool MemoHit);
 
   std::shared_ptr<const std::vector<Expert>> Experts;
   std::unique_ptr<ExpertSelector> Selector;
@@ -130,6 +151,16 @@ private:
   /// Any expert with an online environment-learning hook? When false the
   /// per-decision observeEnvironment fan-out is a guaranteed no-op.
   bool AnyEnvObserver = false;
+
+  /// Pure-part memo state (MixtureOptions::Memoize): MemoKey holds the
+  /// feature values of the previous decision; when the next decision's
+  /// values match bitwise, ScratchStd / ScratchRawThreads (if
+  /// MemoHaveThreadPreds) and PendingEnvPredictions still hold exactly
+  /// what recomputation would produce. Invalidated by reset() and by
+  /// expert rebinds (new models, new bits).
+  bool MemoValid = false;
+  bool MemoHaveThreadPreds = false;
+  std::array<double, policy::NumFeatures> MemoKey{};
 };
 
 } // namespace medley::core

@@ -106,12 +106,13 @@ PolicySet::selectorPrototype(unsigned NumExperts,
 
 policy::PolicyFactory
 PolicySet::mixtureFactory(unsigned NumExperts, const std::string &SelectorKind,
-                          std::shared_ptr<core::MoeStats> Stats) {
+                          std::shared_ptr<core::MoeStats> Stats,
+                          core::MixtureOptions Options) {
   auto Experts = experts(NumExperts);
   auto Prototype = selectorPrototype(NumExperts, SelectorKind);
-  return [Experts, Prototype, Stats]() {
-    return std::make_unique<core::MixtureOfExperts>(Experts,
-                                                    Prototype->clone(), Stats);
+  return [Experts, Prototype, Stats, Options]() {
+    return std::make_unique<core::MixtureOfExperts>(
+        Experts, Prototype->clone(), Stats, Options);
   };
 }
 

@@ -24,6 +24,7 @@ public:
   unsigned select(const FeatureVector &Features) override;
   void reset() override {}
   const std::string &name() const override;
+  bool decisionsArePure() const override { return true; }
 };
 
 } // namespace medley::policy

@@ -31,6 +31,8 @@ public:
   unsigned select(const FeatureVector &Features) override;
   void reset() override {}
   const std::string &name() const override { return PolicyName; }
+  /// One frozen model, no adaptation: decisions depend on features alone.
+  bool decisionsArePure() const override { return true; }
 
   const LinearModel &model() const { return ThreadModel; }
 

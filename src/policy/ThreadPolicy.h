@@ -41,6 +41,16 @@ public:
   /// Reports a completed region execution. Default: ignore.
   virtual void observe(const workload::RegionOutcome &Outcome);
 
+  /// True when select() is a pure function of the feature vector: no
+  /// adaptation state read or written, no randomness, no external snapshot
+  /// swaps at epoch boundaries. The runtime's decision memo may then reuse
+  /// a prior decision outright (skipping select()) whenever it can prove
+  /// the features are bit-identical; for impure policies it may only skip
+  /// feature assembly, never the select() call — skipping one would starve
+  /// the policy's internal adaptation and change later decisions. Default:
+  /// false (the conservative answer is always correct).
+  virtual bool decisionsArePure() const { return false; }
+
   /// Rewinds adaptation state for a fresh run.
   virtual void reset() = 0;
 

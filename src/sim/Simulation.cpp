@@ -142,6 +142,17 @@ void Simulation::step() {
 
   BaseAlloc.Now = Time;
 
+  // Environment epoch: the EnvSample handed to slow-path tasks below is a
+  // pure function of the monitor state (plus per-tick fault perturbation),
+  // so the epoch advances exactly when the monitor's change-version moved
+  // — or unconditionally under faults, whose seeded garbage is redrawn
+  // every tick. Equal epochs ⇒ bit-identical Env except WorkloadThreads.
+  if (Faults || Monitor.version() != EpochMonitorVersion) {
+    ++EnvEpoch;
+    EpochMonitorVersion = Monitor.version();
+  }
+  BaseAlloc.EnvEpoch = EnvEpoch;
+
   // Phase 1: every unfinished task attempts the steady fast path (advance
   // without reading the environment). Tasks that decline are staged in
   // the tick arena and take the slow path below, in insertion order, so

@@ -119,6 +119,14 @@ private:
   unsigned CachedCores = 0;
   double NextCoresChange = 0.0; ///< Sentinel set in ctor to force a query.
 
+  /// Environment epoch handed to tasks via CpuAllocation::EnvEpoch:
+  /// bumped whenever the monitor's observable state changed since the
+  /// epoch was last assigned, and on every tick while a fault injector is
+  /// installed (perturbEnv redraws seeded garbage each tick, so no two
+  /// faulted ticks may share an epoch).
+  uint64_t EnvEpoch = 0;
+  uint64_t EpochMonitorVersion = ~0ULL; ///< Sentinel: first tick bumps.
+
   /// Reduction cache, valid for (CacheGeneration, CacheCores).
   bool TickCacheValid = false;
   uint64_t CacheGeneration = 0;

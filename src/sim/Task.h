@@ -49,6 +49,14 @@ struct CpuAllocation {
 
   /// Current simulated time at the start of the tick.
   double Now = 0.0;
+
+  /// Environment epoch: a counter the scheduler bumps whenever the fields
+  /// backing Env could have changed bitwise (monitor state change, fault
+  /// injection, core-count change). Two allocations with equal EnvEpoch
+  /// carry bit-identical Env contents except for the observer-dependent
+  /// WorkloadThreads field. Decision memoization (DESIGN.md §16.5) keys
+  /// on this to prove selector inputs unchanged without comparing them.
+  uint64_t EnvEpoch = 0;
 };
 
 /// Anything the simulated machine can run.

@@ -75,3 +75,51 @@ void Histogram::clear() {
   Counts.clear();
   Total = 0;
 }
+
+void support::LatencyHistogram::merge(const LatencyHistogram &Other) {
+  for (size_t I = 0; I < NumBuckets; ++I)
+    Counts[I] += Other.Counts[I];
+  Total += Other.Total;
+  Sum += Other.Sum;
+  Max = std::max(Max, Other.Max);
+}
+
+uint64_t support::LatencyHistogram::bucketUpperEdge(size_t Index) {
+  assert(Index < NumBuckets && "bucket index out of range");
+  if (Index < 8)
+    return static_cast<uint64_t>(Index);
+  size_t Octave = (Index - 8) / 8;
+  size_t Sub = (Index - 8) % 8;
+  // Bucket [8 + o*8 + s] holds values in [2^(o+3) + s*2^o, ... + 2^o).
+  uint64_t Base = 1ULL << (Octave + 3);
+  uint64_t Step = 1ULL << Octave;
+  return Base + (Sub + 1) * Step - 1;
+}
+
+uint64_t support::LatencyHistogram::percentileNs(double Q) const {
+  if (Total == 0)
+    return 0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based; ceil without FP edge cases.
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(Total))
+    ++Rank;
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  size_t LastOccupied = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    if (Counts[I] == 0)
+      continue;
+    LastOccupied = I;
+    Seen += Counts[I];
+    if (Seen >= Rank) {
+      // Inside the saturated tail bucket the edge underestimates; the
+      // recorded maximum is the only honest answer there.
+      if (I == NumBuckets - 1)
+        return Max;
+      return std::min(bucketUpperEdge(I), Max);
+    }
+  }
+  return std::min(bucketUpperEdge(LastOccupied), Max);
+}

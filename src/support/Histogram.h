@@ -13,7 +13,9 @@
 #ifndef MEDLEY_SUPPORT_HISTOGRAM_H
 #define MEDLEY_SUPPORT_HISTOGRAM_H
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace medley {
@@ -53,6 +55,85 @@ private:
   std::vector<size_t> Counts;
   size_t Total = 0;
 };
+
+namespace support {
+
+/// Fixed-bucket latency recorder for hot-path tail metrics (the fleet
+/// engine's per-tick latencies). Buckets are log-spaced — 8 sub-buckets
+/// per power of two — covering [0, ~4.4 s) in nanoseconds with < 12.5%
+/// relative error per bucket; values past the last bucket saturate into
+/// it. All storage is a fixed inline array: record() never allocates,
+/// never locks, and is safe to call from a shard worker as long as each
+/// histogram has a single writer (share-nothing). Per-shard histograms
+/// are combined at the reduction barrier with merge(), which is
+/// commutative and associative, so a shard-id-ordered merge is
+/// placement-independent.
+class LatencyHistogram {
+public:
+  /// 8 linear buckets for [0,8) ns plus 29 octaves x 8 sub-buckets.
+  static constexpr size_t NumBuckets = 8 + 29 * 8;
+
+  /// Records one latency of \p Ns nanoseconds. Alloc-free, wait-free.
+  void record(uint64_t Ns) {
+    ++Counts[bucketIndex(Ns)];
+    ++Total;
+    Sum += Ns;
+    if (Ns > Max)
+      Max = Ns;
+  }
+
+  /// Folds \p Other into this histogram (used by the two-level fleet
+  /// reduction: per-shard histograms merged in shard-id order).
+  void merge(const LatencyHistogram &Other);
+
+  /// Number of samples recorded.
+  uint64_t total() const { return Total; }
+
+  /// Sum of all recorded values (ns) and the exact maximum.
+  uint64_t sum() const { return Sum; }
+  uint64_t max() const { return Max; }
+
+  /// Mean recorded value in nanoseconds (0 when empty).
+  double meanNs() const {
+    return Total ? static_cast<double>(Sum) / static_cast<double>(Total) : 0.0;
+  }
+
+  /// Value (ns) at quantile \p Q in [0, 1]: the upper edge of the first
+  /// bucket whose cumulative count reaches ceil(Q * total). Returns 0
+  /// when empty. Exact max() is reported for Q == 1 tails beyond the
+  /// last occupied bucket's edge.
+  uint64_t percentileNs(double Q) const;
+
+  uint64_t p50() const { return percentileNs(0.50); }
+  uint64_t p95() const { return percentileNs(0.95); }
+  uint64_t p99() const { return percentileNs(0.99); }
+  uint64_t p999() const { return percentileNs(0.999); }
+
+  void clear();
+
+  /// Bucket index for \p Ns (exposed for tests).
+  static size_t bucketIndex(uint64_t Ns) {
+    if (Ns < 8)
+      return static_cast<size_t>(Ns);
+    // Octave = position of the leading bit; the next 3 bits subdivide it.
+    int Msb = 63 - __builtin_clzll(Ns);
+    size_t Octave = static_cast<size_t>(Msb - 3);
+    size_t Sub = static_cast<size_t>((Ns >> (Msb - 3)) & 7);
+    size_t Index = 8 + Octave * 8 + Sub;
+    return Index < NumBuckets ? Index : NumBuckets - 1;
+  }
+
+  /// Inclusive upper edge (ns) of bucket \p Index (exposed for tests).
+  static uint64_t bucketUpperEdge(size_t Index);
+
+private:
+  std::array<uint64_t, NumBuckets> Counts{};
+  uint64_t Total = 0;
+  uint64_t Sum = 0;
+  uint64_t Max = 0;
+};
+
+} // namespace support
 
 } // namespace medley
 

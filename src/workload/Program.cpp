@@ -35,10 +35,17 @@ double ProgramSpec::isolatedSpeedup(unsigned Threads,
 
 Program::Program(ProgramSpec Spec, ThreadChooser Chooser, unsigned MaxThreads,
                  bool Looping)
+    : Program(std::make_shared<const ProgramSpec>(std::move(Spec)),
+              std::move(Chooser), MaxThreads, Looping) {}
+
+Program::Program(std::shared_ptr<const ProgramSpec> Spec, ThreadChooser Chooser,
+                 unsigned MaxThreads, bool Looping)
     : Spec(std::move(Spec)), Chooser(std::move(Chooser)),
       MaxThreads(MaxThreads), Looping(Looping) {
-  assert(!this->Spec.Regions.empty() && "program needs at least one region");
-  assert(this->Spec.Iterations >= 1 && "program needs at least one iteration");
+  assert(this->Spec && "program needs a spec");
+  assert(!this->Spec->Regions.empty() && "program needs at least one region");
+  assert(this->Spec->Iterations >= 1 &&
+         "program needs at least one iteration");
   assert(MaxThreads >= 1 && "invalid thread clamp");
   assert(this->Chooser && "a thread chooser is required");
 }
@@ -48,9 +55,9 @@ void Program::setRegionObserver(RegionObserver NewObserver) {
 }
 
 double Program::memoryDemand() const {
-  if (Done || Spec.Regions.empty())
+  if (Done || Spec->Regions.empty())
     return 0.0;
-  const RegionSpec &Region = Spec.Regions[RegionIndex];
+  const RegionSpec &Region = Spec->Regions[RegionIndex];
   return static_cast<double>(CurrentThreads) * Region.MemIntensity;
 }
 
@@ -59,13 +66,14 @@ bool Program::finished() const { return Done; }
 void Program::startNextRegion(const sim::CpuAllocation &Allocation,
                               double Now) {
   RegionContext Context;
-  Context.Program = &Spec;
-  Context.Region = &Spec.Regions[RegionIndex];
+  Context.Program = Spec.get();
+  Context.Region = &Spec->Regions[RegionIndex];
   Context.RegionIndex = RegionIndex;
   Context.Iteration = Iteration;
   Context.Env = Allocation.Env;
   Context.Now = Now;
   Context.MaxThreads = MaxThreads;
+  Context.EnvEpoch = Allocation.EnvEpoch;
 
   unsigned Chosen = Chooser(Context);
   CurrentThreads = std::clamp(Chosen, 1u, MaxThreads);
@@ -82,7 +90,7 @@ double Program::cachedRegionRate(const sim::CpuAllocation &Allocation) {
       RateCoresPerSocket != Allocation.CoresPerSocket ||
       RateInterSocketSync != Allocation.InterSocketSync) {
     CachedRate =
-        regionRate(Spec.Regions[RegionIndex], CurrentThreads, Allocation);
+        regionRate(Spec->Regions[RegionIndex], CurrentThreads, Allocation);
     RateRegionIndex = RegionIndex;
     RateThreads = CurrentThreads;
     RateShare = Allocation.CpuShare;
@@ -104,7 +112,7 @@ bool Program::stepSteady(double Dt, const sim::CpuAllocation &Allocation) {
   // and lets the scheduler run the full step().
   if (Done || !RegionActive || !(Dt > 1e-12))
     return false;
-  const RegionSpec &Region = Spec.Regions[RegionIndex];
+  const RegionSpec &Region = Spec->Regions[RegionIndex];
   double Rate = cachedRegionRate(Allocation);
   assert(Rate > 0.0 && "region cannot make progress");
   double WorkLeft = Region.Work - RegionProgress;
@@ -125,7 +133,7 @@ void Program::step(double Dt, const sim::CpuAllocation &Allocation) {
     if (!RegionActive)
       startNextRegion(Allocation, LocalNow);
 
-    const RegionSpec &Region = Spec.Regions[RegionIndex];
+    const RegionSpec &Region = Spec->Regions[RegionIndex];
     double Rate = cachedRegionRate(Allocation);
     assert(Rate > 0.0 && "region cannot make progress");
 
@@ -156,10 +164,10 @@ void Program::step(double Dt, const sim::CpuAllocation &Allocation) {
 
     // Advance to the next region / iteration / run.
     ++RegionIndex;
-    if (RegionIndex == Spec.Regions.size()) {
+    if (RegionIndex == Spec->Regions.size()) {
       RegionIndex = 0;
       ++Iteration;
-      if (Iteration == Spec.Iterations) {
+      if (Iteration == Spec->Iterations) {
         Iteration = 0;
         ++CompletedRuns;
         if (CompletedRuns == 1)

@@ -19,6 +19,7 @@
 #include "workload/Region.h"
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace medley::workload {
@@ -50,6 +51,11 @@ struct RegionContext {
   sim::EnvSample Env;    ///< Environment as seen by this program.
   double Now = 0.0;      ///< Simulated time.
   unsigned MaxThreads = 1; ///< Upper clamp (machine core count).
+
+  /// The scheduler's environment epoch (CpuAllocation::EnvEpoch) at the
+  /// decision: equal epochs prove Env is bit-identical apart from
+  /// WorkloadThreads. 0 for contexts built outside the simulator.
+  uint64_t EnvEpoch = 0;
 };
 
 /// Result of one completed region execution, fed back to policies.
@@ -80,18 +86,27 @@ public:
   Program(ProgramSpec Spec, ThreadChooser Chooser, unsigned MaxThreads,
           bool Looping = false);
 
+  /// Shared-spec constructor: tenant fleets instantiate the same catalog
+  /// program tens of thousands of times, so instances share one immutable
+  /// spec instead of copying its region vector per tenant.
+  Program(std::shared_ptr<const ProgramSpec> Spec, ThreadChooser Chooser,
+          unsigned MaxThreads, bool Looping = false);
+
   void setRegionObserver(RegionObserver Observer);
 
   // sim::Task interface.
-  const std::string &name() const override { return Spec.Name; }
+  const std::string &name() const override { return Spec->Name; }
   unsigned activeThreads() const override { return CurrentThreads; }
   double memoryDemand() const override;
-  double workingSetMb() const override { return Spec.WorkingSetMb; }
+  double workingSetMb() const override { return Spec->WorkingSetMb; }
   void step(double Dt, const sim::CpuAllocation &Allocation) override;
   bool stepSteady(double Dt, const sim::CpuAllocation &Allocation) override;
   bool finished() const override;
 
-  const ProgramSpec &spec() const { return Spec; }
+  const ProgramSpec &spec() const { return *Spec; }
+
+  /// The shared spec instance (alive as long as any instance uses it).
+  const std::shared_ptr<const ProgramSpec> &sharedSpec() const { return Spec; }
 
   /// Wall-clock completion time of the (first) full run; meaningful once
   /// finished() or completedRuns() > 0.
@@ -117,7 +132,7 @@ private:
   /// Amdahl/penalty evaluation collapses to a few compares.
   double cachedRegionRate(const sim::CpuAllocation &Allocation);
 
-  ProgramSpec Spec;
+  std::shared_ptr<const ProgramSpec> Spec;
   ThreadChooser Chooser;
   unsigned MaxThreads;
   bool Looping;

@@ -388,6 +388,63 @@ TEST(CrossThreadWriteTest, TaskLocalReceiverStaysQuiet) {
       << messagesOf(Findings);
 }
 
+TEST(CrossThreadWriteTest, FleetStepShardIsANamedThreadTaskRoot) {
+  // No spawn lambda anywhere in this snippet: the root comes purely from
+  // the FleetEngine::stepShard name anchor (the real engine drives it
+  // from ThreadPool workers, one shard range each). The identically
+  // shaped method on another class is the control and must stay quiet.
+  std::string Src = "class FleetEngine {\n"
+                    "public:\n"
+                    "  void stepShard(unsigned long Shard, unsigned long N);\n"
+                    "private:\n"
+                    "  long TotalTicks = 0;\n"
+                    "  std::atomic<long> Alive{0};\n"
+                    "};\n"
+                    "void FleetEngine::stepShard(unsigned long Shard,\n"
+                    "                            unsigned long N) {\n"
+                    "  TotalTicks += static_cast<long>(N);\n"
+                    "  Alive = static_cast<long>(Shard);\n"
+                    "}\n"
+                    "class OtherEngine {\n"
+                    "public:\n"
+                    "  void stepShard(unsigned long Shard, unsigned long N);\n"
+                    "private:\n"
+                    "  long Quiet = 0;\n"
+                    "};\n"
+                    "void OtherEngine::stepShard(unsigned long Shard,\n"
+                    "                            unsigned long N) {\n"
+                    "  Quiet += static_cast<long>(N);\n"
+                    "}\n";
+  auto Findings = runSemanticRules(
+      linkCallGraph({indexSrc("src/sim/FleetEngine.cpp", Src)}));
+  std::string Msgs = messagesOf(Findings);
+  EXPECT_EQ(countRule(Findings, "cross-thread-write"), 1u) << Msgs;
+  EXPECT_NE(Msgs.find("'TotalTicks'"), std::string::npos) << Msgs;
+  EXPECT_EQ(Msgs.find("'Alive'"), std::string::npos) << Msgs;
+  EXPECT_EQ(Msgs.find("'Quiet'"), std::string::npos) << Msgs;
+}
+
+TEST(HotpathEscapeTest, FleetStepShardIsADecisionEntry) {
+  // stepShard wraps Simulation::step on the steady tick path, so an
+  // allocation reachable from it must trip L7 exactly like one under a
+  // selector entry.
+  std::string Src = "class FleetEngine {\n"
+                    "public:\n"
+                    "  void stepShard(unsigned long Shard, unsigned long N);\n"
+                    "private:\n"
+                    "  std::vector<long> TickLog;\n"
+                    "};\n"
+                    "void FleetEngine::stepShard(unsigned long Shard,\n"
+                    "                            unsigned long N) {\n"
+                    "  TickLog.push_back(static_cast<long>(N));\n"
+                    "}\n";
+  auto Findings = runSemanticRules(
+      linkCallGraph({indexSrc("src/sim/FleetEngine.cpp", Src)}));
+  std::string Msgs = messagesOf(Findings);
+  EXPECT_TRUE(hasRule(Findings, "hotpath-escape")) << Msgs;
+  EXPECT_NE(Msgs.find("FleetEngine::stepShard"), std::string::npos) << Msgs;
+}
+
 //===----------------------------------------------------------------------===//
 // L11 snapshot-retention: acquire tracking on in-process snippets
 //===----------------------------------------------------------------------===//
@@ -967,6 +1024,30 @@ TEST_F(SemanticCliTest, CrossThreadWriteFixtureFires) {
   EXPECT_EQ(Report.find("'Notes'"), std::string::npos) << Report;
 }
 
+TEST_F(SemanticCliTest, FleetShardFixtureFires) {
+  std::string Json = path("report.json");
+  EXPECT_EQ(runLint("--root " + fixture("fleet-shard") + " --json " + Json +
+                    " " + fixture("fleet-shard") + "/src"),
+            1);
+  std::string Report = slurp(Json);
+  // L10 via the named FleetEngine::stepShard root (no spawn lambda in the
+  // tree): the shared aggregate directly in stepShard plus the cross-TU
+  // leg through recordDecisions().
+  EXPECT_NE(Report.find("cross-thread-write"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("'TotalTicks'"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("'TotalDecisions'"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("FleetEngine::recordDecisions"), std::string::npos)
+      << Report;
+  // L7 via the FleetEngine::stepShard decision entry.
+  EXPECT_NE(Report.find("hotpath-escape"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("FleetEngine::stepShard"), std::string::npos)
+      << Report;
+  // The atomic, guarded, and task-local legs stay quiet.
+  EXPECT_EQ(Report.find("'Alive'"), std::string::npos) << Report;
+  EXPECT_EQ(Report.find("'GuardedTotal'"), std::string::npos) << Report;
+  EXPECT_EQ(Report.find("'LocalTicks'"), std::string::npos) << Report;
+}
+
 TEST_F(SemanticCliTest, SnapshotRetentionFixtureFires) {
   std::string Json = path("report.json");
   EXPECT_EQ(runLint("--root " + fixture("snapshot-retention") + " --json " +
@@ -1005,12 +1086,12 @@ TEST_F(SemanticCliTest, ArenaEscapeFixtureFires) {
 
 TEST_F(SemanticCliTest, SarifCarriesCatalogRuleIndexAndFingerprints) {
   // Every report embeds the full twelve-rule catalog plus per-result
-  // ruleIndex and stable partialFingerprints — over all six seeded
+  // ruleIndex and stable partialFingerprints — over all the seeded
   // fixture trees (L7–L12).
   const char *Trees[] = {"hotpath-escape",     "registry-lock",
                          "lock-order",         "determinism-taint",
                          "cross-thread-write", "snapshot-retention",
-                         "arena-escape"};
+                         "arena-escape",       "fleet-shard"};
   for (const char *Tree : Trees) {
     std::string Sarif = path(std::string(Tree) + ".sarif");
     EXPECT_EQ(runLint("--root " + fixture(Tree) + " --sarif " + Sarif + " " +

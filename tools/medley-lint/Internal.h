@@ -39,7 +39,7 @@ inline constexpr const char *RuleArenaEscape = "arena-escape";
 /// change to what the analyzer computes (new rules, changed summaries,
 /// changed serialization) must bump this so warm caches cannot serve
 /// stale reports.
-inline constexpr const char *AnalyzerVersion = "medley-lint-3";
+inline constexpr const char *AnalyzerVersion = "medley-lint-4";
 
 /// One catalog row per rule: id, human name, one-line description.
 /// Drives the SARIF `rules` metadata and the cache fingerprint.

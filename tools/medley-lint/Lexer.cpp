@@ -95,6 +95,20 @@ LexedFile medley::lint::lex(const std::string &Source) {
       continue;
     }
 
+    // Preprocessor directive: consume to end of line (honouring
+    // backslash continuations). '#' has no token-level meaning outside
+    // directives, and leaking `include < vector >` into the stream makes
+    // the scope scanner misread the next `Name {...}` as a brace
+    // initializer, swallowing whole class bodies.
+    if (Ch == '#') {
+      while (!C.done() && C.peek() != '\n') {
+        char D = C.advance();
+        if (D == '\\' && C.peek() == '\n')
+          C.advance(); // continuation: the directive spans this newline
+      }
+      continue;
+    }
+
     // Line comment — the annotation carrier.
     if (Ch == '/' && C.peek(1) == '/') {
       unsigned Line = C.line();

@@ -386,6 +386,19 @@ DestInfo resolveDest(const CallGraph &G, const CallGraph::Node &N,
 // L10: cross-thread-write
 //===----------------------------------------------------------------------===//
 
+/// Named methods that execute on worker threads even though their spawn
+/// site is out of analytical reach: the fleet engine's run() drives each
+/// of these from the lambda it hands to ThreadPool::parallelFor, one
+/// shard range per worker (DESIGN.md §16), so writes reachable from them
+/// race exactly as if they sat in the lambda body itself. Anchoring on
+/// the names keeps coverage when the call is made through a pointer or
+/// wrapper the resolver cannot follow.
+bool isShardTaskRoot(const CallGraph::Node &N) {
+  return N.Class == "FleetEngine" &&
+         (N.Name == "stepShard" || N.Name == "drainInbox" ||
+          N.Name == "runChurn");
+}
+
 void ruleCrossThreadWrite(const CallGraph &G, std::vector<Finding> &Out) {
   // Best (shortest, then lexicographically smallest) path from a
   // thread-task body to each node with unguarded writes. The walk only
@@ -398,7 +411,8 @@ void ruleCrossThreadWrite(const CallGraph &G, std::vector<Finding> &Out) {
   std::map<size_t, Best> BestByNode;
 
   for (size_t E = 0; E < G.Nodes.size(); ++E) {
-    if (!inScope(G, E) || !G.Nodes[E].IsThreadBody)
+    if (!inScope(G, E) ||
+        !(G.Nodes[E].IsThreadBody || isShardTaskRoot(G.Nodes[E])))
       continue;
     std::vector<size_t> Parent(G.Nodes.size(), static_cast<size_t>(-1));
     std::vector<size_t> Depth(G.Nodes.size(), static_cast<size_t>(-1));
@@ -712,6 +726,16 @@ bool medley::lint::isDecisionEntry(const CallGraph::Node &N) {
     return N.Name == "refresh" || N.Name == "compact";
   if (N.Name == "stepSteady" || N.Name == "cachedRegionRate")
     return true;
+  // The fleet engine's steady tick loop (DESIGN.md §16): stepShard runs
+  // once per shard per tick over 10^5+ tenants, so it inherits the
+  // zero-allocation contract of Simulation::step, which it wraps. The
+  // round-boundary paths (drainInbox, runChurn) materialize tenants and
+  // are deliberately NOT entries. The fixed-bucket latency recorder sits
+  // inside the timed window of every tick, so it is held to the same bar.
+  if (N.Class == "FleetEngine")
+    return N.Name == "stepShard";
+  if (N.Class == "LatencyHistogram")
+    return N.Name == "record" || N.Name == "merge";
   return N.Class == "Simulation" &&
          (N.Name == "step" || N.Name == "recomputeTickState" ||
           N.Name == "runnableThreads");

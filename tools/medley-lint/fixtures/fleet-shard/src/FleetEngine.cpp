@@ -1,0 +1,57 @@
+//===-- fixtures/fleet-shard/src/FleetEngine.cpp - Seeded bad tree --------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// Seeded fixture for the fleet-engine lint coverage (L7 + L10). The
+// class name and method names deliberately mirror the real
+// sim::FleetEngine so the analyzer's named entry/root lists bind to
+// them:
+//
+//   - `TotalTicks += Ticks` in stepShard: a shared non-atomic aggregate
+//     written by every shard's worker with no lock held — the exact bug
+//     the share-nothing design exists to rule out (L10, via the named
+//     FleetEngine::stepShard thread-task root; no spawn lambda is even
+//     present in this tree);
+//   - `TotalDecisions += N` in Reduce.cpp, reached through the
+//     recordDecisions() call (cross-translation-unit leg, L10);
+//   - the std::vector push_back in stepShard: a heap allocation on the
+//     steady tick path (L7, via the FleetEngine::stepShard decision
+//     entry).
+//
+// The atomic counter, the mutex-guarded total, and the per-shard local
+// state are pass cases and must stay quiet. This file must never be
+// compiled or linted as part of the product tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+class FleetEngine {
+public:
+  void stepShard(unsigned long Shard, unsigned long Ticks);
+  void recordDecisions(unsigned long N); // out-of-line in Reduce.cpp
+
+private:
+  long TotalTicks = 0;           // seeded race: shared per-shard aggregate
+  long TotalDecisions = 0;       // seeded race: written by recordDecisions()
+  long GuardedTotal = 0;         // pass: only written under Mu
+  std::atomic<long> Alive{0};    // pass: atomic destination
+  std::vector<long> TickLog;     // seeded escape: grown on the tick path
+  std::mutex Mu;
+};
+
+void FleetEngine::stepShard(unsigned long Shard, unsigned long Ticks) {
+  long LocalTicks = 0; // pass: task-local accumulator
+  for (unsigned long T = 0; T < Ticks; ++T)
+    LocalTicks += 1;
+  TotalTicks += LocalTicks;            // <- cross-thread-write
+  Alive = static_cast<long>(Shard);    // ok: atomic
+  {
+    std::lock_guard<std::mutex> G(Mu);
+    GuardedTotal += LocalTicks;        // ok: Mu held
+  }
+  TickLog.push_back(LocalTicks);       // <- hotpath-escape
+  recordDecisions(Ticks);
+}

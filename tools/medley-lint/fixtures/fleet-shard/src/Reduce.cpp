@@ -1,0 +1,40 @@
+//===-- fixtures/fleet-shard/src/Reduce.cpp - Cross-TU leg ----------------===//
+//
+// Part of Medley, a reproduction of "Celebrating Diversity" (PLDI 2015).
+//
+// The out-of-line definition of FleetEngine::recordDecisions for the
+// fleet-shard fixture: stepShard (a named thread-task root) calls
+// recordDecisions(), so the unguarded `TotalDecisions += N` here must be
+// flagged even though the root lives in a different translation unit.
+// The locked variant below it must not. This file must never be compiled
+// or linted as part of the product tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+class FleetEngine {
+public:
+  void stepShard(unsigned long Shard, unsigned long Ticks);
+  void recordDecisions(unsigned long N);
+  void recordDecisionsLocked(unsigned long N);
+
+private:
+  long TotalTicks = 0;
+  long TotalDecisions = 0;
+  long GuardedTotal = 0;
+  std::atomic<long> Alive{0};
+  std::vector<long> TickLog;
+  std::mutex Mu;
+};
+
+void FleetEngine::recordDecisions(unsigned long N) {
+  TotalDecisions += static_cast<long>(N); // <- cross-thread-write
+}
+
+void FleetEngine::recordDecisionsLocked(unsigned long N) {
+  std::lock_guard<std::mutex> G(Mu);
+  TotalDecisions += static_cast<long>(N); // ok: Mu held for the whole body
+}

@@ -38,6 +38,12 @@ for ENTRY in address:build-asan undefined:build-ubsan thread:build-tsan; do
     # under each sanitizer.
     (cd "$DIR" && ctest --output-on-failure -j "$JOBS" -LE bench-smoke)
     (cd "$DIR" && ctest --output-on-failure -L bench-smoke)
+    # Fleet smoke leg: the sharded engine's phase barriers and mailbox
+    # columns are exactly the protocol TSan exists to check. The fleet
+    # suite already ran above under the chaos label; running it once
+    # more by name means a label reshuffle can never silently drop it
+    # from the matrix.
+    (cd "$DIR" && ctest --output-on-failure -R "Fleet|LatencyHistogram")
   fi
 done
 
